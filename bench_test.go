@@ -1,0 +1,245 @@
+package oij
+
+// One testing.B benchmark per table/figure of the paper, plus ablation
+// benches for the design choices DESIGN.md calls out. Each benchmark
+// reports throughput as tuples/sec (custom metric) so `go test -bench=.`
+// regenerates the evaluation series; `cmd/oijbench` renders the same
+// experiments as formatted tables with richer metrics.
+//
+// b.N counts *tuples processed*: each iteration batch replays a
+// pre-generated stream slice through a fresh engine.
+
+import (
+	"fmt"
+	"testing"
+
+	"oij/internal/agg"
+	"oij/internal/engine"
+	"oij/internal/harness"
+	"oij/internal/tuple"
+	"oij/internal/workload"
+)
+
+// benchN is the stream length per engine construction; b.N is consumed in
+// chunks of this size.
+const benchN = 120_000
+
+// runEngine replays tuples through a fresh engine once and returns the
+// tuple count.
+func runEngine(b *testing.B, name string, wl workload.Config, tuples []tuple.Tuple, joiners int) {
+	b.Helper()
+	cfg := engine.Config{Joiners: joiners, Window: wl.Window, Agg: agg.Sum}
+	eng, err := harness.Build(name, cfg, &engine.CountSink{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.Start()
+	for i := range tuples {
+		eng.Ingest(tuples[i])
+	}
+	eng.Drain()
+}
+
+// benchWorkload measures one (engine, workload, joiners) combination.
+func benchWorkload(b *testing.B, name string, wl workload.Config, joiners int) {
+	b.Helper()
+	wl.N = benchN
+	tuples, err := wl.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	done := 0
+	for done < b.N {
+		n := b.N - done
+		if n > len(tuples) {
+			n = len(tuples)
+		}
+		runEngine(b, name, wl, tuples[:n], joiners)
+		done += n
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tuples/sec")
+}
+
+// fourEngines is the engine set of Figs. 17-20.
+var fourEngines = []string{harness.KeyOIJ, harness.ScaleOIJ, harness.ScaleOIJNoInc, harness.SplitJoin}
+
+// BenchmarkFig04KeyOIJScalability is Fig. 4: Key-OIJ across thread counts
+// on the four real workloads.
+func BenchmarkFig04KeyOIJScalability(b *testing.B) {
+	for _, wl := range []workload.Config{workload.A(1), workload.B(1), workload.C(1), workload.D(1)} {
+		for _, j := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("workload=%s/joiners=%d", wl.Name, j), func(b *testing.B) {
+				benchWorkload(b, harness.KeyOIJ, wl, j)
+			})
+		}
+	}
+}
+
+// BenchmarkFig07Lateness is Fig. 7: Key-OIJ under growing lateness.
+func BenchmarkFig07Lateness(b *testing.B) {
+	for _, l := range []tuple.Time{100, 1_000, 10_000, 20_000} {
+		b.Run(fmt.Sprintf("lateness=%dus", l), func(b *testing.B) {
+			wl := workload.DefaultSynthetic(1)
+			wl.Window.Lateness = l
+			wl.Disorder = l
+			benchWorkload(b, harness.KeyOIJ, wl, 16)
+		})
+	}
+}
+
+// BenchmarkFig08Keys is Fig. 8a: Key-OIJ under varying unique keys.
+func BenchmarkFig08Keys(b *testing.B) {
+	for _, u := range []int{1, 10, 100, 1_000, 10_000} {
+		b.Run(fmt.Sprintf("keys=%d", u), func(b *testing.B) {
+			wl := workload.DefaultSynthetic(1)
+			wl.Keys = u
+			benchWorkload(b, harness.KeyOIJ, wl, 16)
+		})
+	}
+}
+
+// BenchmarkFig09Window is Fig. 9: Key-OIJ under growing windows.
+func BenchmarkFig09Window(b *testing.B) {
+	for _, w := range []tuple.Time{100, 1_000, 10_000, 50_000} {
+		b.Run(fmt.Sprintf("window=%dus", w), func(b *testing.B) {
+			wl := workload.DefaultSynthetic(1)
+			wl.Window.Pre = w
+			benchWorkload(b, harness.KeyOIJ, wl, 16)
+		})
+	}
+}
+
+// BenchmarkFig11LatenessAblation is Fig. 11: Key-OIJ vs Scale-OIJ as
+// lateness grows — the time-travel-index ablation.
+func BenchmarkFig11LatenessAblation(b *testing.B) {
+	for _, e := range []string{harness.KeyOIJ, harness.ScaleOIJ} {
+		for _, l := range []tuple.Time{100, 10_000, 50_000} {
+			b.Run(fmt.Sprintf("engine=%s/lateness=%dus", e, l), func(b *testing.B) {
+				wl := workload.DefaultSynthetic(1)
+				wl.Window.Lateness = l
+				wl.Disorder = l
+				benchWorkload(b, e, wl, 16)
+			})
+		}
+	}
+}
+
+// BenchmarkFig13KeysAblation is Fig. 13b: both engines across key counts —
+// the dynamic-schedule ablation.
+func BenchmarkFig13KeysAblation(b *testing.B) {
+	for _, e := range []string{harness.KeyOIJ, harness.ScaleOIJ} {
+		for _, u := range []int{5, 100, 10_000} {
+			b.Run(fmt.Sprintf("engine=%s/keys=%d", e, u), func(b *testing.B) {
+				wl := workload.DefaultSynthetic(1)
+				wl.Keys = u
+				benchWorkload(b, e, wl, 16)
+			})
+		}
+	}
+}
+
+// BenchmarkFig16IncrementalAblation is Fig. 16: the incremental-window-
+// aggregation ablation across window sizes.
+func BenchmarkFig16IncrementalAblation(b *testing.B) {
+	for _, e := range []string{harness.KeyOIJ, harness.ScaleOIJNoInc, harness.ScaleOIJ} {
+		for _, w := range []tuple.Time{1_000, 25_000, 50_000} {
+			b.Run(fmt.Sprintf("engine=%s/window=%dus", e, w), func(b *testing.B) {
+				wl := workload.DefaultSynthetic(1)
+				wl.Window.Pre = w
+				benchWorkload(b, e, wl, 16)
+			})
+		}
+	}
+}
+
+// benchRealWorkload builds the Figs. 17-20 benchmark for one real workload.
+func benchRealWorkload(b *testing.B, wl workload.Config) {
+	for _, e := range fourEngines {
+		for _, j := range []int{1, 16} {
+			b.Run(fmt.Sprintf("engine=%s/joiners=%d", e, j), func(b *testing.B) {
+				benchWorkload(b, e, wl, j)
+			})
+		}
+	}
+}
+
+// BenchmarkFig17WorkloadA is Fig. 17 (Workload A: 5 keys, 1s window).
+func BenchmarkFig17WorkloadA(b *testing.B) { benchRealWorkload(b, workload.A(1)) }
+
+// BenchmarkFig18WorkloadB is Fig. 18 (Workload B: large windows).
+func BenchmarkFig18WorkloadB(b *testing.B) { benchRealWorkload(b, workload.B(1)) }
+
+// BenchmarkFig19WorkloadC is Fig. 19 (Workload C: extreme lateness).
+func BenchmarkFig19WorkloadC(b *testing.B) { benchRealWorkload(b, workload.C(1)) }
+
+// BenchmarkFig20WorkloadD is Fig. 20 (Workload D: low arrival rate).
+func BenchmarkFig20WorkloadD(b *testing.B) { benchRealWorkload(b, workload.D(1)) }
+
+// BenchmarkFig21TableV is Fig. 21: the Key-OIJ-favouring synthetic
+// workload (Table V).
+func BenchmarkFig21TableV(b *testing.B) {
+	for _, e := range []string{harness.KeyOIJ, harness.ScaleOIJ, harness.SplitJoin} {
+		b.Run("engine="+e, func(b *testing.B) {
+			benchWorkload(b, e, workload.TableV(1), 16)
+		})
+	}
+}
+
+// BenchmarkFig22OpenMLDB is Figs. 22/23: Scale-OIJ vs the OpenMLDB-style
+// baseline on the real workloads.
+func BenchmarkFig22OpenMLDB(b *testing.B) {
+	for _, wl := range []workload.Config{workload.A(1), workload.B(1), workload.C(1), workload.D(1)} {
+		for _, e := range []string{harness.OpenMLDB, harness.ScaleOIJ} {
+			b.Run(fmt.Sprintf("workload=%s/engine=%s", wl.Name, e), func(b *testing.B) {
+				benchWorkload(b, e, wl, 16)
+			})
+		}
+	}
+}
+
+// BenchmarkAblationSharedProcessing isolates the shared-processing layer
+// (static teams vs mask-based team reads) — a design-choice bench beyond
+// the paper's figures.
+func BenchmarkAblationSharedProcessing(b *testing.B) {
+	for _, e := range []string{harness.ScaleOIJStatic, harness.ScaleOIJNoDyn, harness.ScaleOIJ} {
+		b.Run("variant="+e, func(b *testing.B) {
+			wl := workload.DefaultSynthetic(1)
+			wl.Keys = 5
+			benchWorkload(b, e, wl, 8)
+		})
+	}
+}
+
+// BenchmarkEmitModes compares arrival vs watermark emission overhead.
+func BenchmarkEmitModes(b *testing.B) {
+	wl := workload.DefaultSynthetic(1)
+	wl.N = benchN
+	tuples, err := wl.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []engine.EmitMode{engine.OnArrival, engine.OnWatermark} {
+		b.Run("mode="+mode.String(), func(b *testing.B) {
+			done := 0
+			for done < b.N {
+				n := b.N - done
+				if n > len(tuples) {
+					n = len(tuples)
+				}
+				cfg := engine.Config{Joiners: 8, Window: wl.Window, Agg: agg.Sum, Mode: mode}
+				eng, err := harness.Build(harness.ScaleOIJ, cfg, &engine.CountSink{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng.Start()
+				for i := 0; i < n; i++ {
+					eng.Ingest(tuples[i])
+				}
+				eng.Drain()
+				done += n
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tuples/sec")
+		})
+	}
+}

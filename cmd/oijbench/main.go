@@ -1,0 +1,83 @@
+// Command oijbench regenerates the tables and figures of "Scalable Online
+// Interval Join on Modern Multicore Processors in OpenMLDB" (ICDE 2023)
+// against this repository's engines.
+//
+// Usage:
+//
+//	oijbench -list
+//	oijbench -exp fig4
+//	oijbench -exp all -n 500000 -threads 1,2,4,8,16,32
+//
+// See DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+// paper-vs-measured outcomes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"oij/internal/harness"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment ID to run, or \"all\"")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		n       = flag.Int("n", 0, "tuples per run (default 200000)")
+		threads = flag.String("threads", "", "comma-separated joiner sweep (default 1,2,4,8,16)")
+		latj    = flag.Int("latency-threads", 0, "joiner count for latency CDFs (default 16)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.AllExperiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *exp == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := harness.ExpOptions{N: *n, LatencyThreads: *latj}
+	if *threads != "" {
+		for _, part := range strings.Split(*threads, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || v < 1 {
+				fmt.Fprintf(os.Stderr, "oijbench: bad -threads value %q\n", part)
+				os.Exit(2)
+			}
+			opts.Threads = append(opts.Threads, v)
+		}
+	}
+
+	var toRun []harness.Experiment
+	if *exp == "all" {
+		toRun = harness.AllExperiments()
+	} else {
+		e, ok := harness.FindExperiment(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "oijbench: unknown experiment %q; known IDs: %s\n",
+				*exp, strings.Join(harness.ExperimentIDs(), ", "))
+			os.Exit(2)
+		}
+		toRun = []harness.Experiment{e}
+	}
+
+	fmt.Printf("oijbench: GOMAXPROCS=%d (parallel speedup is bounded by available CPUs)\n", runtime.GOMAXPROCS(0))
+	for _, e := range toRun {
+		fmt.Printf("\n=== %s — %s ===\n", e.ID, e.Title)
+		start := time.Now()
+		if err := e.Run(os.Stdout, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "oijbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %v)\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,101 @@
+// Command oijd serves an online interval join over TCP — the repository's
+// OpenMLDB-style feature-serving daemon. Clients stream probe data and
+// send base frames as feature requests (see internal/wire for the
+// protocol; internal/server.Client is a ready-made Go client).
+//
+// The join is declared in the OpenMLDB SQL dialect:
+//
+//	oijd -addr :7781 -sql 'SELECT sum(amount) OVER w FROM requests
+//	    WINDOW w AS (UNION orders PARTITION BY user ORDER BY ts
+//	    ROWS_RANGE BETWEEN 1h PRECEDING AND CURRENT ROW LATENESS 5s)'
+//
+// or with explicit flags (-pre, -agg, ...) when no SQL is given.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"oij/internal/agg"
+	"oij/internal/engine"
+	"oij/internal/harness"
+	"oij/internal/server"
+	"oij/internal/sql"
+	"oij/internal/window"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7781", "listen address")
+		sqlText  = flag.String("sql", "", "join declaration in the OpenMLDB dialect (overrides -pre/-fol/-lateness/-agg)")
+		pre      = flag.Duration("pre", time.Minute, "window PRECEDING offset")
+		fol      = flag.Duration("fol", 0, "window FOLLOWING offset")
+		lateness = flag.Duration("lateness", time.Second, "out-of-order bound")
+		aggName  = flag.String("agg", "sum", "aggregation: sum|count|avg|min|max")
+		alg      = flag.String("algorithm", harness.ScaleOIJ, "engine variant")
+		parallel = flag.Int("parallel", 4, "joiner goroutines")
+		exact    = flag.Bool("exact", false, "emit on watermark (exact event-time results) instead of on arrival")
+		wal      = flag.String("wal", "", "write-ahead log path: probe state survives restarts")
+	)
+	flag.Parse()
+
+	cfg := server.Config{Algorithm: *alg, WALPath: *wal}
+	if *sqlText != "" {
+		q, err := sql.Parse(*sqlText)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oijd: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Engine.Window = q.Window
+		cfg.Engine.Agg = q.Aggs[0].Func
+		fmt.Printf("oijd: %s ⋈ %s on %s over %s\n", q.BaseTable, q.ProbeTable, q.PartitionBy, q.Window)
+	} else {
+		fn, err := agg.Parse(*aggName)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oijd: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Engine.Window = window.Spec{
+			Pre:      pre.Microseconds(),
+			Fol:      fol.Microseconds(),
+			Lateness: lateness.Microseconds(),
+		}
+		cfg.Engine.Agg = fn
+	}
+	cfg.Engine.Joiners = *parallel
+	if *exact {
+		cfg.Engine.Mode = engine.OnWatermark
+	}
+
+	srv, err := server.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "oijd: %v\n", err)
+		os.Exit(2)
+	}
+	if *wal != "" {
+		n, err := srv.Recover()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oijd: recovering %s: %v\n", *wal, err)
+			os.Exit(1)
+		}
+		fmt.Printf("oijd: recovered %d probes from %s\n", n, *wal)
+	}
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "oijd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("oijd: serving %s with %s (%d joiners) on %s\n",
+		cfg.Engine.Agg, *alg, *parallel, bound)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Println("oijd: shutting down")
+	srv.Shutdown()
+	fmt.Printf("oijd: served %d tuples\n", srv.Served())
+}

@@ -1,0 +1,139 @@
+// Command oijsend feeds CSV data to an oijd server and writes the join
+// results back out as CSV — the client half of the serving pair.
+//
+//	oijsend -addr 127.0.0.1:7781 \
+//	    -probe orders.csv  -probe-key user -probe-time ts -probe-value amount \
+//	    -base  requests.csv -base-key user -base-time ts \
+//	    -time-format unixms > features.csv
+//
+// Rows from both files are merged by event timestamp and streamed in that
+// order; results are written as "seq,ts,key,agg,matches" lines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"oij/internal/csvsrc"
+	"oij/internal/server"
+	"oij/internal/tuple"
+	"oij/internal/wire"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7781", "oijd address")
+		probeF  = flag.String("probe", "", "probe-stream CSV file (the joined data)")
+		baseF   = flag.String("base", "", "base-stream CSV file (the feature requests)")
+		pKey    = flag.String("probe-key", "key", "probe key column")
+		pTime   = flag.String("probe-time", "ts", "probe timestamp column")
+		pVal    = flag.String("probe-value", "", "probe value column (empty = 0)")
+		bKey    = flag.String("base-key", "key", "base key column")
+		bTime   = flag.String("base-time", "ts", "base timestamp column")
+		tFormat = flag.String("time-format", "unixus", "timestamp format: unixus|unixms|unixs|rfc3339")
+	)
+	flag.Parse()
+	if *probeF == "" && *baseF == "" {
+		fmt.Fprintln(os.Stderr, "oijsend: need at least one of -probe / -base")
+		os.Exit(2)
+	}
+
+	load := func(path, key, ts, val string) []csvsrc.Record {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oijsend: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sc, err := csvsrc.NewScanner(f, csvsrc.Mapping{
+			Key: key, Time: ts, Value: val, TimeFormat: csvsrc.TimeFormat(*tFormat),
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oijsend: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		recs, err := sc.ReadAll()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oijsend: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		return recs
+	}
+	probes := load(*probeF, *pKey, *pTime, *pVal)
+	bases := load(*baseF, *bKey, *bTime, "")
+
+	// Merge by event time so the server's watermark advances sanely.
+	type ev struct {
+		rec  csvsrc.Record
+		base bool
+	}
+	evs := make([]ev, 0, len(probes)+len(bases))
+	for _, r := range probes {
+		evs = append(evs, ev{r, false})
+	}
+	for _, r := range bases {
+		evs = append(evs, ev{r, true})
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].rec.TS < evs[j].rec.TS })
+
+	c, err := server.Dial(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "oijsend: %v\n", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+
+	// Drain results concurrently with sending so neither side stalls.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var recvErr error
+	go func() {
+		defer wg.Done()
+		fmt.Println("seq,ts,key,agg,matches")
+		for {
+			m, err := c.Recv()
+			if err != nil {
+				recvErr = err
+				return
+			}
+			switch m.Kind {
+			case wire.TagResult:
+				r := m.Result
+				fmt.Printf("%d,%d,%d,%g,%d\n", r.Seq, r.TS, r.Key, r.Agg, r.Matches)
+			case wire.TagFlush: // everything answered
+				return
+			}
+		}
+	}()
+
+	sent := 0
+	for _, e := range evs {
+		var err error
+		if e.base {
+			_, err = c.SendBase(tuple.Key(e.rec.Key), e.rec.TS, e.rec.Val)
+		} else {
+			err = c.SendProbe(tuple.Key(e.rec.Key), e.rec.TS, e.rec.Val)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oijsend: send: %v\n", err)
+			os.Exit(1)
+		}
+		sent++
+	}
+	if err := c.Barrier(); err != nil {
+		fmt.Fprintf(os.Stderr, "oijsend: %v\n", err)
+		os.Exit(1)
+	}
+	wg.Wait()
+	if recvErr != nil {
+		fmt.Fprintf(os.Stderr, "oijsend: recv: %v\n", recvErr)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "oijsend: streamed %d tuples (%d requests)\n", sent, len(bases))
+}

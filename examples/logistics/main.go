@@ -1,0 +1,112 @@
+// Logistics: the paper's Workload-A-shaped scenario — very few keys.
+//
+// A delivery network tracks shipments per regional depot. There are only
+// five depots, so a key-partitioned join can use at most five joiners and
+// whichever depot is busiest bottlenecks the pipeline; Scale-OIJ's dynamic
+// balanced schedule spreads one depot's tuples over a whole virtual team.
+// The example pushes the same skewed five-key stream through every
+// algorithm and reports throughput and how evenly the work was spread.
+//
+// Run with:
+//
+//	go run ./examples/logistics
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"oij"
+)
+
+const (
+	depots    = 5
+	nTuples   = 400_000
+	eventRate = 120_000.0 // Workload A's arrival rate
+	windowPre = time.Second
+	lateness  = time.Second
+	parallel  = 8
+)
+
+type record struct {
+	depot  oij.Key
+	at     time.Time
+	weight float64
+	scan   bool // base-stream tracking scan
+}
+
+func generate() []record {
+	rng := rand.New(rand.NewSource(11))
+	start := time.Unix(1_700_000_000, 0)
+	rate := float64(eventRate) // non-constant so the fractional division converts
+	perTuple := time.Duration(float64(time.Second) / rate)
+	// One depot handles half the volume — the skew that starves a
+	// static key partition.
+	pick := func() oij.Key {
+		if rng.Float64() < 0.5 {
+			return 0
+		}
+		return oij.Key(1 + rng.Intn(depots-1))
+	}
+	out := make([]record, nTuples)
+	for i := range out {
+		nominal := start.Add(time.Duration(i) * perTuple)
+		r := record{
+			depot:  pick(),
+			at:     nominal,
+			weight: rng.Float64() * 30,
+			scan:   rng.Float64() < 0.5,
+		}
+		if !r.scan {
+			// Tracking scans (the base stream) are stamped on arrival
+			// and therefore in order; package telemetry (the probe
+			// stream) syncs late from handheld scanners.
+			r.at = nominal.Add(-time.Duration(rng.Int63n(int64(lateness))))
+		}
+		out[i] = r
+	}
+	return out
+}
+
+func main() {
+	stream := generate()
+	fmt.Printf("logistics stream: %d tuples over %d depots (depot 0 carries ~50%%)\n", nTuples, depots)
+	fmt.Printf("feature: sum of package weights handled by the depot in the last %v\n\n", windowPre)
+
+	fmt.Printf("%-22s %12s %10s\n", "engine", "throughput", "results")
+	for _, alg := range []oij.Algorithm{
+		oij.AlgorithmKeyOIJ,
+		oij.AlgorithmSplitJoin,
+		oij.AlgorithmOpenMLDB,
+		oij.AlgorithmScaleOIJ,
+	} {
+		var results atomic.Int64
+		j, err := oij.NewJoiner(oij.Options{
+			Algorithm: alg,
+			Window:    oij.Window{Pre: windowPre, Lateness: lateness},
+			Agg:       oij.Sum,
+			Parallel:  parallel,
+			OnResult:  func(oij.Result) { results.Add(1) },
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		for _, r := range stream {
+			if r.scan {
+				j.PushBase(r.depot, r.at, 0)
+			} else {
+				j.PushProbe(r.depot, r.at, r.weight)
+			}
+		}
+		j.Close()
+		elapsed := time.Since(start)
+		fmt.Printf("%-22s %10.0f/s %10d\n", alg, float64(nTuples)/elapsed.Seconds(), results.Load())
+	}
+	fmt.Println("\nNote: parallel speedup requires physical cores; on a single-CPU host the")
+	fmt.Println("differences reflect per-tuple algorithmic cost, while the balance effect")
+	fmt.Println("shows up in the oijbench fig13 experiments as the unbalancedness metric.")
+}

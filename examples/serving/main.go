@@ -1,0 +1,90 @@
+// Serving: the full OpenMLDB-style deployment shape in one process — a
+// TCP join server (the same engine cmd/oijd runs), a data producer
+// streaming order events, and a feature client issuing requests over the
+// wire and reading back aggregates.
+//
+// Run with:
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"oij"
+)
+
+func main() {
+	srv, addr, err := oij.ListenAndServe(oij.ServerOptions{
+		Window:   oij.Window{Pre: 30 * time.Second, Lateness: time.Second},
+		Agg:      oij.Sum,
+		Parallel: 4,
+	}, "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Shutdown()
+	fmt.Printf("join server listening on %s\n", addr)
+
+	// A producer service streams order events...
+	producer, err := oij.DialServer(addr.String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer producer.Close()
+
+	start := time.Unix(1_700_000_000, 0)
+	users := []string{"ann", "bob", "cat"}
+	amounts := map[string][]float64{
+		"ann": {12.50, 3.00, 99.99},
+		"bob": {5.25},
+		"cat": {42.00, 58.00},
+	}
+	for i, u := range users {
+		for k, amt := range amounts[u] {
+			ts := start.Add(time.Duration(i*3+k) * time.Second)
+			if err := producer.SendProbe(oij.HashString(u), ts.UnixMicro(), amt); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	// Barrier: make sure the server ingested everything before querying.
+	if err := producer.Barrier(); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := producer.RecvResults(5 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	// ...and a separate feature service asks, per user: how much did they
+	// order in the last 30 seconds?
+	client, err := oij.DialServer(addr.String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	queryAt := start.Add(10 * time.Second)
+	seqToUser := map[uint64]string{}
+	for _, u := range users {
+		seq, err := client.SendBase(oij.HashString(u), queryAt.UnixMicro(), 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		seqToUser[seq] = u
+	}
+	if err := client.Barrier(); err != nil {
+		log.Fatal(err)
+	}
+	results, err := client.RecvResults(5 * time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, r := range results {
+		fmt.Printf("user=%-4s spend_last_30s=%7.2f over %d orders\n",
+			seqToUser[r.Seq], r.Agg, r.Matches)
+	}
+}

@@ -1,0 +1,3 @@
+module oij
+
+go 1.22

@@ -1,0 +1,226 @@
+// Package agg provides the window aggregation operators used by the online
+// interval join: the invertible operators (sum, count, avg) that the
+// Subtract-on-Evict technique (Tangwongsan et al., DEBS'17, adapted in
+// §V-C of the paper) can maintain incrementally, and the non-invertible
+// min/max operators that require recomputation per window.
+package agg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Func identifies an aggregation operator.
+type Func uint8
+
+const (
+	// Sum adds payload values.
+	Sum Func = iota
+	// Count counts matching tuples.
+	Count
+	// Avg averages payload values.
+	Avg
+	// Min keeps the minimum payload value (not invertible).
+	Min
+	// Max keeps the maximum payload value (not invertible).
+	Max
+	// Last keeps the value with the largest event timestamp in the
+	// window (not invertible) — the aggregation behind OpenMLDB's
+	// LAST JOIN ("the most recent matching row").
+	Last
+	// First keeps the value with the smallest event timestamp in the
+	// window (not invertible).
+	First
+)
+
+// Parse maps an operator name (as written in the SQL dialect) to a Func.
+func Parse(name string) (Func, error) {
+	switch name {
+	case "sum":
+		return Sum, nil
+	case "count":
+		return Count, nil
+	case "avg":
+		return Avg, nil
+	case "min":
+		return Min, nil
+	case "max":
+		return Max, nil
+	case "last_value", "last":
+		return Last, nil
+	case "first_value", "first":
+		return First, nil
+	default:
+		return 0, fmt.Errorf("agg: unknown aggregation function %q", name)
+	}
+}
+
+// String implements fmt.Stringer.
+func (f Func) String() string {
+	switch f {
+	case Sum:
+		return "sum"
+	case Count:
+		return "count"
+	case Avg:
+		return "avg"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	case Last:
+		return "last_value"
+	case First:
+		return "first_value"
+	default:
+		return fmt.Sprintf("agg(%d)", uint8(f))
+	}
+}
+
+// Invertible reports whether the operator supports Subtract-on-Evict
+// (an exact inverse ⊖ of its combine ⊕).
+func (f Func) Invertible() bool { return f == Sum || f == Count || f == Avg }
+
+// Timestamped reports whether the operator's result depends on event
+// timestamps (Last/First); engines must fold such operators with AddAt.
+func (f Func) Timestamped() bool { return f == Last || f == First }
+
+// State is a running aggregate. The zero State of a Func is the empty
+// aggregate. Add/AddAt fold one value in; Remove inverts a previous Add
+// (only legal for invertible Funcs); Value renders the current aggregate.
+type State struct {
+	fn    Func
+	sum   float64
+	count int64
+	// extreme holds the running min/max value, or the selected value
+	// for Last/First.
+	extreme float64
+	// atTS is the timestamp the Last/First selection was made at.
+	atTS int64
+}
+
+// NewState returns the empty aggregate for fn.
+func NewState(fn Func) State {
+	s := State{fn: fn}
+	switch fn {
+	case Min:
+		s.extreme = math.Inf(1)
+	case Max:
+		s.extreme = math.Inf(-1)
+	case Last:
+		s.atTS = math.MinInt64
+	case First:
+		s.atTS = math.MaxInt64
+	}
+	return s
+}
+
+// Add folds value v into the aggregate (the paper's ⊕) at timestamp 0.
+// Use AddAt for the timestamped operators (Last/First).
+func (s *State) Add(v float64) { s.AddAt(0, v) }
+
+// AddAt folds value v carrying event timestamp ts. For Last, ties on ts
+// resolve to the later fold (arrival order); for First, to the earlier.
+func (s *State) AddAt(ts int64, v float64) {
+	s.count++
+	switch s.fn {
+	case Sum, Avg, Count:
+		s.sum += v
+	case Min:
+		if v < s.extreme {
+			s.extreme = v
+		}
+	case Max:
+		if v > s.extreme {
+			s.extreme = v
+		}
+	case Last:
+		if ts >= s.atTS {
+			s.atTS = ts
+			s.extreme = v
+		}
+	case First:
+		if ts < s.atTS {
+			s.atTS = ts
+			s.extreme = v
+		}
+	}
+}
+
+// Remove inverts a previous Add of v (the paper's ⊖). It panics for
+// non-invertible operators — callers must consult Func.Invertible and fall
+// back to recomputation, exactly as §V-C scopes the technique to invertible
+// aggregations.
+func (s *State) Remove(v float64) {
+	switch s.fn {
+	case Sum, Avg, Count:
+		s.sum -= v
+		s.count--
+	default:
+		panic("agg: Remove on non-invertible aggregation " + s.fn.String())
+	}
+}
+
+// Count returns the number of values currently folded in.
+func (s *State) Count() int64 { return s.count }
+
+// Value renders the aggregate. Empty aggregates yield 0 for sum/count, and
+// NaN for avg/min/max (no defined value over an empty window).
+func (s *State) Value() float64 {
+	switch s.fn {
+	case Sum:
+		return s.sum
+	case Count:
+		return float64(s.count)
+	case Avg:
+		if s.count == 0 {
+			return math.NaN()
+		}
+		return s.sum / float64(s.count)
+	case Min, Max, Last, First:
+		if s.count == 0 {
+			return math.NaN()
+		}
+		return s.extreme
+	default:
+		return math.NaN()
+	}
+}
+
+// Reset returns the state to the empty aggregate.
+func (s *State) Reset() {
+	*s = NewState(s.fn)
+}
+
+// Fn returns the operator of this state.
+func (s *State) Fn() Func { return s.fn }
+
+// Merge folds another partial aggregate of the same operator into s, so
+// distributed engines (SplitJoin's per-joiner partials) can combine
+// sub-aggregates. It panics on operator mismatch.
+func (s *State) Merge(o State) {
+	if s.fn != o.fn {
+		panic("agg: merging mismatched aggregations " + s.fn.String() + " and " + o.fn.String())
+	}
+	s.count += o.count
+	switch s.fn {
+	case Sum, Avg, Count:
+		s.sum += o.sum
+	case Min:
+		if o.extreme < s.extreme {
+			s.extreme = o.extreme
+		}
+	case Max:
+		if o.extreme > s.extreme {
+			s.extreme = o.extreme
+		}
+	case Last:
+		if o.count > 0 && o.atTS >= s.atTS {
+			s.atTS, s.extreme = o.atTS, o.extreme
+		}
+	case First:
+		if o.count > 0 && o.atTS < s.atTS {
+			s.atTS, s.extreme = o.atTS, o.extreme
+		}
+	}
+}

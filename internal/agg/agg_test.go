@@ -1,0 +1,286 @@
+package agg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestParse(t *testing.T) {
+	for name, want := range map[string]Func{"sum": Sum, "count": Count, "avg": Avg, "min": Min, "max": Max} {
+		got, err := Parse(name)
+		if err != nil || got != want {
+			t.Errorf("Parse(%q) = %v, %v", name, got, err)
+		}
+		if got.String() != name {
+			t.Errorf("String round-trip: %v -> %q", got, got.String())
+		}
+	}
+	if _, err := Parse("median"); err == nil {
+		t.Error("Parse(median) should fail")
+	}
+}
+
+func TestInvertible(t *testing.T) {
+	for fn, want := range map[Func]bool{Sum: true, Count: true, Avg: true, Min: false, Max: false} {
+		if fn.Invertible() != want {
+			t.Errorf("%v.Invertible() = %v", fn, !want)
+		}
+	}
+}
+
+func TestEmptyAggregates(t *testing.T) {
+	sum := NewState(Sum)
+	if v := sum.Value(); v != 0 {
+		t.Errorf("empty sum = %g", v)
+	}
+	cnt := NewState(Count)
+	if v := cnt.Value(); v != 0 {
+		t.Errorf("empty count = %g", v)
+	}
+	for _, fn := range []Func{Avg, Min, Max} {
+		s := NewState(fn)
+		if v := s.Value(); !math.IsNaN(v) {
+			t.Errorf("empty %v = %g, want NaN", fn, v)
+		}
+	}
+}
+
+func TestSumCountAvg(t *testing.T) {
+	vals := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	sum, cnt := 0.0, 0
+	states := map[Func]*State{}
+	for _, fn := range []Func{Sum, Count, Avg} {
+		s := NewState(fn)
+		states[fn] = &s
+	}
+	for _, v := range vals {
+		sum += v
+		cnt++
+		for _, s := range states {
+			s.Add(v)
+		}
+	}
+	if got := states[Sum].Value(); got != sum {
+		t.Errorf("sum = %g, want %g", got, sum)
+	}
+	if got := states[Count].Value(); got != float64(cnt) {
+		t.Errorf("count = %g, want %d", got, cnt)
+	}
+	if got := states[Avg].Value(); math.Abs(got-sum/float64(cnt)) > 1e-12 {
+		t.Errorf("avg = %g, want %g", got, sum/float64(cnt))
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	mn, mx := NewState(Min), NewState(Max)
+	for _, v := range []float64{5, -3, 12, 0.5} {
+		mn.Add(v)
+		mx.Add(v)
+	}
+	if mn.Value() != -3 {
+		t.Errorf("min = %g", mn.Value())
+	}
+	if mx.Value() != 12 {
+		t.Errorf("max = %g", mx.Value())
+	}
+}
+
+func TestRemoveInvertsAdd(t *testing.T) {
+	for _, fn := range []Func{Sum, Count, Avg} {
+		s := NewState(fn)
+		s.Add(10)
+		s.Add(20)
+		s.Add(30)
+		s.Remove(10)
+		s.Remove(30)
+		want := NewState(fn)
+		want.Add(20)
+		if s.Value() != want.Value() || s.Count() != want.Count() {
+			t.Errorf("%v: subtract-on-evict mismatch: got (%g,%d) want (%g,%d)",
+				fn, s.Value(), s.Count(), want.Value(), want.Count())
+		}
+	}
+}
+
+func TestRemovePanicsOnNonInvertible(t *testing.T) {
+	for _, fn := range []Func{Min, Max} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%v.Remove did not panic", fn)
+				}
+			}()
+			s := NewState(fn)
+			s.Add(1)
+			s.Remove(1)
+		}()
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := NewState(Min)
+	s.Add(3)
+	s.Reset()
+	if !math.IsNaN(s.Value()) || s.Count() != 0 {
+		t.Fatal("Reset did not restore empty aggregate")
+	}
+	if s.Fn() != Min {
+		t.Fatal("Reset lost the operator")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	for _, fn := range []Func{Sum, Count, Avg, Min, Max} {
+		a, b, all := NewState(fn), NewState(fn), NewState(fn)
+		for i, v := range []float64{4, 8, 15, 16, 23, 42} {
+			if i%2 == 0 {
+				a.Add(v)
+			} else {
+				b.Add(v)
+			}
+			all.Add(v)
+		}
+		a.Merge(b)
+		if a.Count() != all.Count() || math.Abs(a.Value()-all.Value()) > 1e-12 {
+			t.Errorf("%v merge: got (%g,%d) want (%g,%d)", fn, a.Value(), a.Count(), all.Value(), all.Count())
+		}
+	}
+}
+
+func TestMergeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched merge did not panic")
+		}
+	}()
+	a, b := NewState(Sum), NewState(Min)
+	a.Merge(b)
+}
+
+// TestQuickSlidingEquivalence property-tests the Subtract-on-Evict
+// identity: sliding a window by add/remove equals recomputation, for every
+// invertible operator.
+func TestQuickSlidingEquivalence(t *testing.T) {
+	f := func(vals []float64, loF, hiF uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		// Constrain magnitudes: Subtract-on-Evict is exact in the reals
+		// but floating-point cancellation near ±MaxFloat64 is not a
+		// property of the algorithm under test.
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			vals[i] = math.Mod(v, 1e6)
+		}
+		lo := int(loF) % len(vals)
+		hi := int(hiF) % len(vals)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		for _, fn := range []Func{Sum, Count, Avg} {
+			// Incremental: fold everything, then remove the outside.
+			inc := NewState(fn)
+			for _, v := range vals {
+				inc.Add(v)
+			}
+			for i, v := range vals {
+				if i < lo || i > hi {
+					inc.Remove(v)
+				}
+			}
+			// Direct recomputation over [lo, hi].
+			direct := NewState(fn)
+			for i := lo; i <= hi; i++ {
+				direct.Add(vals[i])
+			}
+			iv, dv := inc.Value(), direct.Value()
+			if inc.Count() != direct.Count() {
+				return false
+			}
+			if math.IsNaN(iv) != math.IsNaN(dv) {
+				return false
+			}
+			if !math.IsNaN(iv) && math.Abs(iv-dv) > 1e-6*(1+math.Abs(dv)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLastFirst(t *testing.T) {
+	last, first := NewState(Last), NewState(First)
+	for _, e := range []struct {
+		ts int64
+		v  float64
+	}{{10, 1}, {30, 3}, {20, 2}} {
+		last.AddAt(e.ts, e.v)
+		first.AddAt(e.ts, e.v)
+	}
+	if last.Value() != 3 {
+		t.Fatalf("last = %g, want value at ts 30", last.Value())
+	}
+	if first.Value() != 1 {
+		t.Fatalf("first = %g, want value at ts 10", first.Value())
+	}
+	// Empty state is NaN.
+	e := NewState(Last)
+	if !math.IsNaN(e.Value()) {
+		t.Fatal("empty last not NaN")
+	}
+	// Parse and names.
+	for name, fn := range map[string]Func{"last": Last, "last_value": Last, "first": First, "first_value": First} {
+		got, err := Parse(name)
+		if err != nil || got != fn {
+			t.Fatalf("Parse(%q) = %v, %v", name, got, err)
+		}
+	}
+	if Last.Invertible() || First.Invertible() {
+		t.Fatal("last/first must not be invertible")
+	}
+	if !Last.Timestamped() || !First.Timestamped() || Sum.Timestamped() {
+		t.Fatal("Timestamped() wrong")
+	}
+}
+
+func TestLastFirstMerge(t *testing.T) {
+	a, b := NewState(Last), NewState(Last)
+	a.AddAt(10, 1)
+	b.AddAt(20, 2)
+	a.Merge(b)
+	if a.Value() != 2 || a.Count() != 2 {
+		t.Fatalf("merged last = %g over %d", a.Value(), a.Count())
+	}
+	// Merging an empty state changes nothing.
+	a.Merge(NewState(Last))
+	if a.Value() != 2 {
+		t.Fatal("empty merge changed last")
+	}
+	f, g := NewState(First), NewState(First)
+	f.AddAt(10, 1)
+	g.AddAt(5, 0.5)
+	f.Merge(g)
+	if f.Value() != 0.5 {
+		t.Fatalf("merged first = %g", f.Value())
+	}
+}
+
+func TestSlidingLast(t *testing.T) {
+	s := NewSliding(Last)
+	for i := int64(0); i < 10; i++ {
+		s.Push(i, float64(i)*10)
+	}
+	if s.Value() != 90 {
+		t.Fatalf("sliding last = %g", s.Value())
+	}
+	s.PopBefore(8)
+	if s.Value() != 90 || s.Len() != 2 {
+		t.Fatalf("after pop: last = %g over %d", s.Value(), s.Len())
+	}
+}

@@ -1,0 +1,59 @@
+package agg
+
+import "testing"
+
+// BenchmarkStateAdd measures the plain fold path.
+func BenchmarkStateAdd(b *testing.B) {
+	st := NewState(Sum)
+	for i := 0; i < b.N; i++ {
+		st.Add(float64(i & 1023))
+	}
+	_ = st.Value()
+}
+
+// BenchmarkSubtractOnEvict measures one slide step (add one, remove one)
+// of the invertible incremental path.
+func BenchmarkSubtractOnEvict(b *testing.B) {
+	st := NewState(Sum)
+	for i := 0; i < 1000; i++ {
+		st.Add(float64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Add(float64(i & 1023))
+		st.Remove(float64(i & 1023))
+	}
+}
+
+// BenchmarkSlidingMax measures one slide step of the two-stacks window —
+// the non-invertible analogue of Subtract-on-Evict.
+func BenchmarkSlidingMax(b *testing.B) {
+	s := NewSliding(Max)
+	for i := 0; i < 1000; i++ {
+		s.Push(int64(i), float64(i&255))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Push(int64(1000+i), float64(i&255))
+		s.PopBefore(int64(i))
+		_ = s.Value()
+	}
+}
+
+// BenchmarkSlidingRebuild measures a full window rebuild (the fallback the
+// incremental paths take on regressions or team changes).
+func BenchmarkSlidingRebuild(b *testing.B) {
+	vals := make([]float64, 512)
+	for i := range vals {
+		vals[i] = float64(i * 7 % 255)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewSliding(Min)
+		for k, v := range vals {
+			s.Push(int64(k), v)
+		}
+		_ = s.Value()
+	}
+}

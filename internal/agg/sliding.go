@@ -1,0 +1,134 @@
+package agg
+
+// Sliding maintains an associative (not necessarily invertible) aggregate
+// over a FIFO window of (timestamp, value) entries using the classic
+// two-stacks algorithm: every push and pop is amortized O(1) regardless of
+// operator, which extends the paper's incremental interval join to min and
+// max — one of the future-work items its conclusion lists ("incremental
+// computing for non-invertible operators", citing the same DEBS'17 line of
+// work the Subtract-on-Evict technique comes from).
+//
+// Entries must be pushed in non-decreasing timestamp order and are popped
+// from the front by a timestamp bound; the window therefore slides forward
+// only. Callers that need to move a window backwards rebuild the Sliding
+// from a fresh scan.
+type Sliding struct {
+	fn Func
+	// back holds recently pushed entries; back[i].acc aggregates
+	// back[0..i] (prefix aggregates).
+	back []slideEntry
+	// front holds older entries in reversed order; front[i].acc
+	// aggregates front[i..0...] — suffix aggregates of the original
+	// order — so the front-most window element is at the end of the
+	// slice and Value combines front top with back top in O(1).
+	front []slideEntry
+}
+
+type slideEntry struct {
+	ts  int64
+	val float64
+	acc State
+}
+
+// NewSliding returns an empty sliding aggregate for fn.
+func NewSliding(fn Func) *Sliding {
+	return &Sliding{fn: fn}
+}
+
+// Fn returns the operator.
+func (s *Sliding) Fn() Func { return s.fn }
+
+// Len returns the number of entries currently in the window.
+func (s *Sliding) Len() int { return len(s.front) + len(s.back) }
+
+// Push appends an entry; ts must be >= every previously pushed timestamp
+// still in the window (it may equal the newest).
+func (s *Sliding) Push(ts int64, val float64) {
+	acc := NewState(s.fn)
+	if n := len(s.back); n > 0 {
+		acc = s.back[n-1].acc
+	}
+	acc.AddAt(ts, val) // State is a value; acc is a private copy
+	s.back = append(s.back, slideEntry{ts: ts, val: val, acc: acc})
+}
+
+// PopBefore removes every entry with ts < bound from the front of the
+// window and returns how many were removed.
+func (s *Sliding) PopBefore(bound int64) int {
+	removed := 0
+	for {
+		if len(s.front) == 0 {
+			if len(s.back) == 0 {
+				return removed
+			}
+			s.flip()
+		}
+		top := len(s.front) - 1
+		if s.front[top].ts >= bound {
+			return removed
+		}
+		s.front = s.front[:top]
+		removed++
+	}
+}
+
+// flip moves the back stack onto the front stack, converting prefix
+// aggregates to suffix aggregates — the amortized step of the two-stacks
+// algorithm.
+func (s *Sliding) flip() {
+	acc := NewState(s.fn)
+	for i := len(s.back) - 1; i >= 0; i-- {
+		acc.AddAt(s.back[i].ts, s.back[i].val)
+		s.front = append(s.front, slideEntry{ts: s.back[i].ts, val: s.back[i].val, acc: acc})
+	}
+	s.back = s.back[:0]
+}
+
+// OldestTS returns the timestamp at the front of the window.
+func (s *Sliding) OldestTS() (int64, bool) {
+	if n := len(s.front); n > 0 {
+		return s.front[n-1].ts, true
+	}
+	if len(s.back) > 0 {
+		return s.back[0].ts, true
+	}
+	return 0, false
+}
+
+// NewestTS returns the timestamp at the back of the window.
+func (s *Sliding) NewestTS() (int64, bool) {
+	if n := len(s.back); n > 0 {
+		return s.back[n-1].ts, true
+	}
+	if len(s.front) > 0 {
+		return s.front[0].ts, true
+	}
+	return 0, false
+}
+
+// Aggregate returns the combined State over the whole window.
+func (s *Sliding) Aggregate() State {
+	out := NewState(s.fn)
+	if n := len(s.front); n > 0 {
+		out.Merge(s.front[n-1].acc)
+	}
+	if n := len(s.back); n > 0 {
+		out.Merge(s.back[n-1].acc)
+	}
+	return out
+}
+
+// Value returns the aggregate value over the window.
+func (s *Sliding) Value() float64 {
+	st := s.Aggregate()
+	return st.Value()
+}
+
+// Count returns the number of aggregated values (== Len).
+func (s *Sliding) Count() int64 { return int64(s.Len()) }
+
+// Reset empties the window.
+func (s *Sliding) Reset() {
+	s.front = s.front[:0]
+	s.back = s.back[:0]
+}

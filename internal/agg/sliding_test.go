@@ -1,0 +1,153 @@
+package agg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSlidingEmpty(t *testing.T) {
+	s := NewSliding(Max)
+	if s.Len() != 0 || s.Count() != 0 {
+		t.Fatal("fresh sliding not empty")
+	}
+	if !math.IsNaN(s.Value()) {
+		t.Fatalf("empty max = %g, want NaN", s.Value())
+	}
+	if _, ok := s.OldestTS(); ok {
+		t.Fatal("OldestTS on empty")
+	}
+	if _, ok := s.NewestTS(); ok {
+		t.Fatal("NewestTS on empty")
+	}
+	if s.PopBefore(100) != 0 {
+		t.Fatal("pop on empty removed entries")
+	}
+}
+
+func TestSlidingBasicWindow(t *testing.T) {
+	s := NewSliding(Max)
+	for i, v := range []float64{3, 9, 2, 7} {
+		s.Push(int64(i), v)
+	}
+	if got := s.Value(); got != 9 {
+		t.Fatalf("max = %g", got)
+	}
+	if ts, _ := s.OldestTS(); ts != 0 {
+		t.Fatalf("oldest = %d", ts)
+	}
+	if ts, _ := s.NewestTS(); ts != 3 {
+		t.Fatalf("newest = %d", ts)
+	}
+	// Slide past the 9.
+	if got := s.PopBefore(2); got != 2 {
+		t.Fatalf("popped %d", got)
+	}
+	if got := s.Value(); got != 7 {
+		t.Fatalf("max after slide = %g", got)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestSlidingMinSum(t *testing.T) {
+	mn, sum := NewSliding(Min), NewSliding(Sum)
+	for i, v := range []float64{5, 1, 8} {
+		mn.Push(int64(i), v)
+		sum.Push(int64(i), v)
+	}
+	if mn.Value() != 1 || sum.Value() != 14 {
+		t.Fatalf("min=%g sum=%g", mn.Value(), sum.Value())
+	}
+	mn.PopBefore(2)
+	sum.PopBefore(2)
+	if mn.Value() != 8 || sum.Value() != 8 {
+		t.Fatalf("after pop: min=%g sum=%g", mn.Value(), sum.Value())
+	}
+}
+
+func TestSlidingDuplicateTimestamps(t *testing.T) {
+	s := NewSliding(Count)
+	s.Push(5, 1)
+	s.Push(5, 1)
+	s.Push(5, 1)
+	if s.Value() != 3 {
+		t.Fatalf("count = %g", s.Value())
+	}
+	if got := s.PopBefore(5); got != 0 {
+		t.Fatalf("popped %d at equal bound", got)
+	}
+	if got := s.PopBefore(6); got != 3 {
+		t.Fatalf("popped %d", got)
+	}
+}
+
+// TestQuickSlidingMatchesNaive property-tests a random push/pop sequence
+// against a naive window recomputation, across every operator.
+func TestQuickSlidingMatchesNaive(t *testing.T) {
+	type op struct {
+		Push  bool
+		Delta uint8
+		Val   int8
+	}
+	f := func(seed int64, ops []op) bool {
+		rng := rand.New(rand.NewSource(seed))
+		_ = rng
+		for _, fn := range []Func{Sum, Count, Avg, Min, Max} {
+			s := NewSliding(fn)
+			type ent struct {
+				ts  int64
+				val float64
+			}
+			var model []ent
+			ts := int64(0)
+			bound := int64(-1 << 40)
+			for _, o := range ops {
+				if o.Push {
+					ts += int64(o.Delta)
+					v := float64(o.Val)
+					s.Push(ts, v)
+					model = append(model, ent{ts, v})
+				} else {
+					bound += int64(o.Delta) * 3
+					if bound > ts+1 {
+						bound = ts + 1
+					}
+					s.PopBefore(bound)
+					keep := model[:0]
+					for _, e := range model {
+						if e.ts >= bound {
+							keep = append(keep, e)
+						}
+					}
+					model = keep
+				}
+				// Compare against naive recomputation.
+				naive := NewState(fn)
+				for _, e := range model {
+					naive.Add(e.val)
+				}
+				if s.Len() != len(model) {
+					return false
+				}
+				sv, nv := s.Value(), naive.Value()
+				if math.IsNaN(sv) != math.IsNaN(nv) {
+					return false
+				}
+				if !math.IsNaN(sv) && math.Abs(sv-nv) > 1e-9*(1+math.Abs(nv)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+// Package cachesim is a set-associative LRU cache model standing in for
+// the hardware LLC-miss counters of Figs. 8b and 13d (see DESIGN.md,
+// substitutions). The paper uses LLC misses only to explain a throughput
+// trend — many unique keys spread the buffer working set until it no
+// longer fits in the last-level cache — and the model reproduces exactly
+// that relationship when fed the buffer-access trace of a join run.
+package cachesim
+
+import "fmt"
+
+// Config shapes the simulated cache. The defaults model the paper's Xeon
+// Gold 6252 LLC: 35.75 MB, 11-way set associative, 64-byte lines.
+type Config struct {
+	SizeBytes int // total capacity
+	Ways      int // associativity
+	LineBytes int // cache-line size
+}
+
+// XeonGold6252 returns the evaluation machine's LLC geometry (Table III).
+func XeonGold6252() Config {
+	return Config{SizeBytes: 35_750_000, Ways: 11, LineBytes: 64}
+}
+
+// WithDefaults fills unset fields with the Xeon geometry.
+func (c Config) WithDefaults() Config {
+	d := XeonGold6252()
+	if c.SizeBytes <= 0 {
+		c.SizeBytes = d.SizeBytes
+	}
+	if c.Ways <= 0 {
+		c.Ways = d.Ways
+	}
+	if c.LineBytes <= 0 {
+		c.LineBytes = d.LineBytes
+	}
+	return c
+}
+
+// Cache simulates one set-associative LRU cache. It is not safe for
+// concurrent use; traces are replayed single-threaded.
+type Cache struct {
+	cfg   Config
+	sets  int
+	tags  []uint64 // sets × ways; 0 = empty
+	stamp []uint64 // LRU timestamps, parallel to tags
+	clock uint64
+
+	hits, misses uint64
+}
+
+// New builds a cache; it panics on a geometry that yields no sets.
+func New(cfg Config) *Cache {
+	cfg = cfg.WithDefaults()
+	sets := cfg.SizeBytes / (cfg.Ways * cfg.LineBytes)
+	if sets < 1 {
+		panic(fmt.Sprintf("cachesim: geometry %+v has no sets", cfg))
+	}
+	return &Cache{
+		cfg:   cfg,
+		sets:  sets,
+		tags:  make([]uint64, sets*cfg.Ways),
+		stamp: make([]uint64, sets*cfg.Ways),
+	}
+}
+
+// Access touches one byte address and reports whether it hit.
+func (c *Cache) Access(addr uint64) bool {
+	line := addr / uint64(c.cfg.LineBytes)
+	set := int(line % uint64(c.sets))
+	tag := line/uint64(c.sets) + 1 // +1 so tag 0 means "empty"
+	base := set * c.cfg.Ways
+	c.clock++
+
+	lru, lruStamp := base, c.stamp[base]
+	for i := base; i < base+c.cfg.Ways; i++ {
+		if c.tags[i] == tag {
+			c.stamp[i] = c.clock
+			c.hits++
+			return true
+		}
+		if c.stamp[i] < lruStamp {
+			lru, lruStamp = i, c.stamp[i]
+		}
+	}
+	c.tags[lru] = tag
+	c.stamp[lru] = c.clock
+	c.misses++
+	return false
+}
+
+// AccessRange touches every line in [addr, addr+n) and returns the number
+// of misses (sequential scans touch each line once).
+func (c *Cache) AccessRange(addr uint64, n int) int {
+	misses := 0
+	lb := uint64(c.cfg.LineBytes)
+	for a := addr &^ (lb - 1); a < addr+uint64(n); a += lb {
+		if !c.Access(a) {
+			misses++
+		}
+	}
+	return misses
+}
+
+// Hits returns the hit count so far.
+func (c *Cache) Hits() uint64 { return c.hits }
+
+// Misses returns the miss count so far.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// MissRate returns misses / accesses (0 when nothing was accessed).
+func (c *Cache) MissRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(total)
+}
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.stamp[i] = 0
+	}
+	c.clock, c.hits, c.misses = 0, 0, 0
+}

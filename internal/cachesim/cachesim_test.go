@@ -1,0 +1,166 @@
+package cachesim
+
+import (
+	"testing"
+
+	"oij/internal/window"
+	"oij/internal/workload"
+)
+
+func tiny() Config { return Config{SizeBytes: 64 * 1024, Ways: 4, LineBytes: 64} }
+
+func TestColdMissThenHit(t *testing.T) {
+	c := New(tiny())
+	if c.Access(0x1000) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0x1000) {
+		t.Fatal("warm access missed")
+	}
+	if !c.Access(0x1010) {
+		t.Fatal("same-line access missed")
+	}
+	if c.Hits() != 2 || c.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+	if got := c.MissRate(); got != 1.0/3 {
+		t.Fatalf("miss rate = %g", got)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 4-way set: 5 distinct lines mapping to the same set must evict the
+	// least recently used.
+	cfg := tiny()
+	c := New(cfg)
+	sets := cfg.SizeBytes / (cfg.Ways * cfg.LineBytes)
+	stride := uint64(sets * cfg.LineBytes) // same set, different tags
+	for i := uint64(0); i < 4; i++ {
+		c.Access(i * stride)
+	}
+	c.Access(0) // refresh line 0 so line 1 is LRU
+	c.Access(4 * stride)
+	if !c.Access(0) {
+		t.Fatal("recently used line was evicted")
+	}
+	if c.Access(1 * stride) {
+		t.Fatal("LRU line survived eviction")
+	}
+}
+
+func TestWorkingSetFitsVsSpills(t *testing.T) {
+	cfg := tiny() // 64 KiB
+	// A working set that fits: after warmup, no misses.
+	c := New(cfg)
+	for pass := 0; pass < 3; pass++ {
+		for a := uint64(0); a < 32*1024; a += 64 {
+			c.Access(a)
+		}
+	}
+	if c.Misses() != 32*1024/64 {
+		t.Fatalf("fitting set missed %d times, want warmup-only %d", c.Misses(), 32*1024/64)
+	}
+	// A working set 4x the cache: every pass misses (sequential LRU
+	// thrashing).
+	c2 := New(cfg)
+	for pass := 0; pass < 3; pass++ {
+		for a := uint64(0); a < 256*1024; a += 64 {
+			c2.Access(a)
+		}
+	}
+	if rate := c2.MissRate(); rate < 0.99 {
+		t.Fatalf("thrashing set miss rate = %g", rate)
+	}
+}
+
+func TestAccessRange(t *testing.T) {
+	c := New(tiny())
+	if got := c.AccessRange(0, 256); got != 4 {
+		t.Fatalf("first range pass missed %d lines, want 4", got)
+	}
+	if got := c.AccessRange(0, 256); got != 0 {
+		t.Fatalf("second range pass missed %d lines, want 0", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(tiny())
+	c.Access(0)
+	c.Reset()
+	if c.Hits() != 0 || c.Misses() != 0 {
+		t.Fatal("Reset kept counters")
+	}
+	if c.Access(0) {
+		t.Fatal("Reset kept contents")
+	}
+}
+
+func TestXeonGeometry(t *testing.T) {
+	c := New(Config{})
+	if c.sets <= 0 {
+		t.Fatal("default geometry broken")
+	}
+	g := XeonGold6252()
+	if g.SizeBytes != 35_750_000 || g.Ways != 11 {
+		t.Fatalf("unexpected Xeon geometry %+v", g)
+	}
+}
+
+// TestJoinTraceKeyCountTrend reproduces the qualitative finding of
+// Figs. 8b/13d: with the same tuple volume, spreading the buffer working
+// set over many keys raises LLC misses.
+func TestJoinTraceKeyCountTrend(t *testing.T) {
+	missRate := func(keys int) float64 {
+		wl := workload.Config{
+			Name:      "cache",
+			N:         60_000,
+			EventRate: 1_000_000,
+			Keys:      keys,
+			BaseShare: 0.5,
+			Window:    window.Spec{Pre: 20_000, Fol: 0, Lateness: 1000},
+			Disorder:  1000,
+			Seed:      5,
+		}
+		ts, err := wl.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := New(Config{SizeBytes: 256 * 1024, Ways: 8, LineBytes: 64})
+		misses, accesses := JoinTrace(c, ts, wl.Window, FullScan)
+		if accesses == 0 {
+			t.Fatal("trace produced no accesses")
+		}
+		return float64(misses) / float64(accesses)
+	}
+	few := missRate(4)
+	many := missRate(4096)
+	if many <= few {
+		t.Fatalf("miss rate did not grow with key count: few=%g many=%g", few, many)
+	}
+}
+
+// TestJoinTraceWindowOnlyCheaper: the time-travel access style touches
+// fewer lines than the full scan under large lateness.
+func TestJoinTraceWindowOnlyCheaper(t *testing.T) {
+	wl := workload.Config{
+		Name:      "cache2",
+		N:         40_000,
+		EventRate: 1_000_000,
+		Keys:      16,
+		BaseShare: 0.5,
+		Window:    window.Spec{Pre: 1000, Fol: 0, Lateness: 30_000},
+		Disorder:  30_000,
+		Seed:      6,
+	}
+	ts, err := wl.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := New(Config{SizeBytes: 128 * 1024, Ways: 8, LineBytes: 64})
+	_, fullAcc := JoinTrace(full, ts, wl.Window, FullScan)
+	win := New(Config{SizeBytes: 128 * 1024, Ways: 8, LineBytes: 64})
+	_, winAcc := JoinTrace(win, ts, wl.Window, WindowOnly)
+	if winAcc*2 >= fullAcc {
+		t.Fatalf("window-only accesses (%d) not well below full-scan accesses (%d)", winAcc, fullAcc)
+	}
+}

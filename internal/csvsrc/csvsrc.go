@@ -1,0 +1,184 @@
+// Package csvsrc turns CSV files into tuple streams for the serving tools
+// (cmd/oijsend): it maps named columns to the join key, event timestamp and
+// numeric payload, hashing string keys and parsing several timestamp
+// encodings. This is the "load your real data" path of the repository —
+// the experiments synthesize their streams instead.
+package csvsrc
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"oij/internal/tuple"
+)
+
+// TimeFormat names a supported timestamp encoding.
+type TimeFormat string
+
+// Supported timestamp encodings.
+const (
+	UnixMicro TimeFormat = "unixus" // integer microseconds
+	UnixMilli TimeFormat = "unixms" // integer milliseconds
+	UnixSec   TimeFormat = "unixs"  // integer (or fractional) seconds
+	RFC3339   TimeFormat = "rfc3339"
+)
+
+// Mapping selects and interprets the relevant CSV columns, by header name.
+type Mapping struct {
+	// Key is the join-key column; non-numeric values are FNV-hashed.
+	Key string
+	// Time is the event-timestamp column.
+	Time string
+	// Value is the numeric payload column; empty means payload 0 (pure
+	// counting workloads).
+	Value string
+	// TimeFormat defaults to UnixMicro.
+	TimeFormat TimeFormat
+}
+
+// Record is one parsed CSV row.
+type Record struct {
+	Key tuple.Key
+	TS  tuple.Time
+	Val float64
+}
+
+// Scanner streams Records from one CSV file. The first row must be a
+// header naming the mapped columns.
+type Scanner struct {
+	r       *csv.Reader
+	m       Mapping
+	keyIdx  int
+	timeIdx int
+	valIdx  int // -1 when unmapped
+	line    int
+}
+
+// NewScanner reads the header and resolves the mapping.
+func NewScanner(r io.Reader, m Mapping) (*Scanner, error) {
+	if m.Key == "" || m.Time == "" {
+		return nil, fmt.Errorf("csvsrc: mapping requires Key and Time columns")
+	}
+	if m.TimeFormat == "" {
+		m.TimeFormat = UnixMicro
+	}
+	switch m.TimeFormat {
+	case UnixMicro, UnixMilli, UnixSec, RFC3339:
+	default:
+		return nil, fmt.Errorf("csvsrc: unknown time format %q", m.TimeFormat)
+	}
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("csvsrc: reading header: %w", err)
+	}
+	s := &Scanner{r: cr, m: m, keyIdx: -1, timeIdx: -1, valIdx: -1, line: 1}
+	for i, name := range header {
+		switch name {
+		case m.Key:
+			s.keyIdx = i
+		case m.Time:
+			s.timeIdx = i
+		case m.Value:
+			if m.Value != "" {
+				s.valIdx = i
+			}
+		}
+	}
+	if s.keyIdx < 0 {
+		return nil, fmt.Errorf("csvsrc: key column %q not in header %v", m.Key, header)
+	}
+	if s.timeIdx < 0 {
+		return nil, fmt.Errorf("csvsrc: time column %q not in header %v", m.Time, header)
+	}
+	if m.Value != "" && s.valIdx < 0 {
+		return nil, fmt.Errorf("csvsrc: value column %q not in header %v", m.Value, header)
+	}
+	return s, nil
+}
+
+// Next returns the next record, or io.EOF at end of input.
+func (s *Scanner) Next() (Record, error) {
+	row, err := s.r.Read()
+	if err != nil {
+		return Record{}, err
+	}
+	s.line++
+	var rec Record
+
+	rec.Key = parseKey(row[s.keyIdx])
+	rec.TS, err = s.parseTime(row[s.timeIdx])
+	if err != nil {
+		return Record{}, fmt.Errorf("csvsrc: line %d: %w", s.line, err)
+	}
+	if s.valIdx >= 0 {
+		rec.Val, err = strconv.ParseFloat(row[s.valIdx], 64)
+		if err != nil {
+			return Record{}, fmt.Errorf("csvsrc: line %d: bad value %q", s.line, row[s.valIdx])
+		}
+	}
+	return rec, nil
+}
+
+// parseKey keeps numeric keys verbatim and hashes anything else (FNV-1a),
+// matching the public API's HashString so mixed producers agree.
+func parseKey(s string) tuple.Key {
+	if n, err := strconv.ParseUint(s, 10, 64); err == nil {
+		return tuple.Key(n)
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return tuple.Key(h)
+}
+
+func (s *Scanner) parseTime(v string) (tuple.Time, error) {
+	switch s.m.TimeFormat {
+	case RFC3339:
+		t, err := time.Parse(time.RFC3339, v)
+		if err != nil {
+			return 0, fmt.Errorf("bad RFC3339 timestamp %q", v)
+		}
+		return t.UnixMicro(), nil
+	case UnixSec:
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad unix-seconds timestamp %q", v)
+		}
+		return tuple.Time(f * 1e6), nil
+	default:
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad integer timestamp %q", v)
+		}
+		if s.m.TimeFormat == UnixMilli {
+			n *= 1000
+		}
+		return n, nil
+	}
+}
+
+// ReadAll drains the scanner.
+func (s *Scanner) ReadAll() ([]Record, error) {
+	var out []Record
+	for {
+		rec, err := s.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}

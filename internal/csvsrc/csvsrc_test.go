@@ -1,0 +1,119 @@
+package csvsrc
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestBasicMapping(t *testing.T) {
+	in := "user,ts,amount,ignored\n42,1000,2.5,x\n7,2000,0.5,y\n"
+	s, err := NewScanner(strings.NewReader(in), Mapping{Key: "user", Time: "ts", Value: "amount"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := s.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[0].Key != 42 || recs[0].TS != 1000 || recs[0].Val != 2.5 {
+		t.Fatalf("rec0 = %+v", recs[0])
+	}
+	if recs[1].Key != 7 || recs[1].TS != 2000 || recs[1].Val != 0.5 {
+		t.Fatalf("rec1 = %+v", recs[1])
+	}
+}
+
+func TestStringKeysHashed(t *testing.T) {
+	in := "k,ts\nalice,1\nbob,2\nalice,3\n"
+	s, err := NewScanner(strings.NewReader(in), Mapping{Key: "k", Time: "ts"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := s.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Key != recs[2].Key {
+		t.Fatal("same string key hashed differently")
+	}
+	if recs[0].Key == recs[1].Key {
+		t.Fatal("different string keys collided")
+	}
+	if recs[0].Val != 0 {
+		t.Fatal("unmapped value column not zero")
+	}
+}
+
+func TestTimeFormats(t *testing.T) {
+	cases := []struct {
+		format TimeFormat
+		value  string
+		want   int64
+	}{
+		{UnixMicro, "1500000", 1_500_000},
+		{UnixMilli, "1500", 1_500_000},
+		{UnixSec, "1.5", 1_500_000},
+		{RFC3339, "2023-11-14T22:13:20Z", 1_700_000_000_000_000},
+	}
+	for _, c := range cases {
+		in := "k,ts\n1," + c.value + "\n"
+		s, err := NewScanner(strings.NewReader(in), Mapping{Key: "k", Time: "ts", TimeFormat: c.format})
+		if err != nil {
+			t.Fatalf("%s: %v", c.format, err)
+		}
+		rec, err := s.Next()
+		if err != nil {
+			t.Fatalf("%s: %v", c.format, err)
+		}
+		if rec.TS != c.want {
+			t.Errorf("%s: ts = %d, want %d", c.format, rec.TS, c.want)
+		}
+		if _, err := s.Next(); err != io.EOF {
+			t.Fatalf("%s: want EOF, got %v", c.format, err)
+		}
+	}
+}
+
+func TestMappingErrors(t *testing.T) {
+	header := "k,ts,v\n"
+	cases := map[string]Mapping{
+		"missing key mapping":  {Time: "ts"},
+		"missing time mapping": {Key: "k"},
+		"unknown key column":   {Key: "nope", Time: "ts"},
+		"unknown time column":  {Key: "k", Time: "nope"},
+		"unknown value column": {Key: "k", Time: "ts", Value: "nope"},
+		"unknown time format":  {Key: "k", Time: "ts", TimeFormat: "stardate"},
+	}
+	for name, m := range cases {
+		if _, err := NewScanner(strings.NewReader(header), m); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestRowErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"bad timestamp": "k,ts,v\n1,notatime,2\n",
+		"bad value":     "k,ts,v\n1,100,notanumber\n",
+	} {
+		s, err := NewScanner(strings.NewReader(in), Mapping{Key: "k", Time: "ts", Value: "v"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Next(); err == nil {
+			t.Errorf("%s: row accepted", name)
+		} else if !strings.Contains(err.Error(), "line 2") {
+			t.Errorf("%s: error lacks line number: %v", name, err)
+		}
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	if _, err := NewScanner(strings.NewReader(""), Mapping{Key: "k", Time: "ts"}); err == nil {
+		t.Fatal("headerless input accepted")
+	}
+}

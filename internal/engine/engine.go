@@ -1,0 +1,402 @@
+// Package engine defines the contract shared by every online-interval-join
+// implementation in the repository (Key-OIJ, Scale-OIJ, SplitJoin, the
+// OpenMLDB-style baseline): configuration, the driver-facing lifecycle, the
+// result sink, runtime statistics, and the common joiner plumbing (SPSC
+// transport, in-band watermark control tuples, key hashing), so that
+// measured differences between algorithms come from their join designs and
+// not from incidental framework differences.
+package engine
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oij/internal/agg"
+	"oij/internal/metrics"
+	"oij/internal/queue"
+	"oij/internal/tuple"
+	"oij/internal/watermark"
+	"oij/internal/window"
+)
+
+// EmitMode selects when a base tuple's aggregate is emitted.
+type EmitMode uint8
+
+const (
+	// OnArrival emits the aggregate over currently buffered probes the
+	// moment the base tuple is processed — the online-serving semantics
+	// of OpenMLDB feature extraction (a request is answered now, from
+	// the data present now). Latency excludes event-time completeness
+	// waits; out-of-order probes that arrive after the base tuple do not
+	// retroactively update its result.
+	OnArrival EmitMode = iota
+	// OnWatermark buffers base tuples and emits once the watermark
+	// guarantees the window is complete: the exact event-time semantics
+	// ("100% accuracy") OpenMLDB applications assume. Results are
+	// deterministic regardless of thread interleaving, which the
+	// cross-engine correctness tests rely on.
+	OnWatermark
+)
+
+// String implements fmt.Stringer.
+func (m EmitMode) String() string {
+	if m == OnArrival {
+		return "on-arrival"
+	}
+	return "on-watermark"
+}
+
+// FinalWatermark is the in-band watermark injected by Drain to flush every
+// pending window. It is far below MaxInt64 so ts+FOL arithmetic cannot
+// overflow.
+const FinalWatermark tuple.Time = math.MaxInt64 / 4
+
+// Config configures any engine.
+type Config struct {
+	// Joiners is the number of parallel joiner goroutines.
+	Joiners int
+	// Window is the interval-join window and lateness.
+	Window window.Spec
+	// Agg is the aggregation operator applied per base tuple.
+	Agg agg.Func
+	// Mode selects arrival or watermark emission (see EmitMode).
+	Mode EmitMode
+	// QueueCap is the per-joiner transport ring capacity (default 8192).
+	QueueCap int
+	// WatermarkEvery injects an in-band watermark after this many
+	// ingested tuples (default 256). Watermarks drive eviction in both
+	// modes and finalization in OnWatermark mode.
+	WatermarkEvery int
+	// Instrument enables the lookup/match/other time breakdown and
+	// effectiveness accounting (adds two clock reads per join).
+	Instrument bool
+	// TrackBusy enables live per-joiner busy-time counters for the
+	// utilization trace of Fig. 14.
+	TrackBusy bool
+	// AdaptiveLateness derives the watermark lag from the observed
+	// tardiness distribution instead of Window.Lateness — the paper's
+	// "tunable accuracy without prior knowledge" future-work item.
+	// Tuples later than the online estimate may lose matches; the
+	// quantile tunes that accuracy/buffer-space trade-off.
+	AdaptiveLateness bool
+	// AdaptiveQuantile is the tardiness quantile the estimate covers
+	// (default 0.999).
+	AdaptiveQuantile float64
+}
+
+// WithDefaults fills unset fields.
+func (c Config) WithDefaults() Config {
+	if c.Joiners <= 0 {
+		c.Joiners = 1
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 8192
+	}
+	if c.WatermarkEvery <= 0 {
+		c.WatermarkEvery = 256
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Joiners < 1 {
+		return fmt.Errorf("engine: joiners must be >= 1, got %d", c.Joiners)
+	}
+	return c.Window.Validate()
+}
+
+// Sink receives join results. Emit may be called concurrently from
+// different joiner indexes but never concurrently with the same index, so
+// per-joiner sharded sinks need no locking.
+type Sink interface {
+	Emit(joiner int, r tuple.Result)
+}
+
+// Engine is the driver-facing lifecycle every implementation provides.
+type Engine interface {
+	// Name identifies the algorithm ("key-oij", "scale-oij", ...).
+	Name() string
+	// Start launches the joiner goroutines.
+	Start()
+	// Ingest feeds one tuple in arrival order. Single-threaded: only the
+	// driver goroutine calls it, between Start and Drain.
+	Ingest(t tuple.Tuple)
+	// Drain flushes in-flight work (injecting a final watermark so every
+	// pending window closes), stops the joiners, and waits for them.
+	Drain()
+	// Heartbeat re-broadcasts the current watermark so joiners
+	// re-evaluate pending windows while the input is idle — long-lived
+	// serving deployments call it periodically; batch replays never
+	// need it. Driver goroutine only, like Ingest.
+	Heartbeat()
+	// Stats returns run statistics. Valid after Drain; the per-joiner
+	// Busy counters are additionally safe to sample live.
+	Stats() *Stats
+}
+
+// Stats aggregates what the experiments measure.
+type Stats struct {
+	// Processed[i] counts data tuples handled by joiner i (the paper's
+	// per-joiner workload W_i).
+	Processed []atomic.Int64
+	// Busy[i] accumulates nanoseconds joiner i spent processing, for
+	// utilization sampling (only maintained with Config.TrackBusy).
+	Busy []atomic.Int64
+	// Breakdown[i] is joiner i's lookup/match/other split (only with
+	// Config.Instrument); owned by joiner i until Drain returns.
+	Breakdown []metrics.Breakdown
+	// Effect[i] is joiner i's effectiveness accumulator (Eq. 1; only
+	// with Config.Instrument).
+	Effect []metrics.Effectiveness
+	// Evicted counts probe tuples expired from buffers.
+	Evicted atomic.Int64
+	// Results counts emitted results.
+	Results atomic.Int64
+	// Extra carries engine-specific counters (reschedules, broadcast
+	// tuples, lock waits); written by the engine before Drain returns.
+	Extra map[string]int64
+}
+
+// NewStats sizes per-joiner slots.
+func NewStats(joiners int) *Stats {
+	return &Stats{
+		Processed: make([]atomic.Int64, joiners),
+		Busy:      make([]atomic.Int64, joiners),
+		Breakdown: make([]metrics.Breakdown, joiners),
+		Effect:    make([]metrics.Effectiveness, joiners),
+		Extra:     map[string]int64{},
+	}
+}
+
+// Loads renders Processed as float64 workloads for Unbalancedness (Eq. 2).
+func (s *Stats) Loads() []float64 {
+	out := make([]float64, len(s.Processed))
+	for i := range s.Processed {
+		out[i] = float64(s.Processed[i].Load())
+	}
+	return out
+}
+
+// TotalProcessed sums Processed across joiners.
+func (s *Stats) TotalProcessed() int64 {
+	var n int64
+	for i := range s.Processed {
+		n += s.Processed[i].Load()
+	}
+	return n
+}
+
+// MergedBreakdown folds the per-joiner breakdowns.
+func (s *Stats) MergedBreakdown() metrics.Breakdown {
+	var b metrics.Breakdown
+	for i := range s.Breakdown {
+		b.Add(s.Breakdown[i])
+	}
+	return b
+}
+
+// MergedEffectiveness folds the per-joiner effectiveness accumulators.
+func (s *Stats) MergedEffectiveness() float64 {
+	var e metrics.Effectiveness
+	for i := range s.Effect {
+		e.Merge(s.Effect[i])
+	}
+	return e.Value()
+}
+
+// watermarkTuple marks in-band control tuples: Side == watermarkSide and TS
+// holds the watermark value.
+const watermarkSide tuple.Side = 255
+
+// WatermarkTuple builds an in-band watermark control tuple.
+func WatermarkTuple(wm tuple.Time) tuple.Tuple {
+	return tuple.Tuple{TS: wm, Side: watermarkSide}
+}
+
+// IsWatermark reports whether t is an in-band watermark.
+func IsWatermark(t tuple.Tuple) bool { return t.Side == watermarkSide }
+
+// Transport owns the driver→joiner rings plus the watermark cadence shared
+// by every engine. Engines embed it and supply a routing decision per
+// tuple.
+type Transport struct {
+	Cfg      Config
+	Rings    []*queue.SPSC[tuple.Tuple]
+	assign   *watermarkAssigner
+	adaptive *watermark.Adaptive
+	wg       sync.WaitGroup
+}
+
+// watermarkAssigner tracks the driver-side max event timestamp.
+type watermarkAssigner struct {
+	maxTS tuple.Time
+	seen  bool
+	count int
+}
+
+// NewTransport builds rings for cfg.Joiners joiners.
+func NewTransport(cfg Config) *Transport {
+	t := &Transport{Cfg: cfg, assign: &watermarkAssigner{}}
+	if cfg.AdaptiveLateness {
+		t.adaptive = watermark.NewAdaptive(cfg.AdaptiveQuantile, 0, 0)
+	}
+	t.Rings = make([]*queue.SPSC[tuple.Tuple], cfg.Joiners)
+	for i := range t.Rings {
+		t.Rings[i] = queue.NewSPSC[tuple.Tuple](cfg.QueueCap)
+	}
+	return t
+}
+
+// Push blocks until the tuple fits in ring i (backpressure).
+func (t *Transport) Push(i int, tp tuple.Tuple) {
+	for !t.Rings[i].TryPush(tp) {
+		runtime.Gosched()
+	}
+}
+
+// Broadcast pushes tp to every ring (watermarks; SplitJoin data tuples).
+func (t *Transport) Broadcast(tp tuple.Tuple) {
+	for i := range t.Rings {
+		t.Push(i, tp)
+	}
+}
+
+// Observe records a data tuple's event timestamp and, every
+// WatermarkEvery tuples, broadcasts the current watermark in-band:
+// maxSeenTS minus the configured lateness, or minus the online tardiness
+// estimate when AdaptiveLateness is set. Driver-side only.
+func (t *Transport) Observe(ts tuple.Time) {
+	a := t.assign
+	var wm tuple.Time
+	if t.adaptive != nil {
+		wm = t.adaptive.Observe(ts)
+	}
+	if !a.seen || ts > a.maxTS {
+		a.maxTS = ts
+		a.seen = true
+	}
+	if t.adaptive == nil {
+		wm = a.maxTS - t.Cfg.Window.Lateness
+	}
+	a.count++
+	if a.count >= t.Cfg.WatermarkEvery {
+		a.count = 0
+		t.Broadcast(WatermarkTuple(wm))
+	}
+}
+
+// Heartbeat re-broadcasts the current watermark (a no-op before any tuple
+// was observed). Driver-side only.
+func (t *Transport) Heartbeat() {
+	if !t.assign.seen {
+		return
+	}
+	if t.adaptive != nil {
+		t.Broadcast(WatermarkTuple(t.adaptive.Current()))
+		return
+	}
+	t.Broadcast(WatermarkTuple(t.assign.maxTS - t.Cfg.Window.Lateness))
+}
+
+// EstimatedLateness reports the adaptive tardiness estimate (0 when
+// adaptive lateness is off).
+func (t *Transport) EstimatedLateness() tuple.Time {
+	if t.adaptive == nil {
+		return 0
+	}
+	return t.adaptive.EstimatedLateness()
+}
+
+// Finish broadcasts the final watermark, closes every ring, and waits for
+// the joiner goroutines registered via Go.
+func (t *Transport) Finish() {
+	t.Broadcast(WatermarkTuple(FinalWatermark))
+	for _, r := range t.Rings {
+		r.Close()
+	}
+	t.wg.Wait()
+}
+
+// JoinerHooks are the callbacks a joiner loop dispatches to. OnTuple
+// receives data tuples, OnWatermark in-band watermarks, and OnDrained (may
+// be nil) runs once after the ring is closed and empty — engines that need
+// cross-joiner synchronization to flush their last pending windows do it
+// there. If Busy is non-nil the loop accumulates processing time into it.
+type JoinerHooks struct {
+	OnTuple     func(tuple.Tuple)
+	OnWatermark func(tuple.Time)
+	OnDrained   func()
+	Busy        *atomic.Int64
+}
+
+// Go launches a joiner loop on ring i.
+func (t *Transport) Go(i int, h JoinerHooks) {
+	t.wg.Add(1)
+	ring := t.Rings[i]
+	go func() {
+		defer t.wg.Done()
+		batch := make([]tuple.Tuple, 64)
+		for {
+			n := ring.PopBatch(batch)
+			if n == 0 {
+				if ring.Closed() && ring.Len() == 0 {
+					if h.OnDrained != nil {
+						h.OnDrained()
+					}
+					return
+				}
+				runtime.Gosched()
+				continue
+			}
+			var start time.Time
+			if h.Busy != nil {
+				start = time.Now()
+			}
+			for _, tp := range batch[:n] {
+				if IsWatermark(tp) {
+					h.OnWatermark(tp.TS)
+				} else {
+					h.OnTuple(tp)
+				}
+			}
+			if h.Busy != nil {
+				h.Busy.Add(int64(time.Since(start)))
+			}
+		}
+	}()
+}
+
+// HashKey mixes a join key into a well-distributed 64-bit hash
+// (splitmix64 finalizer), so partitioning does not depend on key encoding.
+func HashKey(k tuple.Key) uint64 {
+	x := uint64(k) + 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// FillOther completes the per-joiner breakdowns after a drained
+// instrumented run: the "other" category is the joiner's total busy time
+// minus the measured lookup and match portions.
+func FillOther(s *Stats) {
+	for i := range s.Breakdown {
+		other := time.Duration(s.Busy[i].Load()) - s.Breakdown[i].Lookup - s.Breakdown[i].Match
+		if other < 0 {
+			other = 0
+		}
+		s.Breakdown[i].Other = other
+	}
+}
+
+// TSVal is a (timestamp, value) scratch pair engines collect during
+// instrumented two-pass joins, so timestamped aggregations (last/first)
+// stay exact under instrumentation.
+type TSVal struct {
+	TS  tuple.Time
+	Val float64
+}

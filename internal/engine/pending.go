@@ -1,0 +1,69 @@
+package engine
+
+import (
+	"oij/internal/tuple"
+)
+
+// PendingHeap is a binary min-heap of base tuples ordered by event
+// timestamp, used in OnWatermark mode to hold base tuples whose windows are
+// not yet complete. It is joiner-private, so it needs no locking. A hand
+// specialized heap (rather than container/heap) avoids the interface
+// boxing on the hot path.
+type PendingHeap struct {
+	items []tuple.Tuple
+}
+
+// Len returns the number of pending base tuples.
+func (h *PendingHeap) Len() int { return len(h.items) }
+
+// Push adds a base tuple.
+func (h *PendingHeap) Push(t tuple.Tuple) {
+	h.items = append(h.items, t)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].TS <= h.items[i].TS {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+// Min returns the earliest pending base tuple without removing it.
+func (h *PendingHeap) Min() (tuple.Tuple, bool) {
+	if len(h.items) == 0 {
+		return tuple.Tuple{}, false
+	}
+	return h.items[0], true
+}
+
+// PopIfBefore removes and returns the earliest pending base tuple if its
+// timestamp is strictly below bound.
+func (h *PendingHeap) PopIfBefore(bound tuple.Time) (tuple.Tuple, bool) {
+	if len(h.items) == 0 || h.items[0].TS >= bound {
+		return tuple.Tuple{}, false
+	}
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.items) && h.items[l].TS < h.items[smallest].TS {
+			smallest = l
+		}
+		if r < len(h.items) && h.items[r].TS < h.items[smallest].TS {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+	return top, true
+}

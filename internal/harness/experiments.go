@@ -1,0 +1,584 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"oij/internal/agg"
+	"oij/internal/cachesim"
+	"oij/internal/metrics"
+	"oij/internal/tuple"
+	"oij/internal/workload"
+)
+
+// ExpOptions tunes experiment scale. The defaults keep a full `-exp all`
+// run tractable on a laptop; raise N and Threads to approach the paper's
+// scale.
+type ExpOptions struct {
+	// N is the tuple count per run (default 200_000).
+	N int
+	// Threads is the joiner sweep for scalability figures
+	// (default 1,2,4,8,16).
+	Threads []int
+	// LatencyThreads is the joiner count for latency CDFs (default 16,
+	// as in Fig. 5).
+	LatencyThreads int
+}
+
+// WithDefaults fills unset fields.
+func (o ExpOptions) WithDefaults() ExpOptions {
+	if o.N <= 0 {
+		o.N = 200_000
+	}
+	if len(o.Threads) == 0 {
+		o.Threads = []int{1, 2, 4, 8, 16}
+	}
+	if o.LatencyThreads <= 0 {
+		o.LatencyThreads = 16
+	}
+	return o
+}
+
+// Experiment regenerates one table or figure of the paper.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(w io.Writer, o ExpOptions) error
+}
+
+// Experiments returns the registry in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"table2", "Table II: real-world workload characteristics", expTable2},
+		{"table4", "Table IV: default synthetic workload", expTable4},
+		{"table5", "Table V: Key-OIJ-favouring synthetic workload", expTable5},
+		{"fig4", "Fig. 4: Key-OIJ scalability under Workloads A-D", expFig4},
+		{"fig5", "Fig. 5: Key-OIJ latency CDF under Workloads A-D (16 joiners)", expFig5},
+		{"fig6", "Fig. 6: Key-OIJ time breakdown under Workloads A-D", expFig6},
+		{"fig7", "Fig. 7: lateness effect on Key-OIJ (throughput + effectiveness)", expFig7},
+		{"fig8", "Fig. 8: key-count effect on Key-OIJ (throughput, unbalancedness, LLC misses)", expFig8},
+		{"fig9", "Fig. 9: window-size effect on Key-OIJ", expFig9},
+		{"fig11", "Fig. 11: lateness — Key-OIJ vs Scale-OIJ (time-travel index)", expFig11},
+		{"fig13a", "Fig. 13a: scalability under 5 keys — Key-OIJ vs Scale-OIJ", expFig13a},
+		{"fig13b", "Fig. 13b: throughput vs number of unique keys", expFig13b},
+		{"fig13c", "Fig. 13c: unbalancedness vs number of unique keys", expFig13c},
+		{"fig13d", "Fig. 13d: LLC misses vs number of unique keys (simulated)", expFig13d},
+		{"fig14", "Fig. 14: per-joiner CPU utilization under rotating hot keys", expFig14},
+		{"fig16", "Fig. 16: incremental interval join vs window size", expFig16},
+		{"fig17", "Fig. 17: Workload A — throughput scalability + latency CDF", expWorkloadFig("A")},
+		{"fig18", "Fig. 18: Workload B — throughput scalability + latency CDF", expWorkloadFig("B")},
+		{"fig19", "Fig. 19: Workload C — throughput scalability + latency CDF", expWorkloadFig("C")},
+		{"fig20", "Fig. 20: Workload D — throughput scalability + latency CDF", expWorkloadFig("D")},
+		{"fig21", "Fig. 21: Key-OIJ-favouring synthetic workload (Table V)", expFig21},
+		{"fig22", "Fig. 22: throughput vs the OpenMLDB baseline, Workloads A-D", expFig22},
+		{"fig23", "Fig. 23: latency vs the OpenMLDB baseline, Workloads A-D", expFig23},
+	}
+}
+
+// AllExperiments returns the paper figures plus the future-work extension
+// experiments (see extensions.go).
+func AllExperiments() []Experiment {
+	return append(Experiments(), ExtensionExperiments()...)
+}
+
+// FindExperiment returns the experiment with the given ID.
+func FindExperiment(id string) (Experiment, bool) {
+	for _, e := range AllExperiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// realWorkloads returns the Table II presets at size n.
+func realWorkloads(n int) []workload.Config {
+	return []workload.Config{workload.A(n), workload.B(n), workload.C(n), workload.D(n)}
+}
+
+func newTab(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+func fmtTput(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM/s", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fK/s", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f/s", v)
+	}
+}
+
+func fmtDur(us tuple.Time) string {
+	switch {
+	case us >= 1_000_000 && us%1_000_000 == 0:
+		return fmt.Sprintf("%ds", us/1_000_000)
+	case us >= 1_000 && us%1_000 == 0:
+		return fmt.Sprintf("%dms", us/1_000)
+	default:
+		return fmt.Sprintf("%dus", us)
+	}
+}
+
+// ---- Tables ----
+
+func expTable2(w io.Writer, o ExpOptions) error {
+	o = o.WithDefaults()
+	tw := newTab(w)
+	fmt.Fprintln(tw, "workload\tarrival rate\tkeys u\twindow |w|\tlateness l\tmatches/window\tlateness elems/key")
+	for _, c := range realWorkloads(o.N) {
+		rate := "unpaced"
+		if c.ArrivalRate > 0 {
+			rate = fmtTput(c.ArrivalRate)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%s\t%.0f\t%.0f\n",
+			c.Name, rate, c.Keys, fmtDur(c.Window.Len()), fmtDur(c.Window.Lateness),
+			c.MatchesPerWindow(), c.LatenessElements())
+	}
+	return tw.Flush()
+}
+
+func printSynthetic(w io.Writer, c workload.Config, joiners int) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "parameter\tvalue")
+	fmt.Fprintf(tw, "key number u\t%d\n", c.Keys)
+	fmt.Fprintf(tw, "window size |w|\t%s\n", fmtDur(c.Window.Len()))
+	fmt.Fprintf(tw, "lateness l\t%s\n", fmtDur(c.Window.Lateness))
+	fmt.Fprintf(tw, "joiner threads\t%d\n", joiners)
+	fmt.Fprintf(tw, "event rate\t%s\n", fmtTput(c.EventRate))
+	return tw.Flush()
+}
+
+func expTable4(w io.Writer, o ExpOptions) error {
+	o = o.WithDefaults()
+	return printSynthetic(w, workload.DefaultSynthetic(o.N), 16)
+}
+
+func expTable5(w io.Writer, o ExpOptions) error {
+	o = o.WithDefaults()
+	return printSynthetic(w, workload.TableV(o.N), 16)
+}
+
+// ---- Scalability sweeps ----
+
+// sweepThreads runs each engine across the thread sweep on one workload
+// and prints a throughput matrix.
+func sweepThreads(w io.Writer, wl workload.Config, engines []string, threads []int) error {
+	tuples, err := wl.Generate()
+	if err != nil {
+		return err
+	}
+	tw := newTab(w)
+	fmt.Fprint(tw, "joiners")
+	for _, e := range engines {
+		fmt.Fprintf(tw, "\t%s", e)
+	}
+	fmt.Fprintln(tw)
+	for _, j := range threads {
+		fmt.Fprintf(tw, "%d", j)
+		for _, e := range engines {
+			res, err := Run(RunConfig{Engine: e, Workload: wl, Tuples: tuples, Joiners: j, Agg: agg.Sum})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(tw, "\t%s", fmtTput(res.Throughput))
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+func expFig4(w io.Writer, o ExpOptions) error {
+	o = o.WithDefaults()
+	for _, wl := range realWorkloads(o.N) {
+		fmt.Fprintf(w, "\nWorkload %s (u=%d): Key-OIJ throughput vs joiners\n", wl.Name, wl.Keys)
+		if err := sweepThreads(w, wl, []string{KeyOIJ}, o.Threads); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// latencyCDF runs one engine paced and prints quantiles.
+var cdfQuantiles = []float64{0.50, 0.80, 0.90, 0.95, 0.99, 0.999}
+
+func printCDF(tw *tabwriter.Writer, label string, cdf metrics.CDF) {
+	fmt.Fprintf(tw, "%s", label)
+	for _, q := range cdfQuantiles {
+		fmt.Fprintf(tw, "\t%v", cdf.Quantile(q).Round(10*time.Microsecond))
+	}
+	fmt.Fprintf(tw, "\t%.1f%%\n", cdf.FractionBelow(20*time.Millisecond)*100)
+}
+
+func cdfHeader(tw *tabwriter.Writer, first string) {
+	fmt.Fprint(tw, first)
+	for _, q := range cdfQuantiles {
+		fmt.Fprintf(tw, "\tp%g", q*100)
+	}
+	fmt.Fprintln(tw, "\t<20ms")
+}
+
+func expFig5(w io.Writer, o ExpOptions) error {
+	o = o.WithDefaults()
+	tw := newTab(w)
+	cdfHeader(tw, "workload")
+	for _, wl := range realWorkloads(o.N) {
+		res, err := Run(RunConfig{
+			Engine: KeyOIJ, Workload: wl, Joiners: o.LatencyThreads,
+			Agg: agg.Sum, Paced: true, MeasureLatency: true,
+		})
+		if err != nil {
+			return err
+		}
+		printCDF(tw, wl.Name, res.CDF)
+	}
+	return tw.Flush()
+}
+
+func expFig6(w io.Writer, o ExpOptions) error {
+	o = o.WithDefaults()
+	tw := newTab(w)
+	fmt.Fprintln(tw, "workload\tlookup\tmatch\tother")
+	for _, wl := range realWorkloads(o.N) {
+		res, err := Run(RunConfig{
+			Engine: KeyOIJ, Workload: wl, Joiners: o.LatencyThreads,
+			Agg: agg.Sum, Instrument: true,
+		})
+		if err != nil {
+			return err
+		}
+		l, m, oth := res.Breakdown.Fractions()
+		fmt.Fprintf(tw, "%s\t%.1f%%\t%.1f%%\t%.1f%%\n", wl.Name, l*100, m*100, oth*100)
+	}
+	return tw.Flush()
+}
+
+// latenessSweep are the Fig. 7/11 x-axis values (µs). The top value stays
+// well below the default run's event-time span (N/EventRate) so the
+// steady-state buffer population — not warmup — dominates the measurement.
+var latenessSweep = []tuple.Time{100, 1_000, 5_000, 10_000, 20_000, 50_000, 100_000}
+
+func expFig7(w io.Writer, o ExpOptions) error {
+	o = o.WithDefaults()
+	tw := newTab(w)
+	fmt.Fprintln(tw, "lateness\tthroughput\teffectiveness")
+	for _, l := range latenessSweep {
+		wl := workload.DefaultSynthetic(o.N)
+		wl.Window.Lateness = l
+		wl.Disorder = l
+		res, err := Run(RunConfig{Engine: KeyOIJ, Workload: wl, Joiners: o.LatencyThreads, Agg: agg.Sum, Instrument: true})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.3f\n", fmtDur(l), fmtTput(res.Throughput), res.Effectiveness)
+	}
+	return tw.Flush()
+}
+
+// keySweep are the Fig. 8/13 x-axis values.
+var keySweep = []int{1, 10, 100, 1_000, 10_000, 100_000}
+
+func expFig8(w io.Writer, o ExpOptions) error {
+	o = o.WithDefaults()
+	tw := newTab(w)
+	fmt.Fprintln(tw, "keys u\tthroughput\tunbalancedness\tLLC misses/tuple (sim)")
+	for _, u := range keySweep {
+		wl := workload.DefaultSynthetic(o.N)
+		wl.Keys = u
+		res, err := Run(RunConfig{Engine: KeyOIJ, Workload: wl, Joiners: o.LatencyThreads, Agg: agg.Sum})
+		if err != nil {
+			return err
+		}
+		miss, err := simulateLLC(wl, cachesim.FullScan)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%.3f\t%.2f\n", u, fmtTput(res.Throughput), res.Unbalancedness, miss)
+	}
+	return tw.Flush()
+}
+
+// windowSweep are the Fig. 9/16 x-axis values (µs), likewise capped below
+// the run's event-time span so windows actually fill.
+var windowSweep = []tuple.Time{100, 1_000, 10_000, 25_000, 50_000}
+
+func expFig9(w io.Writer, o ExpOptions) error {
+	o = o.WithDefaults()
+	tw := newTab(w)
+	fmt.Fprintln(tw, "window |w|\tthroughput")
+	for _, wsz := range windowSweep {
+		wl := workload.DefaultSynthetic(o.N)
+		wl.Window.Pre = wsz
+		res, err := Run(RunConfig{Engine: KeyOIJ, Workload: wl, Joiners: o.LatencyThreads, Agg: agg.Sum})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\t%s\n", fmtDur(wsz), fmtTput(res.Throughput))
+	}
+	return tw.Flush()
+}
+
+func expFig11(w io.Writer, o ExpOptions) error {
+	o = o.WithDefaults()
+	tw := newTab(w)
+	fmt.Fprintln(tw, "lateness\tkey-oij\tscale-oij")
+	for _, l := range latenessSweep {
+		wl := workload.DefaultSynthetic(o.N)
+		wl.Window.Lateness = l
+		wl.Disorder = l
+		row := fmt.Sprintf("%s", fmtDur(l))
+		for _, e := range []string{KeyOIJ, ScaleOIJ} {
+			res, err := Run(RunConfig{Engine: e, Workload: wl, Joiners: o.LatencyThreads, Agg: agg.Sum})
+			if err != nil {
+				return err
+			}
+			row += fmt.Sprintf("\t%s", fmtTput(res.Throughput))
+		}
+		fmt.Fprintln(tw, row)
+	}
+	return tw.Flush()
+}
+
+func expFig13a(w io.Writer, o ExpOptions) error {
+	o = o.WithDefaults()
+	wl := workload.DefaultSynthetic(o.N)
+	wl.Keys = 5
+	tuples, err := wl.Generate()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "5-key synthetic workload (unbalancedness in parentheses; with 5")
+	fmt.Fprintln(w, "keys Key-OIJ can use at most 5 joiners, Scale-OIJ rebalances)")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "joiners\tkey-oij\tscale-oij")
+	for _, j := range o.Threads {
+		fmt.Fprintf(tw, "%d", j)
+		for _, e := range []string{KeyOIJ, ScaleOIJ} {
+			res, err := Run(RunConfig{Engine: e, Workload: wl, Tuples: tuples, Joiners: j, Agg: agg.Sum})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(tw, "\t%s (unb %.2f)", fmtTput(res.Throughput), res.Unbalancedness)
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+func keySweepMetric(w io.Writer, o ExpOptions, header string, metric func(RunResult) string) error {
+	tw := newTab(w)
+	fmt.Fprintf(tw, "keys u\tkey-oij\tscale-oij\n")
+	for _, u := range keySweep {
+		wl := workload.DefaultSynthetic(o.N)
+		wl.Keys = u
+		fmt.Fprintf(tw, "%d", u)
+		for _, e := range []string{KeyOIJ, ScaleOIJ} {
+			res, err := Run(RunConfig{Engine: e, Workload: wl, Joiners: o.LatencyThreads, Agg: agg.Sum})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(tw, "\t%s", metric(res))
+		}
+		fmt.Fprintln(tw)
+	}
+	_ = header
+	return tw.Flush()
+}
+
+func expFig13b(w io.Writer, o ExpOptions) error {
+	o = o.WithDefaults()
+	return keySweepMetric(w, o, "throughput", func(r RunResult) string { return fmtTput(r.Throughput) })
+}
+
+func expFig13c(w io.Writer, o ExpOptions) error {
+	o = o.WithDefaults()
+	return keySweepMetric(w, o, "unbalancedness", func(r RunResult) string { return fmt.Sprintf("%.3f", r.Unbalancedness) })
+}
+
+func expFig13d(w io.Writer, o ExpOptions) error {
+	o = o.WithDefaults()
+	tw := newTab(w)
+	fmt.Fprintln(tw, "keys u\tkey-oij misses/tuple (full scan)\tscale-oij misses/tuple (window only)")
+	for _, u := range keySweep {
+		wl := workload.DefaultSynthetic(o.N)
+		wl.Keys = u
+		full, err := simulateLLC(wl, cachesim.FullScan)
+		if err != nil {
+			return err
+		}
+		win, err := simulateLLC(wl, cachesim.WindowOnly)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%d\t%.2f\t%.2f\n", u, full, win)
+	}
+	return tw.Flush()
+}
+
+// simulateLLC replays the workload's buffer-access trace through the LLC
+// model and returns misses per input tuple — the paper's Figs. 8b/13d plot
+// absolute LLC misses, and a rate would mislead here (the window-only
+// style makes far fewer accesses, so its *rate* can exceed the full scan's
+// while its miss count is far lower).
+func simulateLLC(wl workload.Config, style cachesim.AccessStyle) (float64, error) {
+	tuples, err := wl.Generate()
+	if err != nil {
+		return 0, err
+	}
+	// Each joiner thread effectively owns its per-core share of the LLC
+	// under all-cores contention, so the trace is replayed against
+	// size/cores of the Table III cache.
+	geo := cachesim.XeonGold6252()
+	geo.SizeBytes /= 24
+	c := cachesim.New(geo)
+	misses, _ := cachesim.JoinTrace(c, tuples, wl.Window, style)
+	return float64(misses) / float64(len(tuples)), nil
+}
+
+func expFig14(w io.Writer, o ExpOptions) error {
+	o = o.WithDefaults()
+	// Pace both engines at the same offered load so per-joiner busy time
+	// reflects scheduling rather than raw speed, and run long enough for
+	// several hot-set rotations to land in distinct epochs.
+	wl := workload.Skewed(o.N * 3)
+	// Pace so one hot-set rotation (100 ms of event time) spans many
+	// 50 ms sampling epochs; a faster replay would alias rotations into
+	// single epochs and wash out the per-epoch imbalance signal.
+	wl.ArrivalRate = 100_000
+	tw := newTab(w)
+	fmt.Fprintln(tw, "engine\tper-epoch imbalance\ttemporal smoothness\treschedules")
+	for _, e := range []string{KeyOIJ, ScaleOIJ} {
+		res, err := Run(RunConfig{
+			Engine: e, Workload: wl, Joiners: o.LatencyThreads, Agg: agg.Sum,
+			Paced: true, UtilEpoch: 50 * time.Millisecond,
+		})
+		if err != nil {
+			return err
+		}
+		var imb, smooth float64
+		if res.Utilization != nil {
+			imb = res.Utilization.Imbalance()
+			smooth = res.Utilization.Smoothness()
+		}
+		fmt.Fprintf(tw, "%s\t%.4f\t%.4f\t%d\n", e, imb, smooth, res.Extra["reschedules"])
+	}
+	return tw.Flush()
+}
+
+func expFig16(w io.Writer, o ExpOptions) error {
+	o = o.WithDefaults()
+	tw := newTab(w)
+	fmt.Fprintln(tw, "window |w|\tkey-oij\tscale-oij w/o inc\tscale-oij w/ inc")
+	for _, wsz := range windowSweep {
+		wl := workload.DefaultSynthetic(o.N)
+		wl.Window.Pre = wsz
+		fmt.Fprintf(tw, "%s", fmtDur(wsz))
+		for _, e := range []string{KeyOIJ, ScaleOIJNoInc, ScaleOIJ} {
+			res, err := Run(RunConfig{Engine: e, Workload: wl, Joiners: o.LatencyThreads, Agg: agg.Sum})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(tw, "\t%s", fmtTput(res.Throughput))
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// expWorkloadFig builds the Fig. 17-20 experiment for one real workload:
+// throughput scalability across engines plus latency CDFs at the latency
+// thread count.
+func expWorkloadFig(name string) func(io.Writer, ExpOptions) error {
+	return func(w io.Writer, o ExpOptions) error {
+		o = o.WithDefaults()
+		var wl workload.Config
+		switch name {
+		case "A":
+			wl = workload.A(o.N)
+		case "B":
+			wl = workload.B(o.N)
+		case "C":
+			wl = workload.C(o.N)
+		default:
+			wl = workload.D(o.N)
+		}
+		engines := []string{KeyOIJ, ScaleOIJNoInc, ScaleOIJ, SplitJoin}
+		fmt.Fprintf(w, "Workload %s: throughput vs joiners\n", name)
+		if err := sweepThreads(w, wl, engines, o.Threads); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nWorkload %s: latency CDF (%d joiners)\n", name, o.LatencyThreads)
+		tw := newTab(w)
+		cdfHeader(tw, "engine")
+		for _, e := range engines {
+			res, err := Run(RunConfig{
+				Engine: e, Workload: wl, Joiners: o.LatencyThreads,
+				Agg: agg.Sum, Paced: true, MeasureLatency: true,
+			})
+			if err != nil {
+				return err
+			}
+			printCDF(tw, e, res.CDF)
+		}
+		return tw.Flush()
+	}
+}
+
+func expFig21(w io.Writer, o ExpOptions) error {
+	o = o.WithDefaults()
+	wl := workload.TableV(o.N)
+	fmt.Fprintln(w, "Table V synthetic workload: throughput vs joiners")
+	return sweepThreads(w, wl, []string{KeyOIJ, ScaleOIJ, SplitJoin}, o.Threads)
+}
+
+func expFig22(w io.Writer, o ExpOptions) error {
+	o = o.WithDefaults()
+	tw := newTab(w)
+	fmt.Fprintln(tw, "workload\topenmldb\tscale-oij\tspeedup")
+	for _, wl := range realWorkloads(o.N) {
+		var tput [2]float64
+		for i, e := range []string{OpenMLDB, ScaleOIJ} {
+			res, err := Run(RunConfig{Engine: e, Workload: wl, Joiners: o.LatencyThreads, Agg: agg.Sum})
+			if err != nil {
+				return err
+			}
+			tput[i] = res.Throughput
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.1fx\n", wl.Name, fmtTput(tput[0]), fmtTput(tput[1]), tput[1]/tput[0])
+	}
+	return tw.Flush()
+}
+
+func expFig23(w io.Writer, o ExpOptions) error {
+	o = o.WithDefaults()
+	tw := newTab(w)
+	cdfHeader(tw, "workload/engine")
+	for _, wl := range realWorkloads(o.N) {
+		for _, e := range []string{OpenMLDB, ScaleOIJ} {
+			res, err := Run(RunConfig{
+				Engine: e, Workload: wl, Joiners: o.LatencyThreads,
+				Agg: agg.Sum, Paced: true, MeasureLatency: true,
+			})
+			if err != nil {
+				return err
+			}
+			printCDF(tw, wl.Name+"/"+e, res.CDF)
+		}
+	}
+	return tw.Flush()
+}
+
+// ExperimentIDs returns all registered IDs, sorted.
+func ExperimentIDs() []string {
+	var ids []string
+	for _, e := range AllExperiments() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}

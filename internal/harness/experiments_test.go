@@ -1,0 +1,63 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistry(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range AllExperiments() {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("malformed experiment %+v", e)
+		}
+		if ids[e.ID] {
+			t.Fatalf("duplicate experiment id %q", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	// Every table and figure from the paper's evaluation is present.
+	for _, want := range []string{
+		"table2", "table4", "table5",
+		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig11",
+		"fig13a", "fig13b", "fig13c", "fig13d", "fig14", "fig16",
+		"fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23",
+		"ext-noninv", "ext-adaptive", "ext-numa",
+	} {
+		if !ids[want] {
+			t.Errorf("experiment %q missing from registry", want)
+		}
+	}
+	if _, ok := FindExperiment("fig16"); !ok {
+		t.Error("FindExperiment(fig16) failed")
+	}
+	if _, ok := FindExperiment("fig99"); ok {
+		t.Error("FindExperiment(fig99) succeeded")
+	}
+	if len(ExperimentIDs()) != len(ids) {
+		t.Error("ExperimentIDs cardinality mismatch")
+	}
+}
+
+// TestEveryExperimentRuns executes the full registry at a tiny scale so a
+// regression in any experiment is caught by `go test` rather than at
+// paper-reproduction time. Skipped under -short.
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments smoke test is slow; run without -short")
+	}
+	opts := ExpOptions{N: 12_000, Threads: []int{1, 2}, LatencyThreads: 2}
+	for _, e := range AllExperiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf, opts); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if strings.TrimSpace(buf.String()) == "" {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+		})
+	}
+}

@@ -1,0 +1,174 @@
+package keyoij
+
+import (
+	"math"
+	"testing"
+
+	"oij/internal/agg"
+	"oij/internal/engine"
+	"oij/internal/refjoin"
+	"oij/internal/tuple"
+	"oij/internal/window"
+	"oij/internal/workload"
+)
+
+func testCfg(joiners int, mode engine.EmitMode) engine.Config {
+	return engine.Config{
+		Joiners: joiners,
+		Window:  window.Spec{Pre: 1000, Fol: 0, Lateness: 200},
+		Agg:     agg.Sum,
+		Mode:    mode,
+	}
+}
+
+func replay(e engine.Engine, tuples []tuple.Tuple) {
+	e.Start()
+	for _, t := range tuples {
+		e.Ingest(t)
+	}
+	e.Drain()
+}
+
+func genStream(t *testing.T, n, keys int) []tuple.Tuple {
+	t.Helper()
+	wl := workload.Config{
+		Name: "keyoij-test", N: n, EventRate: 1_000_000, Keys: keys,
+		BaseShare: 0.5, Window: window.Spec{Pre: 1000, Fol: 0, Lateness: 200},
+		Disorder: 200, Seed: 21,
+	}
+	ts, err := wl.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+// TestStaticRouting: every tuple of one key lands on the same joiner.
+func TestStaticRouting(t *testing.T) {
+	sink := &engine.CollectSink{}
+	e := New(testCfg(4, engine.OnArrival), sink)
+	stream := make([]tuple.Tuple, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		stream = append(stream, tuple.Tuple{TS: tuple.Time(i), Key: 42, Side: tuple.Probe, Seq: uint64(i)})
+	}
+	replay(e, stream)
+	busyJoiners := 0
+	for i := range e.Stats().Processed {
+		if e.Stats().Processed[i].Load() > 0 {
+			busyJoiners++
+		}
+	}
+	if busyJoiners != 1 {
+		t.Fatalf("single key spread over %d joiners", busyJoiners)
+	}
+}
+
+// TestEvictionBoundsBuffers: with eviction running, buffered tuples stay
+// near the retention horizon instead of growing with the stream.
+func TestEvictionBoundsBuffers(t *testing.T) {
+	stream := genStream(t, 120_000, 4)
+	sink := &engine.CountSink{}
+	e := New(testCfg(2, engine.OnArrival), sink)
+	replay(e, stream)
+
+	if e.Stats().Evicted.Load() == 0 {
+		t.Fatal("nothing evicted over a long stream")
+	}
+	// Retention is Pre+Lateness = 1200us at ~0.5M probes/s/..; remaining
+	// buffered tuples must be far below the probe count.
+	var buffered int
+	for _, j := range e.js {
+		for _, buf := range j.buffers {
+			buffered += len(buf)
+		}
+	}
+	probes := len(stream) - workload.CountBase(stream)
+	if buffered > probes/10 {
+		t.Fatalf("buffers retain %d of %d probes", buffered, probes)
+	}
+}
+
+// TestWatermarkBatchFinalize is a regression test for the inline-compaction
+// bug: several pending bases finalized at one watermark must all see the
+// probes at their window start (the first finalization's compaction must
+// not evict what the later ones need).
+func TestWatermarkBatchFinalize(t *testing.T) {
+	w := window.Spec{Pre: 100, Fol: 0, Lateness: 50}
+	cfg := engine.Config{Joiners: 1, Window: w, Agg: agg.Count, Mode: engine.OnWatermark, WatermarkEvery: 1 << 30}
+	sink := &engine.CollectSink{}
+	e := New(cfg, sink)
+	e.Start()
+	// Probes near the start of both windows.
+	e.Ingest(tuple.Tuple{TS: 10, Key: 1, Side: tuple.Probe, Val: 1})
+	e.Ingest(tuple.Tuple{TS: 60, Key: 1, Side: tuple.Probe, Val: 1})
+	// Two bases whose windows share the early probes; both finalize at
+	// the single final watermark.
+	e.Ingest(tuple.Tuple{TS: 100, Key: 1, Side: tuple.Base, Seq: 0}) // [0,100]: both probes
+	e.Ingest(tuple.Tuple{TS: 110, Key: 1, Side: tuple.Base, Seq: 1}) // [10,110]: both probes
+	e.Drain()
+
+	m := sink.ByBaseSeq()
+	if m[0].Matches != 2 || m[1].Matches != 2 {
+		t.Fatalf("batch finalize dropped probes: %+v %+v", m[0], m[1])
+	}
+}
+
+// TestMatchesReference: multi-key stream, watermark mode, vs event-time
+// reference.
+func TestMatchesReference(t *testing.T) {
+	stream := genStream(t, 30_000, 8)
+	w := window.Spec{Pre: 1000, Fol: 0, Lateness: 200}
+	want := refjoin.ByBaseSeq(refjoin.EventTime(stream, w, agg.Sum))
+	sink := &engine.CollectSink{}
+	e := New(testCfg(3, engine.OnWatermark), sink)
+	replay(e, stream)
+	got := sink.ByBaseSeq()
+	if len(got) != len(want) {
+		t.Fatalf("got %d results, want %d", len(got), len(want))
+	}
+	for seq, wr := range want {
+		g := got[seq]
+		if g.Matches != wr.Matches || math.Abs(g.Agg-wr.Agg) > 1e-6 {
+			t.Fatalf("base %d: got %+v want %+v", seq, g, wr)
+		}
+	}
+}
+
+// TestInstrumentation: breakdown and effectiveness are populated when
+// instrumented, and effectiveness is below 1 under lateness (full scans
+// visit out-of-window tuples).
+func TestInstrumentation(t *testing.T) {
+	stream := genStream(t, 40_000, 4)
+	cfg := testCfg(2, engine.OnArrival)
+	cfg.Instrument = true
+	e := New(cfg, &engine.CountSink{})
+	replay(e, stream)
+
+	st := e.Stats()
+	bd := st.MergedBreakdown()
+	if bd.Lookup == 0 || bd.Match == 0 {
+		t.Fatalf("breakdown not populated: %+v", bd)
+	}
+	eff := st.MergedEffectiveness()
+	if eff <= 0 || eff >= 1 {
+		t.Fatalf("effectiveness = %g, want in (0,1) under lateness", eff)
+	}
+}
+
+// TestFollowingWindow exercises FOL > 0 in watermark mode.
+func TestFollowingWindow(t *testing.T) {
+	w := window.Spec{Pre: 50, Fol: 50, Lateness: 10}
+	cfg := engine.Config{Joiners: 2, Window: w, Agg: agg.Count, Mode: engine.OnWatermark}
+	sink := &engine.CollectSink{}
+	e := New(cfg, sink)
+	e.Start()
+	e.Ingest(tuple.Tuple{TS: 60, Key: 1, Side: tuple.Probe, Val: 1})
+	e.Ingest(tuple.Tuple{TS: 100, Key: 1, Side: tuple.Base, Seq: 0}) // window [50,150]
+	e.Ingest(tuple.Tuple{TS: 140, Key: 1, Side: tuple.Probe, Val: 1})
+	e.Ingest(tuple.Tuple{TS: 160, Key: 1, Side: tuple.Probe, Val: 1}) // outside
+	e.Drain()
+	m := sink.ByBaseSeq()
+	if m[0].Matches != 2 {
+		t.Fatalf("FOL window matches = %d, want 2 (ts 60 and 140)", m[0].Matches)
+	}
+}

@@ -1,0 +1,310 @@
+// Package metrics implements the measurements the paper reports: throughput
+// (§III-B), latency CDFs (§III-B), the lookup/match/other time breakdown
+// (Fig. 6), effectiveness (Eq. 1), unbalancedness (Eq. 2), and the
+// per-joiner utilization trace behind Fig. 14.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Throughput converts a tuple count and elapsed duration to tuples/second.
+func Throughput(tuples int64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(tuples) / elapsed.Seconds()
+}
+
+// Effectiveness is the paper's Equation (1): the mean, over base tuples, of
+// the fraction of visited buffer entries that were actually inside the
+// window. Engines accumulate (matched, visited) pairs per join; this helper
+// folds the per-join ratios.
+type Effectiveness struct {
+	sumRatio float64
+	joins    int64
+}
+
+// Observe records one join operation that visited `visited` buffered tuples
+// of which `matched` were in-window. Joins that visited nothing count as
+// fully effective (nothing useless was read).
+func (e *Effectiveness) Observe(matched, visited int64) {
+	if visited == 0 {
+		e.sumRatio++
+	} else {
+		e.sumRatio += float64(matched) / float64(visited)
+	}
+	e.joins++
+}
+
+// Merge folds another accumulator in (per-joiner accumulators are merged at
+// the end of a run).
+func (e *Effectiveness) Merge(o Effectiveness) {
+	e.sumRatio += o.sumRatio
+	e.joins += o.joins
+}
+
+// Value returns the average effectiveness in [0, 1], or 1 if no joins ran.
+func (e *Effectiveness) Value() float64 {
+	if e.joins == 0 {
+		return 1
+	}
+	return e.sumRatio / float64(e.joins)
+}
+
+// Unbalancedness is the paper's Equation (2): the dispersion of per-joiner
+// workloads, normalized by joiner count and mean workload. As printed in
+// the paper the summand is (W_i - µ), which telescopes to zero; the text
+// defines it as the standard deviation of workloads, so we compute
+// stddev(W) / µ (the coefficient of variation), which reproduces the
+// figure's behaviour: 0 when perfectly balanced, large when few joiners
+// carry most tuples.
+func Unbalancedness(loads []float64) float64 {
+	if len(loads) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, w := range loads {
+		sum += w
+	}
+	mu := sum / float64(len(loads))
+	if mu == 0 {
+		return 0
+	}
+	var ss float64
+	for _, w := range loads {
+		d := w - mu
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(len(loads))) / mu
+}
+
+// LatencyRecorder collects per-result latencies for one joiner (so the hot
+// path stays lock-free) and renders CDFs after the run. Latencies are
+// recorded in nanoseconds.
+type LatencyRecorder struct {
+	samples []int64
+}
+
+// NewLatencyRecorder pre-sizes the sample buffer.
+func NewLatencyRecorder(capacity int) *LatencyRecorder {
+	return &LatencyRecorder{samples: make([]int64, 0, capacity)}
+}
+
+// Record adds one latency observation.
+func (r *LatencyRecorder) Record(d time.Duration) {
+	r.samples = append(r.samples, int64(d))
+}
+
+// Len returns the number of recorded samples.
+func (r *LatencyRecorder) Len() int { return len(r.samples) }
+
+// CDF summarises a latency distribution.
+type CDF struct {
+	Sorted []int64 // ascending latencies in ns
+}
+
+// MergeCDF builds a CDF from several per-joiner recorders.
+func MergeCDF(recs ...*LatencyRecorder) CDF {
+	total := 0
+	for _, r := range recs {
+		total += len(r.samples)
+	}
+	all := make([]int64, 0, total)
+	for _, r := range recs {
+		all = append(all, r.samples...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return CDF{Sorted: all}
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) latency.
+func (c CDF) Quantile(q float64) time.Duration {
+	if len(c.Sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return time.Duration(c.Sorted[0])
+	}
+	if q >= 1 {
+		return time.Duration(c.Sorted[len(c.Sorted)-1])
+	}
+	idx := int(q * float64(len(c.Sorted)-1))
+	return time.Duration(c.Sorted[idx])
+}
+
+// FractionBelow returns the fraction of samples at or below d — e.g. the
+// paper's "80%-90% below 20 ms" check for Workloads A and D.
+func (c CDF) FractionBelow(d time.Duration) float64 {
+	if len(c.Sorted) == 0 {
+		return 0
+	}
+	n := sort.Search(len(c.Sorted), func(i int) bool { return c.Sorted[i] > int64(d) })
+	return float64(n) / float64(len(c.Sorted))
+}
+
+// Series renders (latency, cumulative fraction) points at the given
+// quantiles, ready for plotting a CDF curve.
+func (c CDF) Series(quantiles []float64) []struct {
+	Q       float64
+	Latency time.Duration
+} {
+	out := make([]struct {
+		Q       float64
+		Latency time.Duration
+	}, len(quantiles))
+	for i, q := range quantiles {
+		out[i].Q = q
+		out[i].Latency = c.Quantile(q)
+	}
+	return out
+}
+
+// Breakdown accumulates the paper's Fig. 6 time categories for one joiner.
+// Lookup is time spent visiting buffered tuples to find the in-window set,
+// Match is time spent folding in-window tuples into the aggregate, and
+// Other is everything else the joiner did while busy (queue handling,
+// insertion, eviction, result writing).
+type Breakdown struct {
+	Lookup time.Duration
+	Match  time.Duration
+	Other  time.Duration
+}
+
+// Add folds another breakdown in.
+func (b *Breakdown) Add(o Breakdown) {
+	b.Lookup += o.Lookup
+	b.Match += o.Match
+	b.Other += o.Other
+}
+
+// Total returns the sum of all categories.
+func (b Breakdown) Total() time.Duration { return b.Lookup + b.Match + b.Other }
+
+// Fractions returns each category as a share of the total.
+func (b Breakdown) Fractions() (lookup, match, other float64) {
+	t := b.Total()
+	if t == 0 {
+		return 0, 0, 0
+	}
+	return float64(b.Lookup) / float64(t), float64(b.Match) / float64(t), float64(b.Other) / float64(t)
+}
+
+// String implements fmt.Stringer.
+func (b Breakdown) String() string {
+	l, m, o := b.Fractions()
+	return fmt.Sprintf("lookup=%.1f%% match=%.1f%% other=%.1f%%", l*100, m*100, o*100)
+}
+
+// Utilization samples per-joiner busy time over fixed epochs, reproducing
+// the CPU-utilization-over-time trace of Fig. 14 in software. Joiners call
+// AddBusy with the time they spent processing during the current epoch; the
+// harness calls Snapshot at epoch boundaries.
+type Utilization struct {
+	epoch   time.Duration
+	busy    []time.Duration
+	history [][]float64
+}
+
+// NewUtilization tracks n joiners with the given epoch length.
+func NewUtilization(n int, epoch time.Duration) *Utilization {
+	return &Utilization{epoch: epoch, busy: make([]time.Duration, n)}
+}
+
+// AddBusy accounts busy-time d to joiner i during the current epoch. Only
+// the harness goroutine mutates the tracker, folding per-joiner counters it
+// drains from the engine, so no locking is needed.
+func (u *Utilization) AddBusy(i int, d time.Duration) { u.busy[i] += d }
+
+// Snapshot closes the current epoch: it appends each joiner's utilization
+// (busy/epoch, capped at 1) to the history and zeroes the counters.
+func (u *Utilization) Snapshot() []float64 {
+	row := make([]float64, len(u.busy))
+	for i, b := range u.busy {
+		f := float64(b) / float64(u.epoch)
+		if f > 1 {
+			f = 1
+		}
+		row[i] = f
+		u.busy[i] = 0
+	}
+	u.history = append(u.history, row)
+	return row
+}
+
+// History returns one row per epoch, one column per joiner.
+func (u *Utilization) History() [][]float64 { return u.history }
+
+// Imbalance returns the mean over epochs of the cross-joiner
+// unbalancedness of utilization within that epoch — the primary
+// quantitative reading of Fig. 14: under a rotating hot set, a static key
+// partition keeps a few joiners saturated while others idle (high
+// imbalance), whereas the dynamic schedule spreads each epoch's load
+// (low imbalance). Epochs with no recorded work are skipped.
+func (u *Utilization) Imbalance() float64 {
+	var sum float64
+	n := 0
+	for _, row := range u.history {
+		var total float64
+		for _, v := range row {
+			total += v
+		}
+		if total == 0 {
+			continue
+		}
+		sum += Unbalancedness(row)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Smoothness returns the mean over joiners of the standard deviation of
+// their *share* of each epoch's total utilization across epochs — the
+// temporal reading of Fig. 14 ("smoother CPU utilization variation"):
+// lower is smoother. Shares (rather than raw busy fractions) make the
+// metric insensitive to how fast the engine is in absolute terms.
+func (u *Utilization) Smoothness() float64 {
+	if len(u.history) == 0 || len(u.busy) == 0 {
+		return 0
+	}
+	nJ := len(u.busy)
+	var shares [][]float64
+	for _, row := range u.history {
+		var total float64
+		for _, v := range row {
+			total += v
+		}
+		if total == 0 {
+			continue
+		}
+		s := make([]float64, nJ)
+		for j, v := range row {
+			s[j] = v / total
+		}
+		shares = append(shares, s)
+	}
+	if len(shares) == 0 {
+		return 0
+	}
+	var totalDev float64
+	for j := 0; j < nJ; j++ {
+		var sum float64
+		for _, s := range shares {
+			sum += s[j]
+		}
+		mu := sum / float64(len(shares))
+		var ss float64
+		for _, s := range shares {
+			d := s[j] - mu
+			ss += d * d
+		}
+		totalDev += math.Sqrt(ss / float64(len(shares)))
+	}
+	return totalDev / float64(nJ)
+}

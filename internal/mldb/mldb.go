@@ -1,0 +1,198 @@
+// Package mldb models the OpenMLDB online engine the paper compares
+// against in §V-E: a read-optimized in-memory table (sorted per-key time
+// index, like OpenMLDB's memtable) *shared by all processing threads* and
+// guarded as a whole, so concurrent insertions serialize — "insertion will
+// become a potential performance bottleneck" — and with no out-of-order
+// machinery at all (the paper removes OpenMLDB's accuracy checking, so
+// lateness is intentionally ignored and retention covers the window only).
+//
+// The two properties §V-E blames for the slowdown are therefore explicit
+// here: (1) writer serialization on the shared structure, which collapses
+// at high arrival rates (Workloads B/C); (2) the read-intensive assumption,
+// which makes it perfectly adequate at low rates (Workload D).
+package mldb
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oij/internal/agg"
+	"oij/internal/engine"
+	"oij/internal/timetravel"
+	"oij/internal/tuple"
+	"oij/internal/watermark"
+)
+
+// Engine is the OpenMLDB-style baseline implementation of engine.Engine.
+// It always emits on arrival (request/serving semantics); OnWatermark mode
+// is not supported, mirroring OpenMLDB's lack of disorder handling.
+type Engine struct {
+	cfg   engine.Config
+	tr    *engine.Transport
+	sink  engine.Sink
+	lrec  engine.LatencyRecorder
+	stats *engine.Stats
+
+	// mu guards table: one writer at a time, readers share. The paper's
+	// insertion bottleneck is exactly this serialization.
+	mu       sync.RWMutex
+	table    *timetravel.Index
+	lockWait atomic.Int64 // ns spent waiting for mu across workers
+
+	evicted   atomic.Int64
+	rr        int
+	lastSweep []tuple.Time
+	wms       []tuple.Time
+}
+
+// New builds the baseline engine.
+func New(cfg engine.Config, sink engine.Sink) *Engine {
+	cfg = cfg.WithDefaults()
+	if cfg.Instrument {
+		cfg.TrackBusy = true
+	}
+	e := &Engine{
+		cfg:       cfg,
+		tr:        engine.NewTransport(cfg),
+		sink:      sink,
+		stats:     engine.NewStats(cfg.Joiners),
+		table:     timetravel.New(0xfeed),
+		lastSweep: make([]tuple.Time, cfg.Joiners),
+		wms:       make([]tuple.Time, cfg.Joiners),
+	}
+	for i := range e.lastSweep {
+		e.lastSweep[i] = watermark.MinTime
+		e.wms[i] = watermark.MinTime
+	}
+	e.lrec, _ = sink.(engine.LatencyRecorder)
+	return e
+}
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string { return "openmldb" }
+
+// Start implements engine.Engine.
+func (e *Engine) Start() {
+	for i := 0; i < e.cfg.Joiners; i++ {
+		i := i
+		var busy *atomic.Int64
+		if e.cfg.TrackBusy {
+			busy = &e.stats.Busy[i]
+		}
+		e.tr.Go(i, engine.JoinerHooks{
+			OnTuple:     func(t tuple.Tuple) { e.work(i, t) },
+			OnWatermark: func(wm tuple.Time) { e.watermark(i, wm) },
+			Busy:        busy,
+		})
+	}
+}
+
+// Ingest implements engine.Engine: round-robin across workers — with a
+// single shared table there is no data ownership to partition by.
+func (e *Engine) Ingest(t tuple.Tuple) {
+	e.tr.Observe(t.TS)
+	e.tr.Push(e.rr, t)
+	e.rr = (e.rr + 1) % e.cfg.Joiners
+}
+
+// Drain implements engine.Engine.
+func (e *Engine) Drain() {
+	e.tr.Finish()
+	e.stats.Evicted.Store(e.evicted.Load())
+	e.stats.Extra["lock_wait_ns"] = e.lockWait.Load()
+	if e.cfg.Instrument {
+		engine.FillOther(e.stats)
+	}
+}
+
+// Stats implements engine.Engine.
+func (e *Engine) Stats() *engine.Stats { return e.stats }
+
+// Heartbeat implements engine.Engine.
+func (e *Engine) Heartbeat() { e.tr.Heartbeat() }
+
+func (e *Engine) work(id int, t tuple.Tuple) {
+	e.stats.Processed[id].Add(1)
+	if t.Side == tuple.Probe {
+		w0 := time.Now()
+		e.mu.Lock()
+		e.lockWait.Add(int64(time.Since(w0)))
+		e.table.Put(t)
+		e.mu.Unlock()
+		return
+	}
+	e.join(id, t)
+}
+
+func (e *Engine) join(id int, base tuple.Tuple) {
+	lo, hi := e.cfg.Window.Bounds(base.TS)
+	st := agg.NewState(e.cfg.Agg)
+
+	w0 := time.Now()
+	e.mu.RLock()
+	waited := time.Since(w0)
+	if e.cfg.Instrument {
+		t0 := time.Now()
+		scratch := make([]engine.TSVal, 0, 64)
+		visited := e.table.ScanWindow(base.Key, lo, hi, func(ts tuple.Time, val float64) bool {
+			scratch = append(scratch, engine.TSVal{TS: ts, Val: val})
+			return true
+		})
+		e.mu.RUnlock()
+		t1 := time.Now()
+		for _, p := range scratch {
+			st.AddAt(p.TS, p.Val)
+		}
+		t2 := time.Now()
+		bd := &e.stats.Breakdown[id]
+		bd.Lookup += t1.Sub(t0)
+		bd.Match += t2.Sub(t1)
+		e.stats.Effect[id].Observe(int64(len(scratch)), int64(visited))
+	} else {
+		e.table.ScanWindow(base.Key, lo, hi, func(ts tuple.Time, val float64) bool {
+			st.AddAt(ts, val)
+			return true
+		})
+		e.mu.RUnlock()
+	}
+	e.lockWait.Add(int64(waited))
+
+	e.stats.Results.Add(1)
+	e.sink.Emit(id, tuple.Result{
+		BaseTS:  base.TS,
+		Key:     base.Key,
+		BaseSeq: base.Seq,
+		Agg:     st.Value(),
+		Matches: st.Count(),
+	})
+	if e.lrec != nil && !base.Arrival.IsZero() {
+		e.lrec.Record(id, time.Since(base.Arrival))
+	}
+}
+
+// watermark triggers eviction: retention is the window only — no lateness
+// slack, the accuracy machinery the paper removed. Worker 0 does the sweep
+// under the write lock.
+func (e *Engine) watermark(id int, wm tuple.Time) {
+	if wm <= e.wms[id] {
+		return
+	}
+	e.wms[id] = wm
+	if id != 0 {
+		return
+	}
+	// Undo the driver's lateness subtraction: this engine evicts by
+	// observed max event time, pretending streams are ordered.
+	maxTS := wm + e.cfg.Window.Lateness
+	horizon := e.cfg.Window.Len()
+	if e.lastSweep[0] != watermark.MinTime && maxTS-e.lastSweep[0] <= horizon/2+1 {
+		return
+	}
+	e.lastSweep[0] = maxTS
+	w0 := time.Now()
+	e.mu.Lock()
+	e.lockWait.Add(int64(time.Since(w0)))
+	e.evicted.Add(int64(e.table.EvictBefore(maxTS - e.cfg.Window.Pre - e.cfg.Window.Fol)))
+	e.mu.Unlock()
+}

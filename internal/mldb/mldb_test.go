@@ -1,0 +1,151 @@
+package mldb
+
+import (
+	"math"
+	"testing"
+
+	"oij/internal/agg"
+	"oij/internal/engine"
+	"oij/internal/refjoin"
+	"oij/internal/tuple"
+	"oij/internal/window"
+	"oij/internal/workload"
+)
+
+func replay(e engine.Engine, tuples []tuple.Tuple) {
+	e.Start()
+	for _, t := range tuples {
+		e.Ingest(t)
+	}
+	e.Drain()
+}
+
+// TestSingleWorkerOrderedExact: with one worker and an in-order stream the
+// baseline matches the arrival reference exactly.
+func TestSingleWorkerOrderedExact(t *testing.T) {
+	w := window.Spec{Pre: 1000, Fol: 0, Lateness: 0}
+	wl := workload.Config{
+		Name: "mldb-test", N: 20_000, EventRate: 1_000_000, Keys: 6,
+		BaseShare: 0.5, Window: w, Disorder: 0, Seed: 12,
+	}
+	stream, err := wl.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refjoin.ByBaseSeq(refjoin.Arrival(stream, w, agg.Sum))
+
+	sink := &engine.CollectSink{}
+	e := New(engine.Config{Joiners: 1, Window: w, Agg: agg.Sum}, sink)
+	replay(e, stream)
+	got := sink.ByBaseSeq()
+	if len(got) != len(want) {
+		t.Fatalf("got %d results, want %d", len(got), len(want))
+	}
+	for seq, wr := range want {
+		g := got[seq]
+		if g.Matches != wr.Matches || math.Abs(g.Agg-wr.Agg) > 1e-6*(1+math.Abs(wr.Agg)) {
+			t.Fatalf("base %d: got %+v want %+v", seq, g, wr)
+		}
+	}
+}
+
+// TestNoDisorderHandling documents the baseline's defining flaw: under
+// disorder its aggressive window-only retention drops probes that late
+// base tuples still need, losing matches relative to the exact join.
+func TestNoDisorderHandling(t *testing.T) {
+	w := window.Spec{Pre: 500, Fol: 0, Lateness: 2000} // heavy disorder
+	wl := workload.Config{
+		Name: "mldb-disorder", N: 80_000, EventRate: 1_000_000, Keys: 4,
+		BaseShare: 0.5, Window: w, Disorder: 2000, Seed: 13,
+	}
+	stream, err := wl.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantMatches int64
+	for _, r := range refjoin.Arrival(stream, w, agg.Sum) {
+		wantMatches += r.Matches
+	}
+
+	sink := &engine.CollectSink{}
+	e := New(engine.Config{Joiners: 1, Window: w, Agg: agg.Sum}, sink)
+	replay(e, stream)
+	var gotMatches int64
+	for _, r := range sink.Results() {
+		gotMatches += r.Matches
+	}
+	if e.Stats().Evicted.Load() == 0 {
+		t.Fatal("expected evictions")
+	}
+	if gotMatches >= wantMatches {
+		t.Fatalf("baseline under disorder matched %d >= exact %d — the accuracy loss should be visible",
+			gotMatches, wantMatches)
+	}
+	// With disorder 4x the window most matches are lost (retention stops
+	// at maxTS − |w|), but some on-time traffic always survives.
+	if gotMatches == 0 {
+		t.Fatal("baseline produced no matches at all")
+	}
+}
+
+// TestLockWaitAccounting: the shared-table serialization is observable.
+func TestLockWaitAccounting(t *testing.T) {
+	w := window.Spec{Pre: 1000, Fol: 0, Lateness: 100}
+	wl := workload.Config{
+		Name: "mldb-lock", N: 60_000, EventRate: 1_000_000, Keys: 8,
+		BaseShare: 0.5, Window: w, Disorder: 100, Seed: 14,
+	}
+	stream, err := wl.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(engine.Config{Joiners: 8, Window: w, Agg: agg.Sum}, engine.NullSink{})
+	replay(e, stream)
+	if _, ok := e.Stats().Extra["lock_wait_ns"]; !ok {
+		t.Fatal("lock_wait_ns not reported")
+	}
+	if e.Stats().Results.Load() != int64(workload.CountBase(stream)) {
+		t.Fatal("result count wrong")
+	}
+}
+
+// TestInstrumentation: breakdown and effectiveness populate under the
+// shared-table baseline too.
+func TestInstrumentation(t *testing.T) {
+	w := window.Spec{Pre: 1000, Fol: 0, Lateness: 0}
+	wl := workload.Config{
+		Name: "mldb-instr", N: 30_000, EventRate: 1_000_000, Keys: 6,
+		BaseShare: 0.5, Window: w, Disorder: 0, Seed: 15,
+	}
+	stream, err := wl.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(engine.Config{Joiners: 2, Window: w, Agg: agg.Sum, Instrument: true}, engine.NullSink{})
+	replay(e, stream)
+	st := e.Stats()
+	bd := st.MergedBreakdown()
+	if bd.Lookup == 0 || bd.Match == 0 {
+		t.Fatalf("breakdown not populated: %+v", bd)
+	}
+	// The sorted shared table visits only in-window entries.
+	if eff := st.MergedEffectiveness(); eff < 0.999 {
+		t.Fatalf("effectiveness = %g", eff)
+	}
+}
+
+// TestHeartbeatHarmless: heartbeats are no-ops for the arrival-only
+// baseline but must not disturb it.
+func TestHeartbeatHarmless(t *testing.T) {
+	w := window.Spec{Pre: 1000, Fol: 0, Lateness: 0}
+	e := New(engine.Config{Joiners: 1, Window: w, Agg: agg.Count}, engine.NullSink{})
+	e.Start()
+	e.Heartbeat() // before any tuple
+	e.Ingest(tuple.Tuple{TS: 10, Key: 1, Side: tuple.Probe, Val: 1})
+	e.Heartbeat()
+	e.Ingest(tuple.Tuple{TS: 20, Key: 1, Side: tuple.Base, Seq: 0})
+	e.Drain()
+	if e.Stats().Results.Load() != 1 {
+		t.Fatal("heartbeats disturbed the baseline")
+	}
+}

@@ -1,0 +1,116 @@
+// Package queue provides the lock-free single-producer/single-consumer ring
+// buffer used as the transport between partitioner threads, joiner threads,
+// and result mergers. Every engine in the repository moves tuples over
+// these rings, so transport overhead is identical across algorithms and
+// measured differences come from the join designs themselves.
+package queue
+
+import (
+	"sync/atomic"
+)
+
+const cacheLine = 64
+
+// pad separates hot atomics onto their own cache lines to avoid false
+// sharing between the producer and consumer cores.
+type pad [cacheLine]byte
+
+// SPSC is a bounded lock-free ring buffer carrying values from exactly one
+// producer goroutine to exactly one consumer goroutine.
+//
+// The implementation is the classic Lamport queue with cached indices: the
+// producer caches the consumer's head and only re-reads the shared atomic
+// when the cached value indicates a full ring (and symmetrically for the
+// consumer), so the steady-state cost per operation is one release store.
+type SPSC[T any] struct {
+	mask uint64
+	buf  []T
+
+	_          pad
+	head       atomic.Uint64 // next slot to read; owned by consumer
+	cachedTail uint64        // consumer's snapshot of tail
+	_          pad
+	tail       atomic.Uint64 // next slot to write; owned by producer
+	cachedHead uint64        // producer's snapshot of head
+	_          pad
+	closed     atomic.Bool
+}
+
+// NewSPSC creates a ring with capacity rounded up to the next power of two
+// (minimum 2).
+func NewSPSC[T any](capacity int) *SPSC[T] {
+	n := uint64(2)
+	for n < uint64(capacity) {
+		n <<= 1
+	}
+	return &SPSC[T]{mask: n - 1, buf: make([]T, n)}
+}
+
+// Cap returns the ring capacity.
+func (q *SPSC[T]) Cap() int { return len(q.buf) }
+
+// TryPush appends v and reports success; it fails only when the ring is
+// full. Must be called from the single producer goroutine.
+func (q *SPSC[T]) TryPush(v T) bool {
+	tail := q.tail.Load()
+	if tail-q.cachedHead >= uint64(len(q.buf)) {
+		q.cachedHead = q.head.Load()
+		if tail-q.cachedHead >= uint64(len(q.buf)) {
+			return false
+		}
+	}
+	q.buf[tail&q.mask] = v
+	q.tail.Store(tail + 1)
+	return true
+}
+
+// TryPop removes the oldest value and reports success; it fails when the
+// ring is empty. Must be called from the single consumer goroutine.
+func (q *SPSC[T]) TryPop() (T, bool) {
+	head := q.head.Load()
+	if head == q.cachedTail {
+		q.cachedTail = q.tail.Load()
+		if head == q.cachedTail {
+			var zero T
+			return zero, false
+		}
+	}
+	v := q.buf[head&q.mask]
+	q.head.Store(head + 1)
+	return v, true
+}
+
+// PopBatch pops up to len(out) values into out and returns the count.
+func (q *SPSC[T]) PopBatch(out []T) int {
+	head := q.head.Load()
+	avail := q.cachedTail - head
+	if avail == 0 {
+		q.cachedTail = q.tail.Load()
+		avail = q.cachedTail - head
+		if avail == 0 {
+			return 0
+		}
+	}
+	n := uint64(len(out))
+	if avail < n {
+		n = avail
+	}
+	for i := uint64(0); i < n; i++ {
+		out[i] = q.buf[(head+i)&q.mask]
+	}
+	q.head.Store(head + n)
+	return int(n)
+}
+
+// Len returns the approximate number of buffered values. Safe from any
+// goroutine; the value may be stale by the time it is observed.
+func (q *SPSC[T]) Len() int {
+	return int(q.tail.Load() - q.head.Load())
+}
+
+// Close marks the queue closed; the producer must not push afterwards.
+func (q *SPSC[T]) Close() { q.closed.Store(true) }
+
+// Closed reports whether Close has been called. A consumer should treat
+// Closed-and-empty as end of stream.
+func (q *SPSC[T]) Closed() bool { return q.closed.Load() }

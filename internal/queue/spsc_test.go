@@ -1,0 +1,168 @@
+package queue
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCapacityRounding(t *testing.T) {
+	for _, c := range []struct{ in, want int }{{0, 2}, {1, 2}, {2, 2}, {3, 4}, {1000, 1024}, {1024, 1024}} {
+		if got := NewSPSC[int](c.in).Cap(); got != c.want {
+			t.Errorf("NewSPSC(%d).Cap() = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPushPopFIFO(t *testing.T) {
+	q := NewSPSC[int](8)
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("pop on empty succeeded")
+	}
+	for i := 0; i < 8; i++ {
+		if !q.TryPush(i) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if q.TryPush(99) {
+		t.Fatal("push on full succeeded")
+	}
+	if q.Len() != 8 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	for i := 0; i < 8; i++ {
+		v, ok := q.TryPop()
+		if !ok || v != i {
+			t.Fatalf("pop %d = %d,%v", i, v, ok)
+		}
+	}
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("pop after drain succeeded")
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	q := NewSPSC[int](4)
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 3; i++ {
+			if !q.TryPush(round*10 + i) {
+				t.Fatal("push failed during wrap test")
+			}
+		}
+		for i := 0; i < 3; i++ {
+			v, ok := q.TryPop()
+			if !ok || v != round*10+i {
+				t.Fatalf("round %d: pop = %d,%v", round, v, ok)
+			}
+		}
+	}
+}
+
+func TestPopBatch(t *testing.T) {
+	q := NewSPSC[int](16)
+	for i := 0; i < 10; i++ {
+		q.TryPush(i)
+	}
+	out := make([]int, 4)
+	if n := q.PopBatch(out); n != 4 {
+		t.Fatalf("first batch = %d", n)
+	}
+	for i, v := range out {
+		if v != i {
+			t.Fatalf("batch content %v", out)
+		}
+	}
+	big := make([]int, 100)
+	if n := q.PopBatch(big); n != 6 {
+		t.Fatalf("second batch = %d, want 6", n)
+	}
+	if n := q.PopBatch(big); n != 0 {
+		t.Fatalf("empty batch = %d", n)
+	}
+}
+
+func TestClose(t *testing.T) {
+	q := NewSPSC[int](4)
+	if q.Closed() {
+		t.Fatal("fresh queue closed")
+	}
+	q.TryPush(1)
+	q.Close()
+	if !q.Closed() {
+		t.Fatal("Close did not stick")
+	}
+	// Buffered items remain poppable after close.
+	if v, ok := q.TryPop(); !ok || v != 1 {
+		t.Fatal("buffered item lost on close")
+	}
+}
+
+// TestConcurrentTransfer moves a large sequence through the queue and
+// verifies order and completeness under real concurrency.
+func TestConcurrentTransfer(t *testing.T) {
+	q := NewSPSC[uint64](128)
+	const n = 50_000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); i < n; i++ {
+			for !q.TryPush(i) {
+				runtime.Gosched()
+			}
+		}
+	}()
+	var next uint64
+	batch := make([]uint64, 64)
+	for next < n {
+		m := q.PopBatch(batch)
+		if m == 0 {
+			runtime.Gosched()
+		}
+		for _, v := range batch[:m] {
+			if v != next {
+				t.Fatalf("out of order: got %d want %d", v, next)
+			}
+			next++
+		}
+	}
+	wg.Wait()
+	if q.Len() != 0 {
+		t.Fatalf("queue not empty at end: %d", q.Len())
+	}
+}
+
+// TestQuickInterleaving property-tests arbitrary push/pop interleavings
+// against a slice model (single-threaded, so the model is exact).
+func TestQuickInterleaving(t *testing.T) {
+	f := func(ops []bool) bool {
+		q := NewSPSC[int](8)
+		var model []int
+		next := 0
+		for _, push := range ops {
+			if push {
+				if q.TryPush(next) {
+					model = append(model, next)
+				} else if len(model) < 8 {
+					return false // queue refused although model has room
+				}
+				next++
+			} else {
+				v, ok := q.TryPop()
+				if ok {
+					if len(model) == 0 || model[0] != v {
+						return false
+					}
+					model = model[1:]
+				} else if len(model) != 0 {
+					return false
+				}
+			}
+		}
+		return q.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

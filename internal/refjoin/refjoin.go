@@ -1,0 +1,89 @@
+// Package refjoin provides naive, obviously-correct online interval joins
+// used as test oracles for every engine:
+//
+//   - Arrival implements the serving semantics (engine.OnArrival with a
+//     single joiner): each base tuple aggregates the probe tuples that
+//     arrived before it.
+//   - EventTime implements the exact semantics (engine.OnWatermark): each
+//     base tuple aggregates every probe tuple inside its window regardless
+//     of arrival order.
+//
+// Both are O(N · buffer) scans with no concurrency, eviction, or indexing —
+// slow but trivially auditable.
+package refjoin
+
+import (
+	"oij/internal/agg"
+	"oij/internal/tuple"
+	"oij/internal/window"
+)
+
+// Arrival returns one result per base tuple under arrival semantics, in
+// base-stream order.
+func Arrival(tuples []tuple.Tuple, w window.Spec, fn agg.Func) []tuple.Result {
+	var out []tuple.Result
+	buffers := make(map[tuple.Key][]tuple.Tuple)
+	for _, t := range tuples {
+		switch t.Side {
+		case tuple.Probe:
+			buffers[t.Key] = append(buffers[t.Key], t)
+		case tuple.Base:
+			lo, hi := w.Bounds(t.TS)
+			st := agg.NewState(fn)
+			for _, p := range buffers[t.Key] {
+				if p.TS >= lo && p.TS <= hi {
+					st.AddAt(p.TS, p.Val)
+				}
+			}
+			out = append(out, tuple.Result{
+				BaseTS:  t.TS,
+				Key:     t.Key,
+				BaseSeq: t.Seq,
+				Agg:     st.Value(),
+				Matches: st.Count(),
+			})
+		}
+	}
+	return out
+}
+
+// EventTime returns one result per base tuple under exact event-time
+// semantics, in base-stream order.
+func EventTime(tuples []tuple.Tuple, w window.Spec, fn agg.Func) []tuple.Result {
+	probes := make(map[tuple.Key][]tuple.Tuple)
+	for _, t := range tuples {
+		if t.Side == tuple.Probe {
+			probes[t.Key] = append(probes[t.Key], t)
+		}
+	}
+	var out []tuple.Result
+	for _, t := range tuples {
+		if t.Side != tuple.Base {
+			continue
+		}
+		lo, hi := w.Bounds(t.TS)
+		st := agg.NewState(fn)
+		for _, p := range probes[t.Key] {
+			if p.TS >= lo && p.TS <= hi {
+				st.AddAt(p.TS, p.Val)
+			}
+		}
+		out = append(out, tuple.Result{
+			BaseTS:  t.TS,
+			Key:     t.Key,
+			BaseSeq: t.Seq,
+			Agg:     st.Value(),
+			Matches: st.Count(),
+		})
+	}
+	return out
+}
+
+// ByBaseSeq indexes results by base sequence number.
+func ByBaseSeq(rs []tuple.Result) map[uint64]tuple.Result {
+	m := make(map[uint64]tuple.Result, len(rs))
+	for _, r := range rs {
+		m[r.BaseSeq] = r
+	}
+	return m
+}

@@ -1,0 +1,128 @@
+package refjoin
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"oij/internal/agg"
+	"oij/internal/tuple"
+	"oij/internal/window"
+)
+
+func base(key tuple.Key, ts tuple.Time, seq uint64) tuple.Tuple {
+	return tuple.Tuple{Key: key, TS: ts, Seq: seq, Side: tuple.Base}
+}
+
+func probe(key tuple.Key, ts tuple.Time, val float64) tuple.Tuple {
+	return tuple.Tuple{Key: key, TS: ts, Val: val, Side: tuple.Probe}
+}
+
+var w = window.Spec{Pre: 10, Fol: 0, Lateness: 5}
+
+func TestArrivalHandComputed(t *testing.T) {
+	stream := []tuple.Tuple{
+		probe(1, 5, 100),
+		base(1, 10, 0),  // sees ts 5 (in [0,10])
+		probe(1, 8, 50), // late probe: after base 0
+		base(1, 12, 1),  // sees ts 5? 5 < 2? window [2,12]: 5 and 8 -> 150
+		base(2, 12, 2),  // other key: nothing
+	}
+	rs := Arrival(stream, w, agg.Sum)
+	if len(rs) != 3 {
+		t.Fatalf("%d results", len(rs))
+	}
+	m := ByBaseSeq(rs)
+	if m[0].Agg != 100 || m[0].Matches != 1 {
+		t.Fatalf("base 0: %+v", m[0])
+	}
+	if m[1].Agg != 150 || m[1].Matches != 2 {
+		t.Fatalf("base 1: %+v", m[1])
+	}
+	if m[2].Matches != 0 {
+		t.Fatalf("base 2: %+v", m[2])
+	}
+}
+
+func TestEventTimeHandComputed(t *testing.T) {
+	stream := []tuple.Tuple{
+		base(1, 10, 0),  // window [0,10]
+		probe(1, 8, 50), // arrives later but counts under event time
+		probe(1, 11, 7), // outside window
+	}
+	rs := EventTime(stream, w, agg.Sum)
+	m := ByBaseSeq(rs)
+	if m[0].Agg != 50 || m[0].Matches != 1 {
+		t.Fatalf("base 0: %+v", m[0])
+	}
+}
+
+func TestWindowBoundsInclusive(t *testing.T) {
+	stream := []tuple.Tuple{
+		probe(1, 0, 1),  // exactly at lower bound of [0, 10]
+		probe(1, 10, 2), // exactly at base timestamp
+		base(1, 10, 0),
+	}
+	for _, rs := range [][]tuple.Result{Arrival(stream, w, agg.Count), EventTime(stream, w, agg.Count)} {
+		if rs[0].Matches != 2 {
+			t.Fatalf("boundary probes: %+v", rs[0])
+		}
+	}
+}
+
+// TestQuickEventTimeArrivalInvariance: EventTime results are invariant to
+// arrival-order shuffles, and when every probe arrives before every base,
+// Arrival equals EventTime.
+func TestQuickEventTimeArrivalInvariance(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var probes, bases []tuple.Tuple
+		for i := 0; i < int(n%40)+5; i++ {
+			probes = append(probes, probe(tuple.Key(rng.Intn(3)), tuple.Time(rng.Intn(50)), float64(rng.Intn(10))))
+		}
+		for i := 0; i < 5; i++ {
+			bases = append(bases, base(tuple.Key(rng.Intn(3)), tuple.Time(rng.Intn(50)), uint64(i)))
+		}
+
+		ordered := append(append([]tuple.Tuple{}, probes...), bases...)
+		shuffled := append([]tuple.Tuple{}, ordered...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+
+		et1 := ByBaseSeq(EventTime(ordered, w, agg.Sum))
+		et2 := ByBaseSeq(EventTime(shuffled, w, agg.Sum))
+		ar := ByBaseSeq(Arrival(ordered, w, agg.Sum))
+		for seq, r1 := range et1 {
+			if et2[seq].Agg != r1.Agg || et2[seq].Matches != r1.Matches {
+				return false // not shuffle-invariant
+			}
+			if ar[seq].Agg != r1.Agg || ar[seq].Matches != r1.Matches {
+				return false // probes-first arrival must equal event time
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickArrivalMonotone: adding earlier-arriving probes never decreases
+// a count aggregate.
+func TestQuickArrivalMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var stream []tuple.Tuple
+		for i := 0; i < 30; i++ {
+			stream = append(stream, probe(1, tuple.Time(rng.Intn(30)), 1))
+		}
+		stream = append(stream, base(1, 20, 0))
+		before := Arrival(stream, w, agg.Count)[0].Matches
+		// Prepend one more in-window probe.
+		grown := append([]tuple.Tuple{probe(1, 15, 1)}, stream...)
+		after := Arrival(grown, w, agg.Count)[0].Matches
+		return after == before+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

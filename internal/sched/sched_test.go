@@ -1,0 +1,272 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"oij/internal/metrics"
+)
+
+func TestNewStatic(t *testing.T) {
+	s := NewStatic(8, 3)
+	if len(s.Teams) != 8 {
+		t.Fatalf("partitions = %d", len(s.Teams))
+	}
+	for p, team := range s.Teams {
+		if len(team) != 1 || team[0] != p%3 {
+			t.Fatalf("partition %d team = %v", p, team)
+		}
+	}
+}
+
+func TestRouteRoundRobin(t *testing.T) {
+	s := NewStatic(4, 4)
+	s.Teams[0] = []int{1, 3}
+	counts := map[int]int{}
+	for i := 0; i < 100; i++ {
+		counts[s.Route(0)]++
+	}
+	if counts[1] != 50 || counts[3] != 50 {
+		t.Fatalf("round robin uneven: %v", counts)
+	}
+	// Single-member partitions always route home.
+	for i := 0; i < 10; i++ {
+		if got := s.Route(1); got != 1 {
+			t.Fatalf("partition 1 routed to %d", got)
+		}
+	}
+}
+
+func TestTeamMask(t *testing.T) {
+	s := NewStatic(2, 8)
+	s.Teams[0] = []int{0, 3, 7}
+	if got := s.TeamMask(0); got != 1|1<<3|1<<7 {
+		t.Fatalf("mask = %b", got)
+	}
+}
+
+func TestWorkloadsEquation3(t *testing.T) {
+	// 2 partitions, 2 joiners; partition 0 shared by both.
+	s := NewStatic(2, 2)
+	s.Teams[0] = []int{0, 1}
+	s.Teams[1] = []int{1}
+	counts := []float64{100, 60}
+	w := s.Workloads(counts, 2)
+	if w[0] != 50 || w[1] != 110 {
+		t.Fatalf("workloads = %v, want [50 110]", w)
+	}
+}
+
+func TestNewBalancerMaskLimit(t *testing.T) {
+	if _, err := NewBalancer(Config{}, MaxJoiners+1); err == nil {
+		t.Fatal("joiner count above mask width accepted")
+	}
+	if _, err := NewBalancer(Config{}, MaxJoiners); err != nil {
+		t.Fatalf("exactly MaxJoiners rejected: %v", err)
+	}
+}
+
+// TestRebalanceSkewedKey is the paper's core scenario: one scorching
+// partition (few keys) must be replicated across joiners until the load
+// spreads.
+func TestRebalanceSkewedKey(t *testing.T) {
+	b, err := NewBalancer(Config{Partitions: 8}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStatic(8, 4)
+	b.Counts[0] = 10_000 // partition 0 is hot, everything else idle
+	before := metrics.Unbalancedness(s.Workloads(b.Counts, 4))
+
+	ns, changed := b.Rebalance(s)
+	if !changed {
+		t.Fatal("balancer left a fully skewed schedule unchanged")
+	}
+	// Statistics were decayed; evaluate against the pre-decay counts.
+	counts := []float64{10_000, 0, 0, 0, 0, 0, 0, 0}
+	after := metrics.Unbalancedness(ns.Workloads(counts, 4))
+	if after >= before {
+		t.Fatalf("unbalancedness did not improve: %g -> %g", before, after)
+	}
+	if len(ns.Teams[0]) < 2 {
+		t.Fatalf("hot partition team did not grow: %v", ns.Teams[0])
+	}
+	// Home ownership is preserved: the old member is still in the team.
+	if !ns.has(0, 0) {
+		t.Fatal("replication dropped the original owner")
+	}
+	if b.Reschedules != 1 {
+		t.Fatalf("Reschedules = %d", b.Reschedules)
+	}
+}
+
+func TestRebalanceBalancedNoChange(t *testing.T) {
+	b, _ := NewBalancer(Config{Partitions: 8}, 4)
+	for p := range b.Counts {
+		b.Counts[p] = 100 // uniform
+	}
+	s := NewStatic(8, 4)
+	ns, changed := b.Rebalance(s)
+	if changed {
+		t.Fatalf("balanced schedule was changed: %v", ns.Teams)
+	}
+	if ns != s {
+		t.Fatal("unchanged rebalance should return the input schedule")
+	}
+}
+
+func TestRebalanceDecay(t *testing.T) {
+	b, _ := NewBalancer(Config{Partitions: 4, Decay: 0.5}, 2)
+	b.Counts[1] = 80
+	b.Rebalance(NewStatic(4, 2))
+	if b.Counts[1] != 40 {
+		t.Fatalf("count after decay = %g, want 40", b.Counts[1])
+	}
+}
+
+func TestRebalanceShrinkColdPartitions(t *testing.T) {
+	b, _ := NewBalancer(Config{Partitions: 4, ShrinkFraction: 0.5}, 4)
+	s := NewStatic(4, 4)
+	s.Teams[2] = []int{2, 0, 1} // stale wide team on a now-cold partition
+	b.Counts = []float64{100, 100, 0, 100}
+	ns, changed := b.Rebalance(s)
+	if !changed {
+		t.Fatal("no change reported")
+	}
+	if len(ns.Teams[2]) != 1 || ns.Teams[2][0] != 2 {
+		t.Fatalf("cold partition not shrunk to home: %v", ns.Teams[2])
+	}
+}
+
+func TestRebalanceMaxTeam(t *testing.T) {
+	b, _ := NewBalancer(Config{Partitions: 2, MaxTeam: 2}, 8)
+	s := NewStatic(2, 8)
+	b.Counts[0] = 1e6
+	for i := 0; i < 10; i++ {
+		s, _ = b.Rebalance(s)
+		b.Counts[0] = 1e6
+	}
+	if len(s.Teams[0]) > 2 {
+		t.Fatalf("team grew past MaxTeam: %v", s.Teams[0])
+	}
+}
+
+// TestQuickRebalanceNeverWorsens: for random load distributions, a
+// rebalance pass never increases unbalancedness (evaluated on the same
+// counts it optimized).
+func TestQuickRebalanceNeverWorsens(t *testing.T) {
+	f := func(loads [16]uint16, joiners uint8) bool {
+		j := int(joiners%7) + 2
+		b, err := NewBalancer(Config{Partitions: 16, Decay: 0.999}, j)
+		if err != nil {
+			return false
+		}
+		counts := make([]float64, 16)
+		for p := range counts {
+			counts[p] = float64(loads[p])
+			b.Counts[p] = counts[p]
+		}
+		s := NewStatic(16, j)
+		before := metrics.Unbalancedness(s.Workloads(counts, j))
+		ns, _ := b.Rebalance(s)
+		after := metrics.Unbalancedness(ns.Workloads(counts, j))
+		// Every team must still contain its home joiner.
+		for p, team := range ns.Teams {
+			found := false
+			for _, m := range team {
+				if m == p%j {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return after <= before+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopologyValidation(t *testing.T) {
+	if _, err := NewBalancer(Config{Topology: []int{0, 0, 1}}, 4); err == nil {
+		t.Fatal("mismatched topology length accepted")
+	}
+	if _, err := NewBalancer(Config{Topology: []int{0, 0, 1, 1}}, 4); err != nil {
+		t.Fatalf("valid topology rejected: %v", err)
+	}
+}
+
+// TestNUMAAwareReplication: with a 2-node topology and a moderately hot
+// partition, replication prefers same-node joiners; the flat balancer is
+// free to go cross-node.
+func TestNUMAAwareReplication(t *testing.T) {
+	const joiners = 8
+	topo := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	run := func(topology []int) (*Schedule, []float64) {
+		b, err := NewBalancer(Config{Partitions: 8, Topology: topology, Decay: 0.999}, joiners)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Partition 0 (home joiner 0, node 0) is hot; everyone else
+		// carries a light, uniform load so the balancer has both
+		// same-node and cross-node targets with similar loads.
+		counts := make([]float64, 8)
+		counts[0] = 8000
+		for p := 1; p < 8; p++ {
+			counts[p] = 100
+		}
+		copy(b.Counts, counts)
+		s := NewStatic(8, joiners)
+		for i := 0; i < 6; i++ {
+			s, _ = b.Rebalance(s)
+			copy(b.Counts, counts)
+		}
+		return s, counts
+	}
+
+	aware, counts := run(topo)
+	crossAware := CrossNodeShare(aware, counts, topo, joiners)
+	if len(aware.Teams[0]) < 2 {
+		t.Fatalf("hot partition not replicated: %v", aware.Teams[0])
+	}
+	// The aware balancer keeps the hot team on node 0 (where three idle
+	// joiners wait); the flat balancer spreads across the machine.
+	if crossAware > 0.05 {
+		t.Fatalf("cross-node share %.2f with topology awareness", crossAware)
+	}
+	flat, _ := run(nil)
+	crossFlat := CrossNodeShare(flat, counts, topo, joiners)
+	if crossFlat <= crossAware {
+		t.Fatalf("flat balancer (%.2f) not more cross-node than aware (%.2f)", crossFlat, crossAware)
+	}
+	// Locality trades some balance, but the schedule must still be far
+	// better than the static one it started from.
+	static := metrics.Unbalancedness(NewStatic(8, joiners).Workloads(counts, joiners))
+	aw := metrics.Unbalancedness(aware.Workloads(counts, joiners))
+	if aw > static/2 {
+		t.Fatalf("aware schedule barely improved balance: %.3f vs static %.3f", aw, static)
+	}
+}
+
+func TestCrossNodeShare(t *testing.T) {
+	topo := []int{0, 0, 1, 1}
+	s := NewStatic(4, 4)
+	counts := []float64{10, 10, 10, 10}
+	if got := CrossNodeShare(s, counts, topo, 4); got != 0 {
+		t.Fatalf("static schedule cross share = %g", got)
+	}
+	if got := CrossNodeShare(s, counts, nil, 4); got != 0 {
+		t.Fatalf("flat machine cross share = %g", got)
+	}
+	// Partition 0 (home joiner 0, node 0) half-served by node 1.
+	s.Teams[0] = []int{0, 2}
+	got := CrossNodeShare(s, counts, topo, 4)
+	if got != 10*0.5/40 {
+		t.Fatalf("cross share = %g, want %g", got, 10*0.5/40)
+	}
+	if CrossNodeShare(s, []float64{0, 0, 0, 0}, topo, 4) != 0 {
+		t.Fatal("zero-load cross share not 0")
+	}
+}

@@ -1,0 +1,96 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"oij/internal/tuple"
+	"oij/internal/wire"
+)
+
+// Client is a minimal synchronous client for the serving protocol. Send
+// methods may be called from one goroutine while another drains Recv;
+// neither method is individually safe for concurrent use.
+type Client struct {
+	conn net.Conn
+	w    *wire.Writer
+	r    *wire.Reader
+	seq  uint64
+}
+
+// Dial connects to a Server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, w: wire.NewWriter(conn), r: wire.NewReader(conn)}, nil
+}
+
+// SendProbe streams one probe tuple (buffered; see Flush).
+func (c *Client) SendProbe(key tuple.Key, ts tuple.Time, val float64) error {
+	return c.w.WriteTuple(wire.Tuple{TS: ts, Key: key, Val: val})
+}
+
+// SendBase streams one feature request and returns its session-local
+// sequence number, which the matching result frame will carry.
+func (c *Client) SendBase(key tuple.Key, ts tuple.Time, val float64) (uint64, error) {
+	seq := c.seq
+	c.seq++
+	return seq, c.w.WriteTuple(wire.Tuple{Base: true, TS: ts, Key: key, Val: val})
+}
+
+// Flush pushes buffered frames to the wire.
+func (c *Client) Flush() error { return c.w.Flush() }
+
+// Barrier sends a flush frame and pushes the buffer; the server echoes a
+// flush frame once every request sent so far has been answered (collect it
+// via Recv).
+func (c *Client) Barrier() error {
+	if err := c.w.WriteFlush(); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// Recv reads the next server frame: a result, a flush ack (Kind ==
+// wire.TagFlush), or a server error.
+func (c *Client) Recv() (wire.Message, error) {
+	m, err := c.r.Read()
+	if err != nil {
+		return m, err
+	}
+	if m.Kind == wire.TagError {
+		return m, fmt.Errorf("server error: %s", m.Err)
+	}
+	return m, nil
+}
+
+// RecvResults collects result frames until a flush ack arrives (send
+// Barrier first) or the deadline passes.
+func (c *Client) RecvResults(deadline time.Duration) ([]wire.Result, error) {
+	if deadline > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(deadline))
+		defer c.conn.SetReadDeadline(time.Time{})
+	}
+	var out []wire.Result
+	for {
+		m, err := c.Recv()
+		if err != nil {
+			return out, err
+		}
+		switch m.Kind {
+		case wire.TagResult:
+			out = append(out, m.Result)
+		case wire.TagFlush:
+			return out, nil
+		}
+	}
+}
+
+// Close flushes and closes the connection.
+func (c *Client) Close() error {
+	c.w.Flush()
+	return c.conn.Close()
+}

@@ -1,0 +1,480 @@
+// Package server exposes an online interval join over TCP, modelling the
+// OpenMLDB serving path: clients stream probe data continuously and send
+// base frames as feature requests; the server answers every base frame
+// with its window aggregate over the shared join state.
+//
+// All sessions feed one engine through a single ingest goroutine (engines
+// require a single ingester), so clients share state: a probe pushed by
+// one connection is visible to every other connection's requests, exactly
+// like rows in a shared feature store. Event time is likewise shared — the
+// watermark follows the maximum timestamp over all clients.
+//
+// Protocol: see package wire. Every base frame is answered with exactly
+// one result frame carrying a session-local sequence number (the order the
+// session's base frames were received); a flush frame is echoed back once
+// all of the session's outstanding requests have been answered.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oij/internal/engine"
+	"oij/internal/harness"
+	"oij/internal/tuple"
+	"oij/internal/wire"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Algorithm is a harness engine variant (default scale-oij).
+	Algorithm string
+	// Engine carries window, lateness, aggregation, joiners, and mode.
+	Engine engine.Config
+	// IngestBuffer is the funnel channel depth (default 4096).
+	IngestBuffer int
+	// ResultBuffer is the per-session outgoing queue depth (default
+	// 1024). A session that stops reading eventually backpressures the
+	// whole engine — the deliberate flow-control of a single shared
+	// state.
+	ResultBuffer int
+	// WALPath, when set, appends every ingested probe to a write-ahead
+	// log (wire format) and lets Recover rebuild the join state after a
+	// restart. The log keeps at most two segments covering the join's
+	// retention horizon.
+	WALPath string
+	// WALSegmentBytes is the rotation threshold (default 64 MiB).
+	WALSegmentBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Algorithm == "" {
+		c.Algorithm = harness.ScaleOIJ
+	}
+	if c.IngestBuffer <= 0 {
+		c.IngestBuffer = 4096
+	}
+	if c.ResultBuffer <= 0 {
+		c.ResultBuffer = 1024
+	}
+	if c.Engine.WatermarkEvery <= 0 {
+		// Serving favours promptness over amortization: watermark per
+		// tuple, so low-rate request streams finalize without waiting
+		// for a 256-tuple batch. High-rate deployments raise this.
+		c.Engine.WatermarkEvery = 1
+	}
+	c.Engine = c.Engine.WithDefaults()
+	return c
+}
+
+// pendingBase routes a result back to its session.
+type pendingBase struct {
+	sess     *session
+	localSeq uint64
+}
+
+// ingestReq is one unit of work for the ingest goroutine: a probe
+// (sess == nil), a base request (sess set), or a flush barrier (flush set;
+// routed through the funnel so it observes every base queued before it).
+type ingestReq struct {
+	t     wire.Tuple
+	sess  *session
+	flush bool
+}
+
+// Server is a running join service.
+type Server struct {
+	cfg Config
+	eng engine.Engine
+
+	ln     net.Listener
+	ingest chan ingestReq
+
+	mu       sync.Mutex
+	pending  map[uint64]pendingBase // engine (global) seq -> session route
+	sessions map[*session]struct{}
+	closed   bool
+
+	nextGlobal uint64
+	served     atomic.Int64
+	wg         sync.WaitGroup // ingest + accept loops
+	sessWG     sync.WaitGroup // session goroutines
+
+	wal     *walWriter
+	walErrs atomic.Int64
+	started bool
+}
+
+// New builds a server (not yet listening).
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Engine.Validate(); err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	s := &Server{
+		cfg:      cfg,
+		ingest:   make(chan ingestReq, cfg.IngestBuffer),
+		pending:  map[uint64]pendingBase{},
+		sessions: map[*session]struct{}{},
+	}
+	eng, err := harness.Build(cfg.Algorithm, cfg.Engine, serverSink{s})
+	if err != nil {
+		return nil, err
+	}
+	s.eng = eng
+	if cfg.WALPath != "" {
+		w := cfg.Engine.Window
+		retention := 2*w.Len() + w.Lateness
+		s.wal, err = newWALWriter(cfg.WALPath, cfg.WALSegmentBytes, retention)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// startEngine starts the engine exactly once.
+func (s *Server) startEngine() {
+	if !s.started {
+		s.started = true
+		s.eng.Start()
+	}
+}
+
+// Recover replays the write-ahead log into the engine, rebuilding the
+// probe state a previous process had buffered. Call before Listen; returns
+// the number of probes recovered. A torn final frame (crash mid-write) is
+// tolerated. Without a configured WALPath it is a no-op.
+func (s *Server) Recover() (int, error) {
+	if s.cfg.WALPath == "" {
+		return 0, nil
+	}
+	s.startEngine()
+	n, newest, err := replayWAL(s.cfg.WALPath, func(t wire.Tuple) {
+		s.eng.Ingest(tuple.Tuple{TS: t.TS, Key: t.Key, Val: t.Val, Side: tuple.Probe})
+	})
+	if newest > s.wal.maxTS {
+		s.wal.maxTS = newest
+	}
+	return n, err
+}
+
+// serverSink routes engine results back to the issuing session.
+type serverSink struct{ s *Server }
+
+// Emit implements engine.Sink.
+func (k serverSink) Emit(_ int, r tuple.Result) {
+	k.s.mu.Lock()
+	p, ok := k.s.pending[r.BaseSeq]
+	if ok {
+		delete(k.s.pending, r.BaseSeq)
+	}
+	k.s.mu.Unlock()
+	if !ok {
+		return // session gone
+	}
+	p.sess.deliver(wire.Result{
+		Seq:     p.localSeq,
+		TS:      r.BaseTS,
+		Key:     r.Key,
+		Agg:     r.Agg,
+		Matches: r.Matches,
+	})
+}
+
+// Listen starts serving on addr and returns the bound address (useful with
+// ":0"). Serve loops run in background goroutines; call Shutdown to stop.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	s.startEngine()
+	s.wg.Add(2)
+	go s.ingestLoop()
+	go s.acceptLoop()
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		sess := newSession(s, conn)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.sessions[sess] = struct{}{}
+		s.mu.Unlock()
+		s.sessWG.Add(1)
+		go func() {
+			defer s.sessWG.Done()
+			sess.run()
+			s.mu.Lock()
+			delete(s.sessions, sess)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// ingestLoop is the single goroutine allowed to call Engine.Ingest. While
+// the input is idle it heartbeats the engine so watermark-mode windows
+// keep finalizing without fresh tuples (a request stream can go quiet with
+// answers still pending).
+func (s *Server) ingestLoop() {
+	defer s.wg.Done()
+	beat := time.NewTicker(2 * time.Millisecond)
+	defer beat.Stop()
+	for {
+		var req ingestReq
+		var ok bool
+		select {
+		case req, ok = <-s.ingest:
+			if !ok {
+				return
+			}
+		case <-beat.C:
+			s.eng.Heartbeat()
+			if s.wal != nil {
+				s.wal.flush() // durability rides the heartbeat cadence
+			}
+			continue
+		}
+		if req.flush {
+			// Every base this session sent before the flush frame
+			// has been registered by now; ack once they are all
+			// answered.
+			go req.sess.ackFlush()
+			continue
+		}
+		t := tuple.Tuple{TS: req.t.TS, Key: req.t.Key, Val: req.t.Val}
+		if req.sess != nil {
+			t.Side = tuple.Base
+			t.Seq = s.nextGlobal
+			t.Arrival = time.Now()
+			s.nextGlobal++
+			local := req.sess.nextLocal
+			req.sess.nextLocal++
+			s.mu.Lock()
+			s.pending[t.Seq] = pendingBase{sess: req.sess, localSeq: local}
+			s.mu.Unlock()
+			req.sess.outstanding.Add(1)
+		} else {
+			t.Side = tuple.Probe
+			if s.wal != nil {
+				if err := s.wal.append(req.t); err != nil {
+					// Durability degraded, availability kept:
+					// log once per incident via the error frame
+					// path is overkill here; the counter lets
+					// operators alert on it.
+					s.walErrs.Add(1)
+				}
+			}
+		}
+		s.eng.Ingest(t)
+		s.served.Add(1)
+	}
+}
+
+// Shutdown stops accepting, disconnects every session, flushes the engine,
+// and waits for all goroutines. Results still pending when their session
+// disconnects are dropped — a client that wants every answer sends a flush
+// frame and waits for the ack before closing.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	sessions := make([]*session, 0, len(s.sessions))
+	for sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	// Unblock every session reader (the ingest loop keeps draining, so a
+	// reader blocked on the funnel progresses too), wait for them, and
+	// only then close the funnel — no sender may remain when it closes.
+	for _, sess := range sessions {
+		sess.conn.SetReadDeadline(time.Now())
+	}
+	s.sessWG.Wait()
+	close(s.ingest)
+	s.eng.Drain()
+	s.wg.Wait()
+	if s.wal != nil {
+		s.wal.close()
+	}
+}
+
+// WALErrors reports append failures since startup (0 without a WAL).
+func (s *Server) WALErrors() int64 { return s.walErrs.Load() }
+
+// Served returns the number of tuples ingested over the network.
+func (s *Server) Served() int64 { return s.served.Load() }
+
+// Stats exposes the underlying engine statistics.
+func (s *Server) Stats() *engine.Stats { return s.eng.Stats() }
+
+// session is one client connection.
+type session struct {
+	s    *Server
+	conn net.Conn
+	out  chan wire.Message
+
+	nextLocal   uint64 // owned by the ingest goroutine
+	outstanding atomic.Int64
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+func newSession(s *Server, conn net.Conn) *session {
+	return &session{
+		s:    s,
+		conn: conn,
+		out:  make(chan wire.Message, s.cfg.ResultBuffer),
+		done: make(chan struct{}),
+	}
+}
+
+// deliver queues a result for the writer goroutine. The outstanding
+// counter is decremented only after the result is queued, so a flush ack
+// can never overtake the final answer it covers.
+func (se *session) deliver(r wire.Result) {
+	select {
+	case se.out <- wire.Message{Kind: wire.TagResult, Result: r}:
+	case <-se.done:
+	}
+	se.outstanding.Add(-1)
+}
+
+// run services the connection until EOF or error. Teardown order matters:
+// the done channel stops new work, the writer drains whatever is already
+// queued (results, flush acks, protocol errors) to the still-open
+// connection, and only then does the connection close.
+func (se *session) run() {
+	writerDone := make(chan struct{})
+	go se.writeLoop(writerDone)
+	defer func() {
+		se.close()
+		<-writerDone
+		se.conn.Close()
+	}()
+
+	r := wire.NewReader(se.conn)
+	for {
+		m, err := r.Read()
+		if err != nil {
+			return // EOF and deadline errors are normal teardown paths
+		}
+		switch m.Kind {
+		case wire.TagProbe:
+			se.s.ingest <- ingestReq{t: m.Tuple}
+		case wire.TagBase:
+			se.s.ingest <- ingestReq{t: m.Tuple, sess: se}
+		case wire.TagFlush:
+			se.s.ingest <- ingestReq{sess: se, flush: true}
+		default:
+			se.sendError(errors.New("unexpected frame from client").Error())
+			return
+		}
+	}
+}
+
+// ackFlush waits until the session has no outstanding requests, then
+// echoes a flush frame.
+func (se *session) ackFlush() {
+	for se.outstanding.Load() > 0 {
+		select {
+		case <-se.done:
+			return
+		case <-time.After(time.Millisecond):
+		}
+	}
+	select {
+	case se.out <- wire.Message{Kind: wire.TagFlush}:
+	case <-se.done:
+	}
+}
+
+func (se *session) sendError(msg string) {
+	select {
+	case se.out <- wire.Message{Kind: wire.TagError, Err: msg}:
+	case <-se.done:
+	}
+}
+
+// writeLoop serializes outgoing frames, flushing when the queue drains.
+func (se *session) writeLoop(done chan struct{}) {
+	defer close(done)
+	w := wire.NewWriter(se.conn)
+	for {
+		select {
+		case m := <-se.out:
+			var err error
+			switch m.Kind {
+			case wire.TagResult:
+				err = w.WriteResult(m.Result)
+			case wire.TagFlush:
+				err = w.WriteFlush()
+			case wire.TagError:
+				err = w.WriteError(m.Err)
+			}
+			if err != nil {
+				return
+			}
+			if len(se.out) == 0 {
+				if err := w.Flush(); err != nil {
+					return
+				}
+			}
+		case <-se.done:
+			// Drain anything already queued (results, flush acks,
+			// protocol errors), then stop.
+			for {
+				select {
+				case m := <-se.out:
+					var err error
+					switch m.Kind {
+					case wire.TagResult:
+						err = w.WriteResult(m.Result)
+					case wire.TagFlush:
+						err = w.WriteFlush()
+					case wire.TagError:
+						err = w.WriteError(m.Err)
+					}
+					if err != nil {
+						return
+					}
+				default:
+					w.Flush()
+					return
+				}
+			}
+		}
+	}
+}
+
+// close marks the session done; the connection itself is closed by run()
+// once the writer has drained.
+func (se *session) close() {
+	se.closeOnce.Do(func() {
+		close(se.done)
+	})
+}

@@ -1,0 +1,178 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"oij/internal/tuple"
+	"oij/internal/wire"
+)
+
+// The write-ahead log makes the serving layer's probe state survive
+// restarts: every probe frame is appended (in the same wire format the
+// network speaks) before it is acknowledged by ingestion order, and on
+// startup Recover replays the log into the fresh engine. Base frames are
+// not logged — they are requests, not state.
+//
+// The log is two segments: `path` (current) and `path.1` (previous). When
+// the current segment exceeds SegmentBytes AND everything in the previous
+// segment has expired from the join window (older than the retention
+// horizon behind the newest logged timestamp), the segments rotate and the
+// old previous is deleted — so at most two segments exist and together
+// they always cover the retention horizon.
+
+// walWriter appends probe frames to the current segment. Single-writer
+// (the ingest goroutine).
+type walWriter struct {
+	path     string
+	maxBytes int64
+	// retention is how far behind the newest timestamp data must still
+	// be replayable (window + lateness + slack).
+	retention tuple.Time
+
+	f     *os.File
+	w     *wire.Writer
+	size  int64
+	maxTS tuple.Time
+	// prevNewest is the newest timestamp in path.1 (0 if none).
+	prevNewest tuple.Time
+}
+
+// frameBytes is the on-disk size of one probe frame.
+const frameBytes = 25
+
+func newWALWriter(path string, maxBytes int64, retention tuple.Time) (*walWriter, error) {
+	if maxBytes <= 0 {
+		maxBytes = 64 << 20
+	}
+	w := &walWriter{path: path, maxBytes: maxBytes, retention: retention}
+	if err := w.open(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *walWriter) open() error {
+	f, err := os.OpenFile(w.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	w.f = f
+	w.w = wire.NewWriter(f)
+	w.size = st.Size()
+	return nil
+}
+
+// append logs one probe tuple and rotates if due.
+func (w *walWriter) append(t wire.Tuple) error {
+	t.Base = false
+	if err := w.w.WriteTuple(t); err != nil {
+		return err
+	}
+	w.size += frameBytes
+	if t.TS > w.maxTS {
+		w.maxTS = t.TS
+	}
+	if w.size >= w.maxBytes {
+		return w.maybeRotate()
+	}
+	return nil
+}
+
+// maybeRotate rotates current → previous when the previous segment's
+// contents are entirely expired (or absent), keeping the two segments
+// sufficient to rebuild the retention horizon.
+func (w *walWriter) maybeRotate() error {
+	if w.prevNewest != 0 && w.prevNewest+w.retention >= w.maxTS {
+		return nil // previous still holds live data; keep growing
+	}
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(w.path, w.path+".1"); err != nil {
+		return err
+	}
+	w.prevNewest = w.maxTS
+	return w.open()
+}
+
+// flush pushes buffered frames to the OS.
+func (w *walWriter) flush() error {
+	if w.w == nil {
+		return nil
+	}
+	return w.w.Flush()
+}
+
+// close flushes and closes the segment.
+func (w *walWriter) close() error {
+	if w.f == nil {
+		return nil
+	}
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	return w.f.Close()
+}
+
+// replayWAL streams the recoverable probes — previous segment first, then
+// current — into fn. A truncated trailing frame (torn write at crash) ends
+// replay of that segment cleanly.
+func replayWAL(path string, fn func(wire.Tuple)) (int, tuple.Time, error) {
+	total := 0
+	var newest tuple.Time
+	for _, p := range []string{path + ".1", path} {
+		n, ts, err := replaySegment(p, fn)
+		if err != nil {
+			return total, newest, err
+		}
+		total += n
+		if ts > newest {
+			newest = ts
+		}
+	}
+	return total, newest, nil
+}
+
+func replaySegment(path string, fn func(wire.Tuple)) (int, tuple.Time, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	r := wire.NewReader(f)
+	n := 0
+	var newest tuple.Time
+	for {
+		m, err := r.Read()
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			// ErrUnexpectedEOF is a torn final frame from a crash
+			// mid-write; everything before it is intact.
+			return n, newest, nil
+		}
+		if err != nil {
+			return n, newest, fmt.Errorf("wal: %s: %w", path, err)
+		}
+		if m.Kind != wire.TagProbe {
+			return n, newest, fmt.Errorf("wal: %s: unexpected frame tag 0x%02x", path, m.Kind)
+		}
+		if m.Tuple.TS > newest {
+			newest = m.Tuple.TS
+		}
+		fn(m.Tuple)
+		n++
+	}
+}

@@ -1,0 +1,169 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"oij/internal/wire"
+)
+
+func walCfg(t *testing.T) (Config, string) {
+	t.Helper()
+	dir := t.TempDir()
+	cfg := baseCfg()
+	cfg.WALPath = filepath.Join(dir, "wal")
+	return cfg, cfg.WALPath
+}
+
+// TestWALRecovery: state streamed into one server instance survives into a
+// fresh instance recovering from the same log.
+func TestWALRecovery(t *testing.T) {
+	cfg, path := walCfg(t)
+
+	// First life: stream some orders and stop.
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s1.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, _ := Dial(addr.String())
+	for i := 0; i < 50; i++ {
+		c1.SendProbe(9, int64(1000+i), 2)
+	}
+	c1.Barrier()
+	if _, err := c1.RecvResults(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+	s1.Shutdown()
+	if s1.WALErrors() != 0 {
+		t.Fatalf("wal errors: %d", s1.WALErrors())
+	}
+
+	// Second life: recover and query.
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 50 {
+		t.Fatalf("recovered %d probes, want 50", n)
+	}
+	addr2, err := s2.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Shutdown()
+	c2, _ := Dial(addr2.String())
+	defer c2.Close()
+	c2.SendBase(9, 2000, 0)
+	c2.Barrier()
+	rs, err := c2.RecvResults(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].Matches != 50 || rs[0].Agg != 100 {
+		t.Fatalf("recovered state wrong: %+v", rs)
+	}
+	_ = path
+}
+
+// TestWALTornTail: a crash mid-frame leaves a truncated record, which
+// recovery must tolerate, keeping everything before it.
+func TestWALTornTail(t *testing.T) {
+	cfg, path := walCfg(t)
+	// Write 10 intact frames plus a torn one, by hand.
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := wire.NewWriter(f)
+	for i := 0; i < 10; i++ {
+		w.WriteTuple(wire.Tuple{TS: int64(i), Key: 1, Val: 1})
+	}
+	w.Flush()
+	f.Write([]byte{wire.TagProbe, 0x01, 0x02}) // torn frame
+	f.Close()
+
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.Recover()
+	if err != nil {
+		t.Fatalf("torn tail not tolerated: %v", err)
+	}
+	if n != 10 {
+		t.Fatalf("recovered %d, want 10", n)
+	}
+	s.Shutdown()
+}
+
+// TestWALRotation: tiny segments rotate and at most two exist; recovery
+// still sees the live horizon.
+func TestWALRotation(t *testing.T) {
+	cfg, path := walCfg(t)
+	cfg.WALSegmentBytes = 10 * frameBytes
+	cfg.Engine.Window.Pre = 100 // tiny horizon so rotation can discard
+	cfg.Engine.Window.Lateness = 10
+
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := Dial(addr.String())
+	for i := 0; i < 500; i++ {
+		c.SendProbe(1, int64(i*10), 1)
+	}
+	c.Barrier()
+	if _, err := c.RecvResults(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	s.Shutdown()
+
+	cur, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("current segment missing: %v", err)
+	}
+	if cur.Size() > 40*frameBytes {
+		t.Fatalf("current segment grew to %d bytes despite rotation", cur.Size())
+	}
+	// Recovery over the rotated pair still works.
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || n >= 500 {
+		t.Fatalf("recovered %d probes, want a rotated subset", n)
+	}
+	s2.Shutdown()
+}
+
+// TestNoWALNoop: Recover without a WAL configured is a no-op.
+func TestNoWALNoop(t *testing.T) {
+	s, err := New(baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := s.Recover(); n != 0 || err != nil {
+		t.Fatalf("no-op recover: %d, %v", n, err)
+	}
+	s.Shutdown()
+}

@@ -1,0 +1,56 @@
+package skiplist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchPut inserts n keys drawn by gen into a fresh list, with eviction
+// keeping roughly `live` entries resident — the steady-state streaming
+// pattern of the time-travel index.
+func benchPut(b *testing.B, live int64, gen func(i int64, rng *rand.Rand) int64) {
+	rng := rand.New(rand.NewSource(1))
+	l := New[int64, float64](1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := gen(int64(i), rng)
+		l.Put(k, float64(i))
+		if int64(i)%1024 == 1023 {
+			l.EvictBefore(int64(i) - live)
+		}
+	}
+}
+
+func BenchmarkPutAscending(b *testing.B) {
+	benchPut(b, 1<<62, func(i int64, _ *rand.Rand) int64 { return i })
+}
+
+func BenchmarkPutDisordered1K(b *testing.B) {
+	benchPut(b, 1<<62, func(i int64, rng *rand.Rand) int64 { return i - rng.Int63n(1000) })
+}
+
+func BenchmarkPutDisordered30K(b *testing.B) {
+	benchPut(b, 1<<62, func(i int64, rng *rand.Rand) int64 { return i - rng.Int63n(30_000) })
+}
+
+func BenchmarkPutDisordered30KEvicted(b *testing.B) {
+	benchPut(b, 60_000, func(i int64, rng *rand.Rand) int64 { return i - rng.Int63n(30_000) })
+}
+
+func BenchmarkScan(b *testing.B) {
+	l := New[int64, float64](1)
+	for i := int64(0); i < 100_000; i++ {
+		l.Put(i, float64(i))
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		lo := int64(i%50_000) + 10_000
+		l.AscendRange(lo, lo+1000, func(_ int64, v float64) bool {
+			sink += v
+			return true
+		})
+	}
+	_ = sink
+}

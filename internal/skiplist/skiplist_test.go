@@ -1,0 +1,345 @@
+package skiplist
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	l := New[int64, string](1)
+	if l.Len() != 0 {
+		t.Fatalf("empty list Len = %d", l.Len())
+	}
+	if _, ok := l.Get(5); ok {
+		t.Fatal("Get on empty list returned ok")
+	}
+	if _, _, ok := l.Min(); ok {
+		t.Fatal("Min on empty list returned ok")
+	}
+	if n := l.AscendRange(0, 100, func(int64, string) bool { return true }); n != 0 {
+		t.Fatalf("AscendRange on empty visited %d", n)
+	}
+	if got := l.EvictBefore(10); got != 0 {
+		t.Fatalf("EvictBefore on empty removed %d", got)
+	}
+}
+
+func TestPutGetOrdered(t *testing.T) {
+	l := New[int64, int](1)
+	perm := rand.New(rand.NewSource(7)).Perm(1000)
+	for _, v := range perm {
+		l.Put(int64(v), v*10)
+	}
+	if l.Len() != 1000 {
+		t.Fatalf("Len = %d, want 1000", l.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		got, ok := l.Get(int64(i))
+		if !ok || got != i*10 {
+			t.Fatalf("Get(%d) = %d,%v", i, got, ok)
+		}
+	}
+	if _, ok := l.Get(1000); ok {
+		t.Fatal("Get(1000) should miss")
+	}
+	// Full iteration must be sorted.
+	var keys []int64
+	l.All(func(k int64, _ int) bool { keys = append(keys, k); return true })
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatal("All iteration out of order")
+	}
+	if len(keys) != 1000 {
+		t.Fatalf("All visited %d keys", len(keys))
+	}
+}
+
+func TestDuplicateKeysInsertionOrder(t *testing.T) {
+	l := New[int64, int](2)
+	for i := 0; i < 5; i++ {
+		l.Put(7, i)
+	}
+	l.Put(6, -1)
+	l.Put(8, -2)
+	var vals []int
+	l.AscendRange(7, 7, func(_ int64, v int) bool { vals = append(vals, v); return true })
+	if len(vals) != 5 {
+		t.Fatalf("visited %d duplicates, want 5", len(vals))
+	}
+	for i, v := range vals {
+		if v != i {
+			t.Fatalf("duplicates out of insertion order: %v", vals)
+		}
+	}
+	// Get returns the first duplicate.
+	if v, ok := l.Get(7); !ok || v != 0 {
+		t.Fatalf("Get(7) = %d,%v; want first inserted 0", v, ok)
+	}
+}
+
+func TestAscendRangeBounds(t *testing.T) {
+	l := New[int64, int](3)
+	for i := int64(0); i < 100; i += 2 { // even keys 0..98
+		l.Put(i, int(i))
+	}
+	cases := []struct {
+		lo, hi int64
+		want   int
+	}{
+		{0, 98, 50},   // everything
+		{1, 97, 48},   // interior, exclusive of endpoints not present
+		{10, 10, 1},   // single present key
+		{11, 11, 0},   // single absent key
+		{-50, -1, 0},  // below range
+		{99, 200, 0},  // above range
+		{90, 1000, 5}, // upper tail
+	}
+	for _, c := range cases {
+		n := 0
+		l.AscendRange(c.lo, c.hi, func(int64, int) bool { n++; return true })
+		if n != c.want {
+			t.Errorf("AscendRange(%d,%d) visited %d, want %d", c.lo, c.hi, n, c.want)
+		}
+	}
+	// Early stop.
+	n := 0
+	l.AscendRange(0, 98, func(int64, int) bool { n++; return n < 7 })
+	if n != 7 {
+		t.Fatalf("early stop visited %d, want 7", n)
+	}
+}
+
+func TestEvictBefore(t *testing.T) {
+	l := New[int64, int](4)
+	for i := int64(0); i < 100; i++ {
+		l.Put(i, int(i))
+	}
+	if got := l.EvictBefore(40); got != 40 {
+		t.Fatalf("EvictBefore(40) removed %d, want 40", got)
+	}
+	if l.Len() != 60 {
+		t.Fatalf("Len after evict = %d, want 60", l.Len())
+	}
+	if k, _, ok := l.Min(); !ok || k != 40 {
+		t.Fatalf("Min after evict = %d,%v; want 40", k, ok)
+	}
+	if _, ok := l.Get(39); ok {
+		t.Fatal("evicted key still reachable from head")
+	}
+	if v, ok := l.Get(40); !ok || v != 40 {
+		t.Fatal("surviving key lost")
+	}
+	// Evicting before the minimum is a no-op.
+	if got := l.EvictBefore(10); got != 0 {
+		t.Fatalf("second EvictBefore removed %d, want 0", got)
+	}
+	// Evict everything.
+	if got := l.EvictBefore(1 << 40); got != 60 {
+		t.Fatalf("final EvictBefore removed %d, want 60", got)
+	}
+	if l.Len() != 0 {
+		t.Fatalf("Len = %d after total eviction", l.Len())
+	}
+	// List remains usable.
+	l.Put(5, 5)
+	if v, ok := l.Get(5); !ok || v != 5 {
+		t.Fatal("list unusable after total eviction")
+	}
+}
+
+func TestEvictBeforeDuplicates(t *testing.T) {
+	l := New[int64, int](5)
+	for i := 0; i < 10; i++ {
+		l.Put(1, i)
+		l.Put(2, i)
+	}
+	if got := l.EvictBefore(2); got != 10 {
+		t.Fatalf("removed %d, want 10", got)
+	}
+	n := 0
+	l.All(func(k int64, _ int) bool {
+		if k != 2 {
+			t.Fatalf("unexpected surviving key %d", k)
+		}
+		n++
+		return true
+	})
+	if n != 10 {
+		t.Fatalf("%d survivors, want 10", n)
+	}
+}
+
+// TestQuickMatchesSortedSlice property-tests the list against a sorted
+// reference for arbitrary insert sequences and range queries.
+func TestQuickMatchesSortedSlice(t *testing.T) {
+	f := func(keys []int16, lo, hi int16) bool {
+		l := New[int64, int](99)
+		ref := make([]int64, 0, len(keys))
+		for i, k := range keys {
+			l.Put(int64(k), i)
+			ref = append(ref, int64(k))
+		}
+		sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		want := 0
+		for _, k := range ref {
+			if k >= int64(lo) && k <= int64(hi) {
+				want++
+			}
+		}
+		got := l.AscendRange(int64(lo), int64(hi), func(int64, int) bool { return true })
+		return got == want && l.Len() == len(keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEvictionPrefix property-tests that eviction removes exactly the
+// keys below the bound.
+func TestQuickEvictionPrefix(t *testing.T) {
+	f := func(keys []int16, bound int16) bool {
+		l := New[int64, int](17)
+		below := 0
+		for i, k := range keys {
+			l.Put(int64(k), i)
+			if int64(k) < int64(bound) {
+				below++
+			}
+		}
+		removed := l.EvictBefore(int64(bound))
+		if removed != below || l.Len() != len(keys)-below {
+			return false
+		}
+		ok := true
+		l.All(func(k int64, _ int) bool {
+			if k < int64(bound) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSWMRConcurrentReaders stress-tests the single-writer/multi-reader
+// contract: one writer inserts ascending timestamps and periodically evicts
+// a prefix while readers continuously range-scan. Readers must always see
+// internally consistent data: scans over a fixed immutable range (already
+// fully inserted, never evicted) must return exactly that range.
+func TestSWMRConcurrentReaders(t *testing.T) {
+	l := New[int64, int64](11)
+
+	// Phase 1: install an immutable "anchor" range [1_000_000, 1_000_999]
+	// that the writer never evicts.
+	const anchorLo, anchorHi = int64(1_000_000), int64(1_000_999)
+	for k := anchorLo; k <= anchorHi; k++ {
+		l.Put(k, k)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	const readers = 4
+	errs := make(chan string, readers)
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Anchor scan must be exact.
+				n, sum := 0, int64(0)
+				last := int64(-1)
+				l.AscendRange(anchorLo, anchorHi, func(k int64, v int64) bool {
+					if k < last {
+						errs <- "scan went backwards"
+						return false
+					}
+					last = k
+					n++
+					sum += v
+					return true
+				})
+				if n != 1000 {
+					errs <- "anchor scan wrong cardinality"
+					return
+				}
+				want := (anchorLo + anchorHi) * 1000 / 2
+				if sum != want {
+					errs <- "anchor scan wrong sum"
+					return
+				}
+				// Scans over the churning region must stay sorted
+				// and never crash.
+				last = -1
+				l.AscendRange(0, 500_000, func(k int64, _ int64) bool {
+					if k < last {
+						errs <- "churn scan out of order"
+						return false
+					}
+					last = k
+					return true
+				})
+			}
+		}()
+	}
+
+	// Writer: churn below the anchor.
+	for i := int64(0); i < 200_000; i++ {
+		l.Put(i, i)
+		if i%1024 == 1023 {
+			l.EvictBefore(i - 512)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case e := <-errs:
+		t.Fatal(e)
+	default:
+	}
+}
+
+func TestSeedZeroUsable(t *testing.T) {
+	l := New[uint64, int](0)
+	for i := uint64(0); i < 100; i++ {
+		l.Put(i, int(i))
+	}
+	if l.Len() != 100 {
+		t.Fatal("seed-0 list broken")
+	}
+}
+
+func TestHeightDistribution(t *testing.T) {
+	// Tower heights should be geometric-ish: most nodes at height 1 and
+	// a non-trivial share above (sanity check on randomHeight, which a
+	// broken xorshift would flatten to all-1 or all-max).
+	l := New[int64, int](123)
+	h1, hMore := 0, 0
+	for i := 0; i < 10000; i++ {
+		if h := l.randomHeight(); h == 1 {
+			h1++
+		} else {
+			hMore++
+		}
+	}
+	if h1 < 6000 || h1 > 9000 {
+		t.Fatalf("height-1 fraction %d/10000 outside [0.6, 0.9]", h1)
+	}
+	if hMore == 0 {
+		t.Fatal("no tall towers at all")
+	}
+}

@@ -1,0 +1,299 @@
+// Package splitjoin implements SplitJoin (Najafi, Sadoghi, Jacobsen —
+// USENIX ATC'16) adapted to online-interval-join semantics, the third
+// comparator in the paper's §V-D evaluation.
+//
+// SplitJoin replaces key partitioning with a top-down data-flow model:
+// every incoming tuple is *broadcast* to all joiners ("split"); each joiner
+// *stores* only its round-robin share of the probe stream but *processes*
+// every base tuple against that local share, emitting a partial aggregate;
+// a collection stage merges the per-joiner partials into the final result.
+// As in the paper, the adaptation adds a relative-window predicate to every
+// comparison so the semantics match OIJ.
+//
+// The model is perfectly balanced by construction (hence its good latency
+// on skewed workloads) but pays for it with J-way tuple broadcast traffic
+// and the all-joiners-process-all-tuples pattern, which the paper shows
+// over-killing the balance benefit at small windows and high thread counts
+// (Fig. 21) and with full-buffer scans under large lateness (Fig. 19).
+package splitjoin
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oij/internal/agg"
+	"oij/internal/engine"
+	"oij/internal/queue"
+	"oij/internal/tuple"
+	"oij/internal/watermark"
+)
+
+// partial is one joiner's contribution to one base tuple's aggregate.
+type partial struct {
+	baseSeq uint64
+	baseTS  tuple.Time
+	key     tuple.Key
+	arrival time.Time
+	st      agg.State
+}
+
+// Engine is the SplitJoin implementation of engine.Engine.
+type Engine struct {
+	cfg   engine.Config
+	tr    *engine.Transport
+	sink  engine.Sink
+	lrec  engine.LatencyRecorder
+	stats *engine.Stats
+	js    []*joiner
+
+	// partials[i] carries joiner i's partial aggregates to the merger.
+	partials []*queue.SPSC[partial]
+	mergerWG sync.WaitGroup
+}
+
+// New builds a SplitJoin engine.
+func New(cfg engine.Config, sink engine.Sink) *Engine {
+	cfg = cfg.WithDefaults()
+	if cfg.Instrument {
+		cfg.TrackBusy = true
+	}
+	e := &Engine{cfg: cfg, tr: engine.NewTransport(cfg), sink: sink, stats: engine.NewStats(cfg.Joiners)}
+	e.lrec, _ = sink.(engine.LatencyRecorder)
+	e.partials = make([]*queue.SPSC[partial], cfg.Joiners)
+	for i := range e.partials {
+		e.partials[i] = queue.NewSPSC[partial](cfg.QueueCap)
+	}
+	e.js = make([]*joiner, cfg.Joiners)
+	for i := range e.js {
+		e.js[i] = &joiner{e: e, id: i, buffers: make(map[tuple.Key][]tuple.Tuple), wm: watermark.MinTime, lastSweep: watermark.MinTime}
+	}
+	return e
+}
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string { return "splitjoin" }
+
+// Start implements engine.Engine.
+func (e *Engine) Start() {
+	for i, j := range e.js {
+		var busy *atomic.Int64
+		if e.cfg.TrackBusy {
+			busy = &e.stats.Busy[i]
+		}
+		e.tr.Go(i, engine.JoinerHooks{OnTuple: j.onTuple, OnWatermark: j.onWatermark, Busy: busy})
+	}
+	e.mergerWG.Add(1)
+	go e.mergeLoop()
+}
+
+// Ingest implements engine.Engine: broadcast (the "split" step).
+func (e *Engine) Ingest(t tuple.Tuple) {
+	e.tr.Observe(t.TS)
+	e.tr.Broadcast(t)
+	e.stats.Extra["broadcast"] += int64(e.cfg.Joiners)
+}
+
+// Drain implements engine.Engine.
+func (e *Engine) Drain() {
+	e.tr.Finish()
+	for _, q := range e.partials {
+		q.Close()
+	}
+	e.mergerWG.Wait()
+	var evicted int64
+	for _, j := range e.js {
+		evicted += j.evicted
+	}
+	e.stats.Evicted.Store(evicted)
+	if e.cfg.Instrument {
+		engine.FillOther(e.stats)
+	}
+}
+
+// Stats implements engine.Engine.
+func (e *Engine) Stats() *engine.Stats { return e.stats }
+
+// Heartbeat implements engine.Engine.
+func (e *Engine) Heartbeat() { e.tr.Heartbeat() }
+
+// mergeLoop is the collection stage: it gathers the J partial aggregates
+// of every base tuple and emits the merged result.
+type mergeSlot struct {
+	st      agg.State
+	got     int
+	baseTS  tuple.Time
+	key     tuple.Key
+	arrival time.Time
+}
+
+func (e *Engine) mergeLoop() {
+	defer e.mergerWG.Done()
+	slots := make(map[uint64]*mergeSlot)
+	open := len(e.partials)
+	batch := make([]partial, 64)
+	for open > 0 {
+		progress := false
+		for _, q := range e.partials {
+			n := q.PopBatch(batch)
+			if n == 0 {
+				continue
+			}
+			progress = true
+			for _, p := range batch[:n] {
+				slot, ok := slots[p.baseSeq]
+				if !ok {
+					slot = &mergeSlot{st: agg.NewState(e.cfg.Agg), baseTS: p.baseTS, key: p.key, arrival: p.arrival}
+					slots[p.baseSeq] = slot
+				}
+				slot.st.Merge(p.st)
+				slot.got++
+				if slot.got == e.cfg.Joiners {
+					delete(slots, p.baseSeq)
+					e.stats.Results.Add(1)
+					e.sink.Emit(0, tuple.Result{
+						BaseTS:  slot.baseTS,
+						Key:     slot.key,
+						BaseSeq: p.baseSeq,
+						Agg:     slot.st.Value(),
+						Matches: slot.st.Count(),
+					})
+					if e.lrec != nil && !slot.arrival.IsZero() {
+						e.lrec.Record(0, time.Since(slot.arrival))
+					}
+				}
+			}
+		}
+		if !progress {
+			open = 0
+			for _, q := range e.partials {
+				if !q.Closed() || q.Len() > 0 {
+					open++
+				}
+			}
+			runtime.Gosched()
+		}
+	}
+}
+
+// joiner is one SplitJoin worker: it stores its round-robin 1/J share of
+// the probe stream in per-key arrival-order buffers and evaluates every
+// base tuple against that local share.
+type joiner struct {
+	e  *Engine
+	id int
+
+	probeSeen uint64 // round-robin counter over the broadcast probe stream
+	buffers   map[tuple.Key][]tuple.Tuple
+	pending   engine.PendingHeap
+	wm        tuple.Time
+	lastSweep tuple.Time
+	evicted   int64
+	scratch   []engine.TSVal
+}
+
+func (j *joiner) onTuple(t tuple.Tuple) {
+	if t.Side == tuple.Probe {
+		// Store step: only the round-robin owner keeps the tuple. All
+		// joiners see the identical broadcast order, so ownership is
+		// consistent without coordination.
+		owner := j.probeSeen % uint64(j.e.cfg.Joiners)
+		j.probeSeen++
+		if owner != uint64(j.id) {
+			return
+		}
+		j.e.stats.Processed[j.id].Add(1)
+		j.buffers[t.Key] = append(j.buffers[t.Key], t)
+		return
+	}
+	j.e.stats.Processed[j.id].Add(1)
+	if j.e.cfg.Mode == engine.OnWatermark {
+		j.pending.Push(t)
+		return
+	}
+	j.join(t)
+}
+
+func (j *joiner) onWatermark(wm tuple.Time) {
+	// Equal watermarks are heartbeats: re-run finalization (the global
+	// minimum may have advanced) but skip stale (smaller) values.
+	if wm < j.wm {
+		return
+	}
+	j.wm = wm
+	if j.e.cfg.Mode == engine.OnWatermark {
+		for {
+			b, ok := j.pending.PopIfBefore(wm - j.e.cfg.Window.Fol)
+			if !ok {
+				break
+			}
+			j.join(b)
+		}
+	}
+	horizon := j.e.cfg.Window.Len() + j.e.cfg.Window.Lateness
+	if j.lastSweep == watermark.MinTime || wm-j.lastSweep > horizon/2+1 {
+		j.lastSweep = wm
+		bound := j.evictBound(wm)
+		for k, buf := range j.buffers {
+			keep := buf[:0]
+			for _, t := range buf {
+				if t.TS >= bound {
+					keep = append(keep, t)
+				} else {
+					j.evicted++
+				}
+			}
+			j.buffers[k] = keep
+		}
+	}
+}
+
+func (j *joiner) evictBound(wm tuple.Time) tuple.Time {
+	if wm == watermark.MinTime {
+		return watermark.MinTime
+	}
+	b := wm - j.e.cfg.Window.Pre
+	if j.e.cfg.Mode == engine.OnWatermark {
+		b -= j.e.cfg.Window.Fol
+	}
+	return b
+}
+
+// join scans the local probe share with the added interval predicate and
+// ships the partial aggregate to the merger.
+func (j *joiner) join(base tuple.Tuple) {
+	lo, hi := j.e.cfg.Window.Bounds(base.TS)
+	buf := j.buffers[base.Key]
+	st := agg.NewState(j.e.cfg.Agg)
+
+	if j.e.cfg.Instrument {
+		t0 := time.Now()
+		j.scratch = j.scratch[:0]
+		for _, t := range buf {
+			if t.TS >= lo && t.TS <= hi {
+				j.scratch = append(j.scratch, engine.TSVal{TS: t.TS, Val: t.Val})
+			}
+		}
+		t1 := time.Now()
+		for _, p := range j.scratch {
+			st.AddAt(p.TS, p.Val)
+		}
+		t2 := time.Now()
+		bd := &j.e.stats.Breakdown[j.id]
+		bd.Lookup += t1.Sub(t0)
+		bd.Match += t2.Sub(t1)
+		j.e.stats.Effect[j.id].Observe(int64(len(j.scratch)), int64(len(buf)))
+	} else {
+		for _, t := range buf {
+			if t.TS >= lo && t.TS <= hi {
+				st.AddAt(t.TS, t.Val)
+			}
+		}
+	}
+
+	p := partial{baseSeq: base.Seq, baseTS: base.TS, key: base.Key, arrival: base.Arrival, st: st}
+	for !j.e.partials[j.id].TryPush(p) {
+		runtime.Gosched()
+	}
+}

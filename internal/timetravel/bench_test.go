@@ -1,0 +1,57 @@
+package timetravel
+
+import (
+	"math/rand"
+	"testing"
+
+	"oij/internal/tuple"
+)
+
+// BenchmarkPutOrdered measures the streaming insert path with in-order
+// timestamps (the finger-search fast path).
+func BenchmarkPutOrdered(b *testing.B) {
+	ix := New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Put(tuple.Tuple{Key: tuple.Key(i % 64), TS: tuple.Time(i), Val: 1})
+		if i%4096 == 4095 {
+			ix.EvictBefore(tuple.Time(i - 100_000))
+		}
+	}
+}
+
+// BenchmarkPutDisordered measures inserts with bounded disorder (the
+// lateness regime the paper studies).
+func BenchmarkPutDisordered(b *testing.B) {
+	ix := New(2)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts := tuple.Time(i) - tuple.Time(rng.Int63n(10_000))
+		ix.Put(tuple.Tuple{Key: tuple.Key(i % 64), TS: ts, Val: 1})
+		if i%4096 == 4095 {
+			ix.EvictBefore(tuple.Time(i - 100_000))
+		}
+	}
+}
+
+// BenchmarkScanWindow measures range scans over a populated series.
+func BenchmarkScanWindow(b *testing.B) {
+	ix := New(3)
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		ix.Put(tuple.Tuple{Key: tuple.Key(i % 16), TS: tuple.Time(i), Val: 1})
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		lo := tuple.Time((i * 37) % (n / 2))
+		ix.ScanWindow(tuple.Key(i%16), lo, lo+5_000, func(_ tuple.Time, v float64) bool {
+			sink += v
+			return true
+		})
+	}
+	_ = sink
+}

@@ -1,0 +1,216 @@
+package timetravel
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"oij/internal/tuple"
+)
+
+func pt(key tuple.Key, ts tuple.Time, val float64) tuple.Tuple {
+	return tuple.Tuple{Key: key, TS: ts, Val: val, Side: tuple.Probe}
+}
+
+func count(ix *Index, key tuple.Key, lo, hi tuple.Time) int {
+	return ix.ScanWindow(key, lo, hi, func(tuple.Time, float64) bool { return true })
+}
+
+func TestEmptyIndex(t *testing.T) {
+	ix := New(1)
+	if ix.Len() != 0 || ix.Keys() != 0 {
+		t.Fatal("fresh index not empty")
+	}
+	if ix.Series(7) != nil {
+		t.Fatal("Series on empty index not nil")
+	}
+	if n := count(ix, 7, 0, 100); n != 0 {
+		t.Fatalf("scan on empty visited %d", n)
+	}
+	if ix.EvictBefore(100) != 0 {
+		t.Fatal("evict on empty removed something")
+	}
+}
+
+func TestPutScanPerKey(t *testing.T) {
+	ix := New(2)
+	for k := tuple.Key(0); k < 10; k++ {
+		for ts := tuple.Time(0); ts < 100; ts += 10 {
+			ix.Put(pt(k, ts, float64(k*1000)+float64(ts)))
+		}
+	}
+	if ix.Keys() != 10 {
+		t.Fatalf("Keys = %d, want 10", ix.Keys())
+	}
+	if ix.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", ix.Len())
+	}
+	// Scans see only their key's entries, in timestamp order, in bounds.
+	var seen []tuple.Time
+	n := ix.ScanWindow(3, 20, 50, func(ts tuple.Time, val float64) bool {
+		if val != 3000+float64(ts) {
+			t.Fatalf("scan leaked another key's value %g at ts %d", val, ts)
+		}
+		seen = append(seen, ts)
+		return true
+	})
+	if n != 4 {
+		t.Fatalf("visited %d, want 4 (20,30,40,50)", n)
+	}
+	for i, ts := range []tuple.Time{20, 30, 40, 50} {
+		if seen[i] != ts {
+			t.Fatalf("scan order %v", seen)
+		}
+	}
+}
+
+func TestScanUnknownKey(t *testing.T) {
+	ix := New(3)
+	ix.Put(pt(1, 10, 1))
+	if n := count(ix, 2, 0, 100); n != 0 {
+		t.Fatalf("unknown key visited %d", n)
+	}
+}
+
+func TestDuplicateTimestamps(t *testing.T) {
+	ix := New(4)
+	for i := 0; i < 5; i++ {
+		ix.Put(pt(1, 42, float64(i)))
+	}
+	var vals []float64
+	ix.ScanWindow(1, 42, 42, func(_ tuple.Time, val float64) bool { vals = append(vals, val); return true })
+	if len(vals) != 5 {
+		t.Fatalf("got %d entries at shared timestamp, want 5", len(vals))
+	}
+}
+
+func TestEvictAcrossKeys(t *testing.T) {
+	ix := New(5)
+	for k := tuple.Key(0); k < 4; k++ {
+		for ts := tuple.Time(0); ts < 10; ts++ {
+			ix.Put(pt(k, ts, 1))
+		}
+	}
+	if got := ix.EvictBefore(6); got != 24 {
+		t.Fatalf("evicted %d, want 24", got)
+	}
+	if ix.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", ix.Len())
+	}
+	for k := tuple.Key(0); k < 4; k++ {
+		if n := count(ix, k, 0, 100); n != 4 {
+			t.Fatalf("key %d has %d survivors, want 4", k, n)
+		}
+	}
+	// Keys are retained even when emptied.
+	ix.EvictBefore(100)
+	if ix.Keys() != 4 {
+		t.Fatalf("Keys = %d after total eviction, want 4", ix.Keys())
+	}
+	// Refill works.
+	ix.Put(pt(2, 200, 1))
+	if n := count(ix, 2, 0, 300); n != 1 {
+		t.Fatal("refill after eviction broken")
+	}
+}
+
+func TestSeriesMinTS(t *testing.T) {
+	ix := New(6)
+	ix.Put(pt(9, 50, 1))
+	ix.Put(pt(9, 30, 1))
+	ix.Put(pt(9, 70, 1))
+	s := ix.Series(9)
+	if s == nil {
+		t.Fatal("Series(9) nil")
+	}
+	if ts, ok := s.MinTS(); !ok || ts != 30 {
+		t.Fatalf("MinTS = %d,%v; want 30", ts, ok)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("series Len = %d", s.Len())
+	}
+	// Ascend from a lower bound.
+	var got []tuple.Time
+	s.Ascend(40, func(ts tuple.Time, _ float64) bool { got = append(got, ts); return true })
+	if len(got) != 2 || got[0] != 50 || got[1] != 70 {
+		t.Fatalf("Ascend(40) = %v", got)
+	}
+}
+
+// TestQuickWindowScan property-tests window scans against a filter over
+// the raw inserts.
+func TestQuickWindowScan(t *testing.T) {
+	f := func(entries []struct {
+		K  uint8
+		TS int16
+	}, key uint8, lo, hi int16) bool {
+		ix := New(7)
+		want := 0
+		for _, e := range entries {
+			ix.Put(pt(tuple.Key(e.K), tuple.Time(e.TS), 1))
+		}
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		for _, e := range entries {
+			if e.K == key && e.TS >= lo && e.TS <= hi {
+				want++
+			}
+		}
+		got := count(ix, tuple.Key(key), tuple.Time(lo), tuple.Time(hi))
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSWMRSharedScan exercises the shared-processing contract: a writer
+// goroutine owns the index while reader goroutines scan a stable window.
+func TestSWMRSharedScan(t *testing.T) {
+	ix := New(8)
+	const key = tuple.Key(5)
+	// Stable region the writer never evicts.
+	for ts := tuple.Time(1_000_000); ts < 1_000_500; ts++ {
+		ix.Put(pt(key, ts, 2))
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	bad := make(chan string, 4)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sum := 0.0
+				n := ix.ScanWindow(key, 1_000_000, 1_000_499, func(_ tuple.Time, val float64) bool {
+					sum += val
+					return true
+				})
+				if n != 500 || sum != 1000 {
+					bad <- "stable window scan inconsistent"
+					return
+				}
+			}
+		}()
+	}
+	for i := tuple.Time(0); i < 100_000; i++ {
+		ix.Put(pt(key, i, 1))
+		if i%2048 == 2047 {
+			ix.EvictBefore(i - 1000)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case m := <-bad:
+		t.Fatal(m)
+	default:
+	}
+}

@@ -1,0 +1,75 @@
+// Package tuple defines the stream tuple model shared by every engine in the
+// repository: an event-timestamped, keyed record together with the side
+// (base or probe) it belongs to and the result type produced by an online
+// interval join.
+package tuple
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is an event timestamp in microseconds since an arbitrary stream
+// epoch. All window arithmetic in the repository is done in this unit; the
+// paper's workloads use window lengths from 100 µs to 150 s, all of which
+// are exactly representable.
+type Time = int64
+
+// Key identifies the join key of a tuple. The paper's workloads use between
+// 1 and 100 000 unique keys, so a 64-bit integer key loses no generality;
+// string keys can be pre-hashed by the caller.
+type Key = uint64
+
+// Side tags which input stream a tuple belongs to.
+type Side uint8
+
+const (
+	// Base is the stream S whose tuples define the relative windows and
+	// for which one aggregate result per tuple is emitted.
+	Base Side = iota
+	// Probe is the stream R whose tuples fall into base windows.
+	Probe
+)
+
+// String implements fmt.Stringer.
+func (s Side) String() string {
+	switch s {
+	case Base:
+		return "base"
+	case Probe:
+		return "probe"
+	default:
+		return fmt.Sprintf("side(%d)", uint8(s))
+	}
+}
+
+// Tuple is one stream record x = {t, k, p}. Seq is the arrival sequence
+// number assigned by the source, used to recover arrival order in tests and
+// to correlate latency measurements; Arrival is the wall-clock instant the
+// tuple entered the system (zero in full-speed replays, where latency is not
+// measured).
+type Tuple struct {
+	TS      Time      // event timestamp t (µs)
+	Key     Key       // join key k
+	Val     float64   // numeric payload aggregated by the join
+	Seq     uint64    // arrival sequence number within its stream
+	Side    Side      // which stream the tuple belongs to
+	Arrival time.Time // wall-clock arrival instant (optional)
+}
+
+// Result is the aggregated output of the interval join for one base tuple:
+// the base tuple's identity plus the aggregate over every matching probe
+// tuple. Matches counts probe tuples that fell inside the window, which the
+// correctness tests compare against a reference join.
+type Result struct {
+	BaseTS  Time    // timestamp of the base tuple
+	Key     Key     // key of the base tuple
+	BaseSeq uint64  // sequence number of the base tuple
+	Agg     float64 // aggregate value over matching probe tuples
+	Matches int64   // number of matching probe tuples
+}
+
+// String implements fmt.Stringer for debugging output.
+func (r Result) String() string {
+	return fmt.Sprintf("result{key=%d ts=%d agg=%g n=%d}", r.Key, r.BaseTS, r.Agg, r.Matches)
+}

@@ -1,0 +1,35 @@
+package tuple
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSideString(t *testing.T) {
+	if Base.String() != "base" || Probe.String() != "probe" {
+		t.Fatalf("side strings: %s %s", Base, Probe)
+	}
+	if s := Side(9).String(); !strings.Contains(s, "9") {
+		t.Fatalf("unknown side string %q", s)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{BaseTS: 10, Key: 3, BaseSeq: 1, Agg: 2.5, Matches: 4}
+	s := r.String()
+	for _, want := range []string{"key=3", "ts=10", "agg=2.5", "n=4"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Result string %q missing %q", s, want)
+		}
+	}
+}
+
+func TestZeroValueTuple(t *testing.T) {
+	var tp Tuple
+	if tp.Side != Base {
+		t.Fatal("zero Side should be Base (iota 0)")
+	}
+	if !tp.Arrival.IsZero() {
+		t.Fatal("zero Arrival not zero")
+	}
+}

@@ -1,0 +1,134 @@
+package watermark
+
+import (
+	"math/bits"
+
+	"oij/internal/tuple"
+)
+
+// Adaptive estimates the lateness bound online instead of requiring it as
+// prior knowledge — the paper's "tunable accuracy without prior knowledge
+// (i.e., lateness)" future-work item (§VII).
+//
+// Every observed tuple's tardiness (maxSeenTS − ts at arrival) is folded
+// into a histogram with power-of-two buckets; the emitted watermark lags
+// the maximum seen timestamp by the q-quantile of that distribution times
+// a safety factor. Counts decay periodically so the estimate tracks
+// drifting disorder. Choosing q trades buffer space for accuracy: tuples
+// later than the estimate violate the watermark and may lose matches,
+// exactly the knob the paper describes.
+type Adaptive struct {
+	quantile float64
+	safety   float64
+	decayN   int
+
+	maxTS tuple.Time
+	seen  bool
+
+	// buckets[i] counts tardiness values t with 2^(i-1) <= t < 2^i
+	// (bucket 0 counts t == 0). 48 buckets cover ~8.9 years in µs.
+	buckets [48]float64
+	total   float64
+	sinceD  int
+
+	// cached estimate, refreshed lazily.
+	est      tuple.Time
+	estStale bool
+}
+
+// NewAdaptive creates an estimator for the given tardiness quantile
+// (e.g. 0.999) and safety factor (e.g. 2.0 doubles the estimated bound).
+// Non-positive arguments take those defaults; decayEvery (default 8192)
+// is the observation period after which counts are halved.
+func NewAdaptive(quantile, safety float64, decayEvery int) *Adaptive {
+	if quantile <= 0 || quantile > 1 {
+		quantile = 0.999
+	}
+	if safety <= 0 {
+		safety = 2.0
+	}
+	if decayEvery <= 0 {
+		decayEvery = 8192
+	}
+	return &Adaptive{quantile: quantile, safety: safety, decayN: decayEvery}
+}
+
+// bucketOf maps a tardiness to its histogram bucket.
+func bucketOf(t tuple.Time) int {
+	if t <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(t))
+	if b >= len(Adaptive{}.buckets) {
+		b = len(Adaptive{}.buckets) - 1
+	}
+	return b
+}
+
+// Observe records one event timestamp and returns the current watermark.
+func (a *Adaptive) Observe(ts tuple.Time) tuple.Time {
+	if !a.seen {
+		a.seen = true
+		a.maxTS = ts
+	}
+	tardiness := a.maxTS - ts
+	if ts > a.maxTS {
+		a.maxTS = ts
+		tardiness = 0
+	}
+	a.buckets[bucketOf(tardiness)]++
+	a.total++
+	a.estStale = true
+	a.sinceD++
+	if a.sinceD >= a.decayN {
+		a.sinceD = 0
+		a.total = 0
+		for i := range a.buckets {
+			a.buckets[i] /= 2
+			a.total += a.buckets[i]
+		}
+	}
+	return a.Current()
+}
+
+// EstimatedLateness returns the current lateness bound estimate in µs.
+func (a *Adaptive) EstimatedLateness() tuple.Time {
+	if !a.estStale {
+		return a.est
+	}
+	a.estStale = false
+	if a.total == 0 {
+		a.est = 0
+		return 0
+	}
+	target := a.quantile * a.total
+	var cum float64
+	bucket := 0
+	for i, c := range a.buckets {
+		cum += c
+		if cum >= target {
+			bucket = i
+			break
+		}
+		bucket = i
+	}
+	// Upper edge of the bucket: 2^bucket (bucket 0 -> 0 tardiness).
+	var bound tuple.Time
+	if bucket > 0 {
+		bound = 1 << uint(bucket)
+	}
+	a.est = tuple.Time(float64(bound) * a.safety)
+	return a.est
+}
+
+// Current returns the adaptive watermark: maxSeenTS minus the estimated
+// lateness, or MinTime before any observation.
+func (a *Adaptive) Current() tuple.Time {
+	if !a.seen {
+		return MinTime
+	}
+	return a.maxTS - a.EstimatedLateness()
+}
+
+// MaxSeen returns the largest observed event timestamp.
+func (a *Adaptive) MaxSeen() (tuple.Time, bool) { return a.maxTS, a.seen }

@@ -1,0 +1,107 @@
+package watermark
+
+import (
+	"math/rand"
+	"testing"
+
+	"oij/internal/tuple"
+)
+
+func TestAdaptiveDefaults(t *testing.T) {
+	a := NewAdaptive(0, 0, 0)
+	if a.quantile != 0.999 || a.safety != 2.0 || a.decayN != 8192 {
+		t.Fatalf("defaults = %+v", a)
+	}
+	if a.Current() != MinTime {
+		t.Fatal("fresh adaptive watermark not MinTime")
+	}
+	if _, ok := a.MaxSeen(); ok {
+		t.Fatal("MaxSeen before observation")
+	}
+}
+
+func TestAdaptiveOrderedStream(t *testing.T) {
+	a := NewAdaptive(0.999, 1.0, 0)
+	for ts := tuple.Time(0); ts < 10_000; ts += 10 {
+		a.Observe(ts)
+	}
+	if got := a.EstimatedLateness(); got != 0 {
+		t.Fatalf("ordered stream estimated lateness %d, want 0", got)
+	}
+	if wm := a.Current(); wm != 9990 {
+		t.Fatalf("watermark = %d", wm)
+	}
+}
+
+func TestAdaptiveBoundedDisorder(t *testing.T) {
+	// Tuples up to 1000µs late: the estimate must cover (>= quantile of)
+	// the true disorder without wildly overshooting (power-of-two bucket
+	// + 2x safety => at most ~4x).
+	rng := rand.New(rand.NewSource(3))
+	a := NewAdaptive(0.999, 2.0, 0)
+	for i := tuple.Time(0); i < 50_000; i++ {
+		a.Observe(i*2 - tuple.Time(rng.Int63n(1000)))
+	}
+	est := a.EstimatedLateness()
+	if est < 900 {
+		t.Fatalf("estimate %d under-covers ~1000µs disorder", est)
+	}
+	if est > 4100 {
+		t.Fatalf("estimate %d overshoots 1000µs disorder by more than 4x", est)
+	}
+}
+
+func TestAdaptiveTracksDrift(t *testing.T) {
+	// Disorder shrinks from 8000µs to ~0; after decay the estimate must
+	// follow it down.
+	rng := rand.New(rand.NewSource(4))
+	a := NewAdaptive(0.99, 1.0, 1024)
+	ts := tuple.Time(0)
+	for i := 0; i < 20_000; i++ {
+		ts += 2
+		a.Observe(ts - tuple.Time(rng.Int63n(8000)))
+	}
+	noisy := a.EstimatedLateness()
+	for i := 0; i < 100_000; i++ {
+		ts += 2
+		a.Observe(ts)
+	}
+	calm := a.EstimatedLateness()
+	if calm >= noisy/4 {
+		t.Fatalf("estimate did not decay with the disorder: %d -> %d", noisy, calm)
+	}
+}
+
+func TestAdaptiveQuantileKnob(t *testing.T) {
+	// A lower quantile yields a smaller (less conservative) bound.
+	mk := func(q float64) tuple.Time {
+		rng := rand.New(rand.NewSource(5))
+		a := NewAdaptive(q, 1.0, 0)
+		for i := tuple.Time(0); i < 30_000; i++ {
+			late := tuple.Time(0)
+			if rng.Float64() < 0.01 {
+				late = 50_000 // rare stragglers
+			} else {
+				late = tuple.Time(rng.Int63n(100))
+			}
+			a.Observe(i*3 - late)
+		}
+		return a.EstimatedLateness()
+	}
+	strict, loose := mk(0.9999), mk(0.5)
+	if loose >= strict {
+		t.Fatalf("quantile knob inert: q=0.5 -> %d, q=0.9999 -> %d", loose, strict)
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := map[tuple.Time]int{0: 0, 1: 1, 2: 2, 3: 2, 4: 3, 1023: 10, 1024: 11}
+	for in, want := range cases {
+		if got := bucketOf(in); got != want {
+			t.Errorf("bucketOf(%d) = %d, want %d", in, got, want)
+		}
+	}
+	if got := bucketOf(1 << 60); got != 47 {
+		t.Errorf("huge tardiness bucket = %d, want clamped 47", got)
+	}
+}

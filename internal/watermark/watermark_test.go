@@ -1,0 +1,118 @@
+package watermark
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestAssignerBeforeAnyObservation(t *testing.T) {
+	a := NewAssigner(100)
+	if a.Current() != MinTime {
+		t.Fatal("fresh assigner watermark not MinTime")
+	}
+}
+
+func TestAssignerMonotoneUnderDisorder(t *testing.T) {
+	a := NewAssigner(10)
+	seq := []int64{100, 95, 120, 90, 121, 50}
+	want := []int64{90, 90, 110, 110, 111, 111}
+	for i, ts := range seq {
+		if got := a.Observe(ts); got != want[i] {
+			t.Fatalf("step %d: watermark = %d, want %d", i, got, want[i])
+		}
+	}
+}
+
+func TestAssignerZeroLateness(t *testing.T) {
+	a := NewAssigner(0)
+	a.Observe(42)
+	if a.Current() != 42 {
+		t.Fatalf("watermark = %d, want 42", a.Current())
+	}
+}
+
+func TestTrackerGlobalMin(t *testing.T) {
+	tr := NewTracker(3)
+	if tr.Global() != MinTime {
+		t.Fatal("fresh tracker global not MinTime")
+	}
+	tr.Update(0, 100)
+	tr.Update(1, 200)
+	if tr.Global() != MinTime {
+		t.Fatal("global advanced before all sources reported")
+	}
+	tr.Update(2, 150)
+	if got := tr.Global(); got != 100 {
+		t.Fatalf("global = %d, want 100", got)
+	}
+	// Stale updates are ignored.
+	tr.Update(0, 50)
+	if got := tr.Global(); got != 100 {
+		t.Fatalf("global regressed to %d", got)
+	}
+	tr.Update(0, 300)
+	if got := tr.Global(); got != 150 {
+		t.Fatalf("global = %d, want 150", got)
+	}
+	if tr.Sources() != 3 {
+		t.Fatalf("Sources = %d", tr.Sources())
+	}
+}
+
+func TestTrackerConcurrentMonotone(t *testing.T) {
+	tr := NewTracker(4)
+	var wg sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for v := int64(0); v < 10_000; v++ {
+				tr.Update(s, v)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		last := MinTime
+		for i := 0; i < 1000; i++ {
+			g := tr.Global()
+			if g < last {
+				t.Error("global watermark regressed")
+				return
+			}
+			last = g
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := tr.Global(); got != 9999 {
+		t.Fatalf("final global = %d", got)
+	}
+}
+
+// TestQuickAssignerNeverOvertakes: the watermark never exceeds
+// maxSeen - lateness, for any observation sequence.
+func TestQuickAssignerNeverOvertakes(t *testing.T) {
+	f := func(lateness uint16, seq []int32) bool {
+		a := NewAssigner(int64(lateness))
+		max := int64(0)
+		seen := false
+		for _, ts := range seq {
+			wm := a.Observe(int64(ts))
+			if !seen || int64(ts) > max {
+				max = int64(ts)
+				seen = true
+			}
+			if wm != max-int64(lateness) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+// Package wire defines the binary protocol the serving layer (package
+// server, cmd/oijd) speaks: fixed-layout little-endian frames carrying
+// stream tuples from clients and join results back — the OpenMLDB-style
+// "feature request over the network" path for the interval join.
+//
+// Every frame starts with a one-byte type tag. Data frames have fixed
+// layouts, so encode/decode is allocation-free:
+//
+//	probe : tag(1) ts(8) key(8) val(8)                          = 25 B
+//	base  : tag(1) ts(8) key(8) val(8)                          = 25 B
+//	result: tag(1) seq(8) ts(8) key(8) agg(8) matches(8)        = 41 B
+//	flush : tag(1)                                              =  1 B
+//	error : tag(1) len(2) message(len)
+//
+// A client streams probe/base frames; the server answers every base frame
+// with exactly one result frame (ordering between different base frames is
+// not guaranteed). flush asks the server to close all pending windows and
+// answer outstanding bases; it is also implied by closing the write side.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"oij/internal/tuple"
+)
+
+// Frame type tags.
+const (
+	TagProbe  byte = 0x01
+	TagBase   byte = 0x02
+	TagResult byte = 0x03
+	TagFlush  byte = 0x04
+	TagError  byte = 0x05
+)
+
+// MaxErrorLen bounds error-frame messages.
+const MaxErrorLen = 1024
+
+// Tuple is a decoded probe or base frame.
+type Tuple struct {
+	Base bool
+	TS   tuple.Time
+	Key  tuple.Key
+	Val  float64
+}
+
+// Result is a decoded result frame.
+type Result struct {
+	Seq     uint64
+	TS      tuple.Time
+	Key     tuple.Key
+	Agg     float64
+	Matches int64
+}
+
+// Message is a decoded frame: exactly one of the fields is meaningful,
+// selected by Kind.
+type Message struct {
+	Kind   byte // TagProbe, TagBase, TagResult, TagFlush or TagError
+	Tuple  Tuple
+	Result Result
+	Err    string
+}
+
+// Writer encodes frames onto a buffered stream. Not safe for concurrent
+// use.
+type Writer struct {
+	w   *bufio.Writer
+	buf [41]byte
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// WriteTuple emits a probe or base frame.
+func (w *Writer) WriteTuple(t Tuple) error {
+	b := w.buf[:25]
+	if t.Base {
+		b[0] = TagBase
+	} else {
+		b[0] = TagProbe
+	}
+	binary.LittleEndian.PutUint64(b[1:], uint64(t.TS))
+	binary.LittleEndian.PutUint64(b[9:], uint64(t.Key))
+	binary.LittleEndian.PutUint64(b[17:], math.Float64bits(t.Val))
+	_, err := w.w.Write(b)
+	return err
+}
+
+// WriteResult emits a result frame.
+func (w *Writer) WriteResult(r Result) error {
+	b := w.buf[:41]
+	b[0] = TagResult
+	binary.LittleEndian.PutUint64(b[1:], r.Seq)
+	binary.LittleEndian.PutUint64(b[9:], uint64(r.TS))
+	binary.LittleEndian.PutUint64(b[17:], uint64(r.Key))
+	binary.LittleEndian.PutUint64(b[25:], math.Float64bits(r.Agg))
+	binary.LittleEndian.PutUint64(b[33:], uint64(r.Matches))
+	_, err := w.w.Write(b)
+	return err
+}
+
+// WriteFlush emits a flush frame.
+func (w *Writer) WriteFlush() error {
+	return w.w.WriteByte(TagFlush)
+}
+
+// WriteError emits an error frame (message truncated to MaxErrorLen).
+func (w *Writer) WriteError(msg string) error {
+	if len(msg) > MaxErrorLen {
+		msg = msg[:MaxErrorLen]
+	}
+	b := w.buf[:3]
+	b[0] = TagError
+	binary.LittleEndian.PutUint16(b[1:], uint16(len(msg)))
+	if _, err := w.w.Write(b); err != nil {
+		return err
+	}
+	_, err := w.w.WriteString(msg)
+	return err
+}
+
+// Flush flushes the underlying buffer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader decodes frames from a buffered stream. Not safe for concurrent
+// use.
+type Reader struct {
+	r   *bufio.Reader
+	buf [40]byte
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// Read decodes the next frame. It returns io.EOF at a clean end of stream
+// and io.ErrUnexpectedEOF on a truncated frame.
+func (r *Reader) Read() (Message, error) {
+	tag, err := r.r.ReadByte()
+	if err != nil {
+		return Message{}, err
+	}
+	switch tag {
+	case TagProbe, TagBase:
+		b := r.buf[:24]
+		if _, err := io.ReadFull(r.r, b); err != nil {
+			return Message{}, eofToUnexpected(err)
+		}
+		return Message{Kind: tag, Tuple: Tuple{
+			Base: tag == TagBase,
+			TS:   tuple.Time(binary.LittleEndian.Uint64(b[0:])),
+			Key:  tuple.Key(binary.LittleEndian.Uint64(b[8:])),
+			Val:  math.Float64frombits(binary.LittleEndian.Uint64(b[16:])),
+		}}, nil
+	case TagResult:
+		b := r.buf[:40]
+		if _, err := io.ReadFull(r.r, b); err != nil {
+			return Message{}, eofToUnexpected(err)
+		}
+		return Message{Kind: tag, Result: Result{
+			Seq:     binary.LittleEndian.Uint64(b[0:]),
+			TS:      tuple.Time(binary.LittleEndian.Uint64(b[8:])),
+			Key:     tuple.Key(binary.LittleEndian.Uint64(b[16:])),
+			Agg:     math.Float64frombits(binary.LittleEndian.Uint64(b[24:])),
+			Matches: int64(binary.LittleEndian.Uint64(b[32:])),
+		}}, nil
+	case TagFlush:
+		return Message{Kind: TagFlush}, nil
+	case TagError:
+		b := r.buf[:2]
+		if _, err := io.ReadFull(r.r, b); err != nil {
+			return Message{}, eofToUnexpected(err)
+		}
+		n := int(binary.LittleEndian.Uint16(b))
+		if n > MaxErrorLen {
+			return Message{}, fmt.Errorf("wire: error frame length %d exceeds limit %d", n, MaxErrorLen)
+		}
+		msg := make([]byte, n)
+		if _, err := io.ReadFull(r.r, msg); err != nil {
+			return Message{}, eofToUnexpected(err)
+		}
+		return Message{Kind: TagError, Err: string(msg)}, nil
+	default:
+		return Message{}, fmt.Errorf("wire: unknown frame tag 0x%02x", tag)
+	}
+}
+
+func eofToUnexpected(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

@@ -1,0 +1,287 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"oij/internal/tuple"
+	"oij/internal/window"
+)
+
+func testConfig(n int) Config {
+	return Config{
+		Name:      "t",
+		N:         n,
+		EventRate: 1_000_000,
+		Keys:      10,
+		BaseShare: 0.5,
+		Window:    window.Spec{Pre: 1000, Fol: 0, Lateness: 200},
+		Disorder:  200,
+		Seed:      1,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok := testConfig(100)
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	for name, mut := range map[string]func(*Config){
+		"zero N":              func(c *Config) { c.N = 0 },
+		"zero rate":           func(c *Config) { c.EventRate = 0 },
+		"zero keys":           func(c *Config) { c.Keys = 0 },
+		"base share 0":        func(c *Config) { c.BaseShare = 0 },
+		"base share 1":        func(c *Config) { c.BaseShare = 1 },
+		"negative disorder":   func(c *Config) { c.Disorder = -1 },
+		"disorder > lateness": func(c *Config) { c.Disorder = c.Window.Lateness + 1 },
+		"empty window":        func(c *Config) { c.Window = window.Spec{} },
+	} {
+		c := testConfig(100)
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: validation passed", name)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := testConfig(5000).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := testConfig(5000).Generate()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("tuple %d differs between generations", i)
+		}
+	}
+}
+
+func TestGenerateProperties(t *testing.T) {
+	c := testConfig(50_000)
+	ts, err := c.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != c.N {
+		t.Fatalf("generated %d tuples", len(ts))
+	}
+	var maxSeen tuple.Time
+	var baseSeq, probeSeq uint64
+	keys := map[tuple.Key]bool{}
+	bases := 0
+	for i, tp := range ts {
+		if tp.TS < 0 {
+			t.Fatalf("negative timestamp at %d", i)
+		}
+		// Disorder bound: ts >= nominal - Disorder, nominal monotone.
+		nominal := tuple.Time(float64(i) * 1e6 / c.EventRate)
+		if tp.TS > nominal || tp.TS < nominal-c.Disorder {
+			t.Fatalf("tuple %d ts %d outside [nominal-disorder, nominal] = [%d, %d]",
+				i, tp.TS, nominal-c.Disorder, nominal)
+		}
+		// Watermark safety: maxSeen - lateness never overtakes.
+		if tp.TS < maxSeen-c.Window.Lateness {
+			t.Fatalf("tuple %d violates lateness bound", i)
+		}
+		if tp.TS > maxSeen {
+			maxSeen = tp.TS
+		}
+		if int(tp.Key) >= c.Keys {
+			t.Fatalf("key %d out of range", tp.Key)
+		}
+		keys[tp.Key] = true
+		switch tp.Side {
+		case tuple.Base:
+			if tp.Seq != baseSeq {
+				t.Fatalf("base seq %d, want %d", tp.Seq, baseSeq)
+			}
+			baseSeq++
+			bases++
+		case tuple.Probe:
+			if tp.Seq != probeSeq {
+				t.Fatalf("probe seq %d, want %d", tp.Seq, probeSeq)
+			}
+			probeSeq++
+		default:
+			t.Fatalf("unexpected side %v", tp.Side)
+		}
+	}
+	if len(keys) != c.Keys {
+		t.Fatalf("saw %d distinct keys, want %d", len(keys), c.Keys)
+	}
+	share := float64(bases) / float64(c.N)
+	if math.Abs(share-c.BaseShare) > 0.02 {
+		t.Fatalf("base share %g, want ~%g", share, c.BaseShare)
+	}
+	if CountBase(ts) != bases {
+		t.Fatal("CountBase mismatch")
+	}
+}
+
+func TestMatchesPerWindowEstimate(t *testing.T) {
+	// Empirically count matches and compare with the analytic estimate.
+	c := testConfig(200_000)
+	c.Disorder = 0
+	c.Window.Lateness = 0
+	c.Window.Pre = 2000
+	ts, err := c.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perKey := map[tuple.Key][]tuple.Time{}
+	for _, tp := range ts {
+		if tp.Side == tuple.Probe {
+			perKey[tp.Key] = append(perKey[tp.Key], tp.TS)
+		}
+	}
+	var matches, basesSeen float64
+	for _, tp := range ts {
+		if tp.Side != tuple.Base || tp.TS < c.Window.Pre {
+			continue
+		}
+		basesSeen++
+		for _, pts := range perKey[tp.Key] {
+			if pts >= tp.TS-c.Window.Pre && pts <= tp.TS {
+				matches++
+			}
+		}
+	}
+	got := matches / basesSeen
+	want := c.MatchesPerWindow()
+	if math.Abs(got-want)/want > 0.15 {
+		t.Fatalf("measured %g matches/window, estimate %g", got, want)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	c := testConfig(50_000)
+	c.ZipfS = 1.5
+	ts, err := c.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[tuple.Key]int{}
+	for _, tp := range ts {
+		counts[tp.Key]++
+	}
+	// Key 0 must dominate under Zipf.
+	if counts[0] < len(ts)/4 {
+		t.Fatalf("zipf head key has only %d/%d tuples", counts[0], len(ts))
+	}
+}
+
+func TestHotRotation(t *testing.T) {
+	c := testConfig(100_000)
+	c.Keys = 1000
+	c.Hot = &HotRotation{Period: 10_000, HotKeys: 4, HotShare: 0.9}
+	ts, err := c.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within one period, the top-4 keys should hold ~90% of tuples; the
+	// hot set must change across periods.
+	period := func(lo, hi int) map[tuple.Key]int {
+		m := map[tuple.Key]int{}
+		for _, tp := range ts[lo:hi] {
+			m[tp.Key]++
+		}
+		return m
+	}
+	topShare := func(m map[tuple.Key]int, k int) float64 {
+		var all []int
+		total := 0
+		for _, n := range m {
+			all = append(all, n)
+			total += n
+		}
+		// selection of top k
+		top := 0
+		for i := 0; i < k && len(all) > 0; i++ {
+			best := 0
+			for j, v := range all {
+				if v > all[best] {
+					best = j
+				}
+			}
+			top += all[best]
+			all = append(all[:best], all[best+1:]...)
+		}
+		return float64(top) / float64(total)
+	}
+	m1 := period(0, 9000)
+	if s := topShare(m1, 4); s < 0.7 {
+		t.Fatalf("hot share in period 1 = %g", s)
+	}
+}
+
+func TestPresetsValid(t *testing.T) {
+	for _, c := range []Config{A(1000), B(1000), C(1000), D(1000), DefaultSynthetic(1000), TableV(1000), Skewed(1000)} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("preset %s invalid: %v", c.Name, err)
+		}
+		if _, err := c.Generate(); err != nil {
+			t.Errorf("preset %s failed to generate: %v", c.Name, err)
+		}
+	}
+}
+
+func TestPresetTableIICharacteristics(t *testing.T) {
+	// The presets must reproduce Table II's matches-per-window figures.
+	for _, c := range []struct {
+		cfg  Config
+		want float64
+		tol  float64
+	}{
+		{A(1), 4000, 0.05},
+		{B(1), 6000, 0.05},
+		{C(1), 300, 0.05},
+	} {
+		got := c.cfg.MatchesPerWindow()
+		if math.Abs(got-c.want)/c.want > c.tol {
+			t.Errorf("%s: matches/window = %g, want ~%g", c.cfg.Name, got, c.want)
+		}
+	}
+	if A(1).Keys != 5 || B(1).Keys != 111 || C(1).Keys != 45 || D(1).Keys != 5 {
+		t.Error("preset key counts diverge from Table II")
+	}
+}
+
+// TestQuickWatermarkSafety: for arbitrary valid configs, generation never
+// violates the lateness bound (the property every engine's eviction
+// correctness rests on).
+func TestQuickWatermarkSafety(t *testing.T) {
+	f := func(seed int64, keys, disorder uint8) bool {
+		c := Config{
+			Name:      "q",
+			N:         2000,
+			EventRate: 500_000,
+			Keys:      int(keys%50) + 1,
+			BaseShare: 0.5,
+			Window:    window.Spec{Pre: 500, Fol: 0, Lateness: tuple.Time(disorder)},
+			Disorder:  tuple.Time(disorder),
+			Seed:      seed,
+		}
+		ts, err := c.Generate()
+		if err != nil {
+			return false
+		}
+		var maxSeen tuple.Time
+		for _, tp := range ts {
+			if tp.TS < maxSeen-c.Window.Lateness {
+				return false
+			}
+			if tp.TS > maxSeen {
+				maxSeen = tp.TS
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,243 @@
+// Package oij is a scalable online interval join (OIJ) library for Go — a
+// from-scratch reproduction of "Scalable Online Interval Join on Modern
+// Multicore Processors in OpenMLDB" (ICDE 2023).
+//
+// An online interval join matches every tuple of a base stream S against
+// the tuples of a probe stream R that share its key and whose event
+// timestamps fall in a window *relative* to the base tuple
+// ([t−PRE, t+FOL]), then aggregates the matches per base tuple — the core
+// operation behind time-series features such as "sum of this user's order
+// amounts in the last hour".
+//
+// The package exposes four interchangeable engines:
+//
+//   - AlgorithmScaleOIJ — the paper's contribution: an SWMR time-travel
+//     index, shared processing with a dynamic balanced schedule, and
+//     incremental (Subtract-on-Evict) window aggregation;
+//   - AlgorithmKeyOIJ — the Flink-style key-partitioned baseline;
+//   - AlgorithmSplitJoin — SplitJoin (ATC'16) adapted to OIJ semantics;
+//   - AlgorithmOpenMLDB — a shared-table, read-optimized baseline
+//     modelling the OpenMLDB online engine.
+//
+// Quick start:
+//
+//	j, _ := oij.NewJoiner(oij.Options{
+//		Window:   oij.Window{Pre: time.Second, Lateness: 100 * time.Millisecond},
+//		Agg:      oij.Sum,
+//		Parallel: 8,
+//		OnResult: func(r oij.Result) { fmt.Println(r) },
+//	})
+//	j.PushProbe(key, eventTime, value)
+//	j.PushBase(key, eventTime, 0)
+//	j.Close()
+//
+// or declare the join in OpenMLDB SQL with ParseQuery. See the examples/
+// directory and DESIGN.md for the architecture.
+package oij
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"oij/internal/agg"
+	"oij/internal/engine"
+	"oij/internal/harness"
+	"oij/internal/tuple"
+	"oij/internal/window"
+)
+
+// Key identifies a join key (pre-hash string keys with HashString).
+type Key = tuple.Key
+
+// Result is the aggregate emitted for one base tuple.
+type Result = tuple.Result
+
+// AggFunc selects the aggregation operator.
+type AggFunc = agg.Func
+
+// Aggregation operators. Sum, Count and Avg are invertible and get
+// Subtract-on-Evict incremental processing; Min, Max, Last and First use
+// the two-stacks sliding window. Last (the most recent matching row's
+// value) is the aggregation behind OpenMLDB's LAST JOIN.
+const (
+	Sum   = agg.Sum
+	Count = agg.Count
+	Avg   = agg.Avg
+	Min   = agg.Min
+	Max   = agg.Max
+	Last  = agg.Last
+	First = agg.First
+)
+
+// Algorithm selects the join engine.
+type Algorithm string
+
+// Available algorithms. The Scale-OIJ ablation variants (used by the
+// benchmark harness) are also accepted by NewJoiner: "scale-oij-noinc",
+// "scale-oij-nodyn", "scale-oij-static".
+const (
+	AlgorithmScaleOIJ  Algorithm = harness.ScaleOIJ
+	AlgorithmKeyOIJ    Algorithm = harness.KeyOIJ
+	AlgorithmSplitJoin Algorithm = harness.SplitJoin
+	AlgorithmOpenMLDB  Algorithm = harness.OpenMLDB
+)
+
+// Window is the public window specification in time.Duration units.
+type Window struct {
+	// Pre is how far the window reaches before each base tuple.
+	Pre time.Duration
+	// Fol is how far the window reaches after each base tuple.
+	Fol time.Duration
+	// Lateness bounds stream disorder: a tuple arrives at most this
+	// much event time after later-stamped tuples.
+	Lateness time.Duration
+	// ExcludeCurrentTime drops probe tuples stamped exactly at the base
+	// tuple's timestamp (OpenMLDB's EXCLUDE CURRENT_TIME); requires
+	// Fol == 0.
+	ExcludeCurrentTime bool
+}
+
+// spec converts to the internal µs representation.
+func (w Window) spec() window.Spec {
+	return window.Spec{
+		Pre:                w.Pre.Microseconds(),
+		Fol:                w.Fol.Microseconds(),
+		Lateness:           w.Lateness.Microseconds(),
+		ExcludeCurrentTime: w.ExcludeCurrentTime,
+	}
+}
+
+// EmitMode re-exports the engine emission semantics.
+type EmitMode = engine.EmitMode
+
+// Emission modes: OnArrival answers each base tuple immediately from the
+// currently buffered probes (serving semantics); OnWatermark waits until
+// the lateness bound guarantees the window is complete (exact event-time
+// semantics).
+const (
+	OnArrival   = engine.OnArrival
+	OnWatermark = engine.OnWatermark
+)
+
+// Options configures a Joiner.
+type Options struct {
+	// Algorithm defaults to AlgorithmScaleOIJ.
+	Algorithm Algorithm
+	// Window is required.
+	Window Window
+	// Agg defaults to Sum.
+	Agg AggFunc
+	// Parallel is the joiner thread count (default 1).
+	Parallel int
+	// Mode defaults to OnArrival.
+	Mode EmitMode
+	// OnResult receives every join result; it may be called from
+	// multiple goroutines (per joiner) but never concurrently for the
+	// same joiner. Required.
+	OnResult func(Result)
+}
+
+// Joiner is the high-level streaming interface: push tuples in arrival
+// order, receive one aggregate per base tuple through OnResult.
+//
+// Push methods must be called from one goroutine. Close flushes pending
+// windows and stops the engine.
+type Joiner struct {
+	eng      engine.Engine
+	baseSeq  uint64
+	probeSeq uint64
+	closed   bool
+	mu       sync.Mutex
+}
+
+// funcSink adapts OnResult to the internal Sink interface.
+type funcSink struct{ fn func(Result) }
+
+func (s funcSink) Emit(_ int, r tuple.Result) { s.fn(r) }
+
+// NewJoiner builds and starts a Joiner.
+func NewJoiner(o Options) (*Joiner, error) {
+	if o.OnResult == nil {
+		return nil, errors.New("oij: Options.OnResult is required")
+	}
+	if o.Algorithm == "" {
+		o.Algorithm = AlgorithmScaleOIJ
+	}
+	cfg := engine.Config{
+		Joiners: o.Parallel,
+		Window:  o.Window.spec(),
+		Agg:     o.Agg,
+		Mode:    o.Mode,
+	}
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("oij: %w", err)
+	}
+	eng, err := harness.Build(string(o.Algorithm), cfg, funcSink{o.OnResult})
+	if err != nil {
+		return nil, err
+	}
+	eng.Start()
+	return &Joiner{eng: eng}, nil
+}
+
+// PushBase feeds one base-stream tuple (event time, key, payload value)
+// and returns its sequence number, which identifies the matching Result.
+func (j *Joiner) PushBase(key Key, eventTime time.Time, val float64) uint64 {
+	seq := j.baseSeq
+	j.baseSeq++
+	j.eng.Ingest(tuple.Tuple{
+		TS:      eventTime.UnixMicro(),
+		Key:     key,
+		Val:     val,
+		Seq:     seq,
+		Side:    tuple.Base,
+		Arrival: time.Now(),
+	})
+	return seq
+}
+
+// PushProbe feeds one probe-stream tuple.
+func (j *Joiner) PushProbe(key Key, eventTime time.Time, val float64) {
+	seq := j.probeSeq
+	j.probeSeq++
+	j.eng.Ingest(tuple.Tuple{
+		TS:   eventTime.UnixMicro(),
+		Key:  key,
+		Val:  val,
+		Seq:  seq,
+		Side: tuple.Probe,
+	})
+}
+
+// Close flushes all pending windows (emitting their results) and stops the
+// engine. It is idempotent.
+func (j *Joiner) Close() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return
+	}
+	j.closed = true
+	j.eng.Drain()
+}
+
+// Algorithms lists every engine variant the library can construct,
+// including the Scale-OIJ ablations used by the benchmark harness.
+func Algorithms() []string { return harness.Engines() }
+
+// HashString maps a string join key to a Key with a 64-bit FNV-1a hash.
+func HashString(s string) Key {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return Key(h)
+}

@@ -1,0 +1,191 @@
+package oij
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewJoinerValidation(t *testing.T) {
+	if _, err := NewJoiner(Options{Window: Window{Pre: time.Second}}); err == nil {
+		t.Fatal("missing OnResult accepted")
+	}
+	if _, err := NewJoiner(Options{OnResult: func(Result) {}}); err == nil {
+		t.Fatal("empty window accepted")
+	}
+	if _, err := NewJoiner(Options{
+		Algorithm: "definitely-not-an-engine",
+		Window:    Window{Pre: time.Second},
+		OnResult:  func(Result) {},
+	}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestJoinerEndToEnd(t *testing.T) {
+	for _, alg := range []Algorithm{AlgorithmScaleOIJ, AlgorithmKeyOIJ, AlgorithmSplitJoin, AlgorithmOpenMLDB} {
+		parallel := 2
+		if alg == AlgorithmOpenMLDB {
+			// The shared-table baseline round-robins tuples over
+			// workers without preserving arrival order between them
+			// (one of the paper's critiques); single-worker keeps
+			// this small-scale check deterministic.
+			parallel = 1
+		}
+		var mu sync.Mutex
+		var results []Result
+		j, err := NewJoiner(Options{
+			Algorithm: alg,
+			Window:    Window{Pre: 10 * time.Second},
+			Agg:       Sum,
+			Parallel:  parallel,
+			OnResult: func(r Result) {
+				mu.Lock()
+				results = append(results, r)
+				mu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		t0 := time.Unix(1_700_000_000, 0)
+		const user = Key(7)
+		j.PushProbe(user, t0.Add(1*time.Second), 10)
+		j.PushProbe(user, t0.Add(2*time.Second), 20)
+		j.PushProbe(Key(8), t0.Add(2*time.Second), 999) // other key
+		seq := j.PushBase(user, t0.Add(3*time.Second), 0)
+		j.Close()
+		j.Close() // idempotent
+
+		mu.Lock()
+		defer mu.Unlock()
+		if len(results) != 1 {
+			t.Fatalf("%s: %d results", alg, len(results))
+		}
+		r := results[0]
+		if r.BaseSeq != seq || r.Key != user {
+			t.Fatalf("%s: result identity %+v", alg, r)
+		}
+		if r.Agg != 30 || r.Matches != 2 {
+			t.Fatalf("%s: agg = %g over %d matches, want 30 over 2", alg, r.Agg, r.Matches)
+		}
+	}
+}
+
+func TestJoinerWatermarkMode(t *testing.T) {
+	var mu sync.Mutex
+	var results []Result
+	j, err := NewJoiner(Options{
+		Window:   Window{Pre: 5 * time.Second, Lateness: time.Second},
+		Agg:      Count,
+		Parallel: 3,
+		Mode:     OnWatermark,
+		OnResult: func(r Result) {
+			mu.Lock()
+			results = append(results, r)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Unix(1_700_000_000, 0)
+	j.PushBase(Key(1), t0.Add(2*time.Second), 0)
+	// This probe arrives after the base tuple but inside its window —
+	// OnWatermark must still count it.
+	j.PushProbe(Key(1), t0.Add(1*time.Second), 5)
+	j.Close()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(results) != 1 || results[0].Matches != 1 {
+		t.Fatalf("results = %+v", results)
+	}
+}
+
+func TestHashString(t *testing.T) {
+	a, b := HashString("user-42"), HashString("user-43")
+	if a == b {
+		t.Fatal("distinct strings collided")
+	}
+	if a != HashString("user-42") {
+		t.Fatal("hash not deterministic")
+	}
+	if HashString("") == 0 {
+		t.Fatal("empty-string hash should be the FNV offset basis, not 0")
+	}
+}
+
+func TestAlgorithmsList(t *testing.T) {
+	algs := Algorithms()
+	if len(algs) < 4 {
+		t.Fatalf("Algorithms() = %v", algs)
+	}
+}
+
+func TestParseQueryToJoiner(t *testing.T) {
+	q, err := ParseQuery(`SELECT sum(amount) OVER w FROM actions WINDOW w AS (
+		UNION orders PARTITION BY user_id ORDER BY ts
+		ROWS_RANGE BETWEEN 10s PRECEDING AND CURRENT ROW LATENESS 1s)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.BaseTable() != "actions" || q.ProbeTable() != "orders" {
+		t.Fatalf("tables: %s, %s", q.BaseTable(), q.ProbeTable())
+	}
+	if q.PartitionBy() != "user_id" || q.OrderBy() != "ts" {
+		t.Fatalf("columns: %s, %s", q.PartitionBy(), q.OrderBy())
+	}
+	w := q.Window()
+	if w.Pre != 10*time.Second || w.Lateness != time.Second {
+		t.Fatalf("window: %+v", w)
+	}
+	if q.Agg() != Sum || len(q.Aggregations()) != 1 {
+		t.Fatalf("aggs: %v", q.Aggregations())
+	}
+
+	var mu sync.Mutex
+	total := 0.0
+	j, err := q.Joiner(AlgorithmScaleOIJ, 2, func(r Result) {
+		mu.Lock()
+		total += r.Agg
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Unix(1_700_000_000, 0)
+	u := HashString("alice")
+	j.PushProbe(u, t0.Add(time.Second), 25)
+	j.PushBase(u, t0.Add(2*time.Second), 0)
+	j.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if total != 25 {
+		t.Fatalf("total = %g", total)
+	}
+}
+
+func TestExcludeCurrentTimeEndToEnd(t *testing.T) {
+	var mu sync.Mutex
+	var results []Result
+	j, err := NewJoiner(Options{
+		Window:   Window{Pre: 10 * time.Second, ExcludeCurrentTime: true},
+		Agg:      Count,
+		OnResult: func(r Result) { mu.Lock(); results = append(results, r); mu.Unlock() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Unix(1_700_000_000, 0)
+	j.PushProbe(1, t0.Add(time.Second), 1)
+	j.PushProbe(1, t0.Add(2*time.Second), 1) // same moment as the request
+	j.PushBase(1, t0.Add(2*time.Second), 0)
+	j.Close()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(results) != 1 || results[0].Matches != 1 {
+		t.Fatalf("EXCLUDE CURRENT_TIME results: %+v", results)
+	}
+}

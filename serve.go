@@ -1,0 +1,61 @@
+package oij
+
+import (
+	"net"
+
+	"oij/internal/engine"
+	"oij/internal/server"
+)
+
+// Server serves an online interval join over TCP (see cmd/oijd and the
+// examples/serving program); construct one with ListenAndServe.
+type Server = server.Server
+
+// ServerClient is the Go client for a Server's wire protocol.
+type ServerClient = server.Client
+
+// ServerOptions configures ListenAndServe. The zero Algorithm, Agg and
+// Parallel take the same defaults as Options.
+type ServerOptions struct {
+	// Algorithm defaults to AlgorithmScaleOIJ.
+	Algorithm Algorithm
+	// Window is required.
+	Window Window
+	// Agg defaults to Sum.
+	Agg AggFunc
+	// Parallel is the joiner thread count (default 1).
+	Parallel int
+	// Mode defaults to OnArrival.
+	Mode EmitMode
+}
+
+// ListenAndServe starts a join server on addr (use "127.0.0.1:0" for an
+// ephemeral port) and returns it with its bound address. Shut it down with
+// Server.Shutdown.
+func ListenAndServe(o ServerOptions, addr string) (*Server, net.Addr, error) {
+	if o.Algorithm == "" {
+		o.Algorithm = AlgorithmScaleOIJ
+	}
+	srv, err := server.New(server.Config{
+		Algorithm: string(o.Algorithm),
+		Engine: engine.Config{
+			Joiners: o.Parallel,
+			Window:  o.Window.spec(),
+			Agg:     o.Agg,
+			Mode:    o.Mode,
+		},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return srv, bound, nil
+}
+
+// DialServer connects a client to a join server.
+func DialServer(addr string) (*ServerClient, error) {
+	return server.Dial(addr)
+}

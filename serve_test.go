@@ -1,0 +1,61 @@
+package oij
+
+import (
+	"testing"
+	"time"
+)
+
+func TestListenAndServeRoundTrip(t *testing.T) {
+	srv, addr, err := ListenAndServe(ServerOptions{
+		Window:   Window{Pre: 10 * time.Second, Lateness: 100 * time.Millisecond},
+		Agg:      Count,
+		Parallel: 2,
+	}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+
+	c, err := DialServer(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	t0 := time.Unix(1_700_000_000, 0)
+	k := HashString("k")
+	for i := 0; i < 5; i++ {
+		if err := c.SendProbe(k, t0.Add(time.Duration(i)*time.Second).UnixMicro(), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seq, err := c.SendBase(k, t0.Add(6*time.Second).UnixMicro(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := c.RecvResults(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].Seq != seq || rs[0].Matches != 5 {
+		t.Fatalf("results = %+v", rs)
+	}
+	if srv.Served() != 6 {
+		t.Fatalf("served = %d", srv.Served())
+	}
+}
+
+func TestListenAndServeValidation(t *testing.T) {
+	if _, _, err := ListenAndServe(ServerOptions{}, "127.0.0.1:0"); err == nil {
+		t.Fatal("empty window accepted")
+	}
+	if _, _, err := ListenAndServe(ServerOptions{
+		Algorithm: "nope",
+		Window:    Window{Pre: time.Second},
+	}, "127.0.0.1:0"); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}

@@ -1,0 +1,87 @@
+package oij
+
+import (
+	"time"
+
+	"oij/internal/sql"
+)
+
+// Query is a parsed OpenMLDB-dialect interval-join query (see ParseQuery).
+type Query struct {
+	spec *sql.QuerySpec
+}
+
+// ParseQuery parses an online interval join written in the OpenMLDB SQL
+// dialect the paper uses (§II-A), e.g.
+//
+//	SELECT sum(col2) OVER w1 FROM S
+//	WINDOW w1 AS (
+//	  UNION R
+//	  PARTITION BY key
+//	  ORDER BY timestamp
+//	  ROWS_RANGE BETWEEN 1s PRECEDING AND 1s FOLLOWING);
+//
+// One extension is accepted: a trailing "LATENESS <duration>" inside the
+// window clause sets the out-of-order bound.
+func ParseQuery(text string) (*Query, error) {
+	spec, err := sql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{spec: spec}, nil
+}
+
+// Window returns the query's window specification.
+func (q *Query) Window() Window {
+	return Window{
+		Pre:                time.Duration(q.spec.Window.Pre) * time.Microsecond,
+		Fol:                time.Duration(q.spec.Window.Fol) * time.Microsecond,
+		Lateness:           time.Duration(q.spec.Window.Lateness) * time.Microsecond,
+		ExcludeCurrentTime: q.spec.Window.ExcludeCurrentTime,
+	}
+}
+
+// Agg returns the first aggregation's operator (queries in this dialect
+// have at least one).
+func (q *Query) Agg() AggFunc { return q.spec.Aggs[0].Func }
+
+// Aggregations returns every windowed aggregation in select order as
+// (function, column) pairs.
+func (q *Query) Aggregations() []struct {
+	Func   AggFunc
+	Column string
+} {
+	out := make([]struct {
+		Func   AggFunc
+		Column string
+	}, len(q.spec.Aggs))
+	for i, a := range q.spec.Aggs {
+		out[i].Func = a.Func
+		out[i].Column = a.Column
+	}
+	return out
+}
+
+// BaseTable returns the FROM table name (the base stream).
+func (q *Query) BaseTable() string { return q.spec.BaseTable }
+
+// ProbeTable returns the UNION table name (the probe stream).
+func (q *Query) ProbeTable() string { return q.spec.ProbeTable }
+
+// PartitionBy returns the join-key column name.
+func (q *Query) PartitionBy() string { return q.spec.PartitionBy }
+
+// OrderBy returns the event-time column name.
+func (q *Query) OrderBy() string { return q.spec.OrderBy }
+
+// Joiner builds a started Joiner executing this query with the given
+// algorithm, parallelism, and result callback.
+func (q *Query) Joiner(alg Algorithm, parallel int, onResult func(Result)) (*Joiner, error) {
+	return NewJoiner(Options{
+		Algorithm: alg,
+		Window:    q.Window(),
+		Agg:       q.Agg(),
+		Parallel:  parallel,
+		OnResult:  onResult,
+	})
+}
