@@ -40,10 +40,11 @@ func main() {
 		parallel = flag.Int("parallel", 4, "joiner goroutines")
 		exact    = flag.Bool("exact", false, "emit on watermark (exact event-time results) instead of on arrival")
 		wal      = flag.String("wal", "", "write-ahead log path: probe state survives restarts")
+		admin    = flag.String("admin", "", "observability address serving /metrics, /statusz, /debug/pprof (e.g. :7782)")
 	)
 	flag.Parse()
 
-	cfg := server.Config{Algorithm: *alg, WALPath: *wal}
+	cfg := server.Config{Algorithm: *alg, WALPath: *wal, AdminAddr: *admin}
 	if *sqlText != "" {
 		q, err := sql.Parse(*sqlText)
 		if err != nil {
@@ -91,6 +92,9 @@ func main() {
 	}
 	fmt.Printf("oijd: serving %s with %s (%d joiners) on %s\n",
 		cfg.Engine.Agg, *alg, *parallel, bound)
+	if a := srv.AdminAddr(); a != nil {
+		fmt.Printf("oijd: observability on http://%s (/metrics /statusz /debug/pprof)\n", a)
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

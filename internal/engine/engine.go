@@ -135,8 +135,24 @@ type Engine interface {
 	// need it. Driver goroutine only, like Ingest.
 	Heartbeat()
 	// Stats returns run statistics. Valid after Drain; the per-joiner
-	// Busy counters are additionally safe to sample live.
+	// Processed, Busy, and Effect counters are additionally safe to
+	// sample live (they are single-writer atomics).
 	Stats() *Stats
+}
+
+// Introspector is implemented by engines that expose live transport state
+// for the observability layer. All methods are safe from any goroutine
+// while the engine runs — they read atomics published by the driver.
+type Introspector interface {
+	// QueueDepths returns the current depth of each joiner's input ring.
+	QueueDepths() []int
+	// Watermark returns the newest broadcast watermark (watermark.MinTime
+	// before the first broadcast).
+	Watermark() tuple.Time
+	// MaxEventTS returns the newest observed event timestamp
+	// (watermark.MinTime before the first tuple). MaxEventTS − Watermark
+	// is the live watermark lag.
+	MaxEventTS() tuple.Time
 }
 
 // Stats aggregates what the experiments measure.
@@ -201,10 +217,11 @@ func (s *Stats) MergedBreakdown() metrics.Breakdown {
 }
 
 // MergedEffectiveness folds the per-joiner effectiveness accumulators.
+// Safe to call live: the accumulators are single-writer atomics.
 func (s *Stats) MergedEffectiveness() float64 {
 	var e metrics.Effectiveness
 	for i := range s.Effect {
-		e.Merge(s.Effect[i])
+		e.Merge(&s.Effect[i])
 	}
 	return e.Value()
 }
@@ -230,6 +247,12 @@ type Transport struct {
 	assign   *watermarkAssigner
 	adaptive *watermark.Adaptive
 	wg       sync.WaitGroup
+
+	// pubMax/pubWM mirror the driver-owned watermark state for concurrent
+	// observers (the admin scrape path). The driver stores, anyone loads;
+	// the cost on the ingest path is one uncontended atomic store.
+	pubMax atomic.Int64
+	pubWM  atomic.Int64
 }
 
 // watermarkAssigner tracks the driver-side max event timestamp.
@@ -242,6 +265,8 @@ type watermarkAssigner struct {
 // NewTransport builds rings for cfg.Joiners joiners.
 func NewTransport(cfg Config) *Transport {
 	t := &Transport{Cfg: cfg, assign: &watermarkAssigner{}}
+	t.pubMax.Store(int64(watermark.MinTime))
+	t.pubWM.Store(int64(watermark.MinTime))
 	if cfg.AdaptiveLateness {
 		t.adaptive = watermark.NewAdaptive(cfg.AdaptiveQuantile, 0, 0)
 	}
@@ -279,6 +304,7 @@ func (t *Transport) Observe(ts tuple.Time) {
 	if !a.seen || ts > a.maxTS {
 		a.maxTS = ts
 		a.seen = true
+		t.pubMax.Store(int64(ts))
 	}
 	if t.adaptive == nil {
 		wm = a.maxTS - t.Cfg.Window.Lateness
@@ -286,6 +312,7 @@ func (t *Transport) Observe(ts tuple.Time) {
 	a.count++
 	if a.count >= t.Cfg.WatermarkEvery {
 		a.count = 0
+		t.pubWM.Store(int64(wm))
 		t.Broadcast(WatermarkTuple(wm))
 	}
 }
@@ -296,12 +323,30 @@ func (t *Transport) Heartbeat() {
 	if !t.assign.seen {
 		return
 	}
+	wm := t.assign.maxTS - t.Cfg.Window.Lateness
 	if t.adaptive != nil {
-		t.Broadcast(WatermarkTuple(t.adaptive.Current()))
-		return
+		wm = t.adaptive.Current()
 	}
-	t.Broadcast(WatermarkTuple(t.assign.maxTS - t.Cfg.Window.Lateness))
+	t.pubWM.Store(int64(wm))
+	t.Broadcast(WatermarkTuple(wm))
 }
+
+// QueueDepths samples the live depth of every joiner ring.
+func (t *Transport) QueueDepths() []int {
+	out := make([]int, len(t.Rings))
+	for i, r := range t.Rings {
+		out[i] = r.Len()
+	}
+	return out
+}
+
+// Watermark returns the newest broadcast watermark (watermark.MinTime
+// before the first broadcast). Safe from any goroutine.
+func (t *Transport) Watermark() tuple.Time { return tuple.Time(t.pubWM.Load()) }
+
+// MaxEventTS returns the newest observed event timestamp (watermark.MinTime
+// before the first tuple). Safe from any goroutine.
+func (t *Transport) MaxEventTS() tuple.Time { return tuple.Time(t.pubMax.Load()) }
 
 // EstimatedLateness reports the adaptive tardiness estimate (0 when
 // adaptive lateness is off).

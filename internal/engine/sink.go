@@ -79,11 +79,23 @@ type LatencySink struct {
 	n    atomic.Int64
 }
 
-// NewLatencySink sizes per-joiner recorders.
+// NewLatencySink sizes per-joiner recorders that retain every sample
+// (bounded replays only — see NewLatencySinkCapped for servers).
 func NewLatencySink(joiners, capacity int) *LatencySink {
 	s := &LatencySink{recs: make([]*metrics.LatencyRecorder, joiners)}
 	for i := range s.recs {
 		s.recs[i] = metrics.NewLatencyRecorder(capacity)
+	}
+	return s
+}
+
+// NewLatencySinkCapped bounds each per-joiner recorder at max samples via
+// deterministic reservoir sampling (each shard seeded from seed), so the
+// sink is safe on unbounded-duration serving paths.
+func NewLatencySinkCapped(joiners, max int, seed uint64) *LatencySink {
+	s := &LatencySink{recs: make([]*metrics.LatencyRecorder, joiners)}
+	for i := range s.recs {
+		s.recs[i] = metrics.NewReservoirRecorder(max, seed+uint64(i)*0x9e3779b97f4a7c15)
 	}
 	return s
 }

@@ -87,6 +87,12 @@ type RunConfig struct {
 	Paced bool
 	// MeasureLatency stamps base tuples and collects a latency CDF.
 	MeasureLatency bool
+	// MaxLatencySamples caps per-joiner latency retention with
+	// deterministic reservoir sampling (seeded by LatencySeed). 0 retains
+	// every sample — fine for bounded replays, not for endless streams.
+	MaxLatencySamples int
+	// LatencySeed seeds the reservoir PRNG when MaxLatencySamples > 0.
+	LatencySeed uint64
 	// Instrument enables breakdown + effectiveness accounting.
 	Instrument bool
 	// UtilEpoch, when > 0, samples per-joiner utilization at this epoch
@@ -133,7 +139,11 @@ func Run(rc RunConfig) (RunResult, error) {
 	var sink engine.Sink
 	var lat *engine.LatencySink
 	if rc.MeasureLatency {
-		lat = engine.NewLatencySink(rc.Joiners, len(tuples)/2+1)
+		if rc.MaxLatencySamples > 0 {
+			lat = engine.NewLatencySinkCapped(rc.Joiners, rc.MaxLatencySamples, rc.LatencySeed)
+		} else {
+			lat = engine.NewLatencySink(rc.Joiners, len(tuples)/2+1)
+		}
 		sink = lat
 	} else {
 		sink = &engine.CountSink{}

@@ -93,6 +93,15 @@ func (e *Engine) Stats() *engine.Stats { return e.stats }
 // Heartbeat implements engine.Engine.
 func (e *Engine) Heartbeat() { e.tr.Heartbeat() }
 
+// QueueDepths implements engine.Introspector.
+func (e *Engine) QueueDepths() []int { return e.tr.QueueDepths() }
+
+// Watermark implements engine.Introspector.
+func (e *Engine) Watermark() tuple.Time { return e.tr.Watermark() }
+
+// MaxEventTS implements engine.Introspector.
+func (e *Engine) MaxEventTS() tuple.Time { return e.tr.MaxEventTS() }
+
 // joiner is one Key-OIJ worker: per-key unsorted probe buffers plus, in
 // OnWatermark mode, a heap of base tuples awaiting window completion.
 type joiner struct {

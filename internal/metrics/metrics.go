@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 	"time"
 )
 
@@ -23,36 +24,48 @@ func Throughput(tuples int64, elapsed time.Duration) float64 {
 // the fraction of visited buffer entries that were actually inside the
 // window. Engines accumulate (matched, visited) pairs per join; this helper
 // folds the per-join ratios.
+//
+// State is held in atomics under the single-writer discipline: only the
+// owning joiner calls Observe, so updates are plain load/store (no CAS on
+// the hot path), while any goroutine may call Value concurrently — the
+// live statusz endpoint snapshots accumulators mid-run.
 type Effectiveness struct {
-	sumRatio float64
-	joins    int64
+	ratioBits atomic.Uint64 // float64 bits of the summed per-join ratios
+	joins     atomic.Int64
 }
 
 // Observe records one join operation that visited `visited` buffered tuples
 // of which `matched` were in-window. Joins that visited nothing count as
-// fully effective (nothing useless was read).
+// fully effective (nothing useless was read). Single writer only.
 func (e *Effectiveness) Observe(matched, visited int64) {
-	if visited == 0 {
-		e.sumRatio++
-	} else {
-		e.sumRatio += float64(matched) / float64(visited)
+	r := 1.0
+	if visited != 0 {
+		r = float64(matched) / float64(visited)
 	}
-	e.joins++
+	e.addRatio(r)
+	e.joins.Add(1)
+}
+
+func (e *Effectiveness) addRatio(r float64) {
+	e.ratioBits.Store(math.Float64bits(math.Float64frombits(e.ratioBits.Load()) + r))
 }
 
 // Merge folds another accumulator in (per-joiner accumulators are merged at
-// the end of a run).
-func (e *Effectiveness) Merge(o Effectiveness) {
-	e.sumRatio += o.sumRatio
-	e.joins += o.joins
+// the end of a run, or live for statusz).
+func (e *Effectiveness) Merge(o *Effectiveness) {
+	e.addRatio(math.Float64frombits(o.ratioBits.Load()))
+	e.joins.Add(o.joins.Load())
 }
 
 // Value returns the average effectiveness in [0, 1], or 1 if no joins ran.
+// Safe to call while another goroutine is Observing; the ratio sum and
+// join count may then be one observation apart.
 func (e *Effectiveness) Value() float64 {
-	if e.joins == 0 {
+	joins := e.joins.Load()
+	if joins == 0 {
 		return 1
 	}
-	return e.sumRatio / float64(e.joins)
+	return math.Float64frombits(e.ratioBits.Load()) / float64(joins)
 }
 
 // Unbalancedness is the paper's Equation (2): the dispersion of per-joiner
@@ -85,22 +98,64 @@ func Unbalancedness(loads []float64) float64 {
 // LatencyRecorder collects per-result latencies for one joiner (so the hot
 // path stays lock-free) and renders CDFs after the run. Latencies are
 // recorded in nanoseconds.
+//
+// An uncapped recorder retains every sample — fine for bounded benchmark
+// replays, fatal for a long-running server. NewReservoirRecorder caps
+// memory with reservoir sampling (Algorithm R): every observation has an
+// equal probability of being retained, so quantiles stay unbiased while
+// the buffer never grows past the cap. The PRNG is a deterministic
+// seedable splitmix64 so capped runs are reproducible.
 type LatencyRecorder struct {
 	samples []int64
+	cap     int    // 0 = unbounded
+	seen    int64  // total observations, including evicted ones
+	rng     uint64 // splitmix64 state (capped mode only)
 }
 
-// NewLatencyRecorder pre-sizes the sample buffer.
+// NewLatencyRecorder pre-sizes the sample buffer; it retains every sample
+// (use NewReservoirRecorder on unbounded-duration paths).
 func NewLatencyRecorder(capacity int) *LatencyRecorder {
 	return &LatencyRecorder{samples: make([]int64, 0, capacity)}
 }
 
-// Record adds one latency observation.
-func (r *LatencyRecorder) Record(d time.Duration) {
-	r.samples = append(r.samples, int64(d))
+// NewReservoirRecorder retains at most max samples via reservoir sampling
+// with the given PRNG seed.
+func NewReservoirRecorder(max int, seed uint64) *LatencyRecorder {
+	if max < 1 {
+		max = 1
+	}
+	return &LatencyRecorder{samples: make([]int64, 0, max), cap: max, rng: seed}
 }
 
-// Len returns the number of recorded samples.
+// Record adds one latency observation.
+func (r *LatencyRecorder) Record(d time.Duration) {
+	r.seen++
+	if r.cap <= 0 || len(r.samples) < cap(r.samples) {
+		r.samples = append(r.samples, int64(d))
+		return
+	}
+	// Algorithm R: replace a uniformly random slot with probability
+	// cap/seen, so every observation is retained with equal probability.
+	if k := r.next() % uint64(r.seen); k < uint64(r.cap) {
+		r.samples[k] = int64(d)
+	}
+}
+
+// next steps the splitmix64 PRNG.
+func (r *LatencyRecorder) next() uint64 {
+	r.rng += 0x9e3779b97f4a7c15
+	z := r.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Len returns the number of retained samples.
 func (r *LatencyRecorder) Len() int { return len(r.samples) }
+
+// Seen returns the number of observations, including ones the reservoir
+// evicted.
+func (r *LatencyRecorder) Seen() int64 { return r.seen }
 
 // CDF summarises a latency distribution.
 type CDF struct {
@@ -121,19 +176,29 @@ func MergeCDF(recs ...*LatencyRecorder) CDF {
 	return CDF{Sorted: all}
 }
 
-// Quantile returns the q-quantile (0 <= q <= 1) latency.
+// Quantile returns the nearest-rank q-quantile (0 <= q <= 1) latency: the
+// smallest sample with at least a q fraction of samples at or below it.
+// (The former int(q*(len-1)) indexing floored, biasing high quantiles low
+// on small sample sets — e.g. p99 of 100 samples returned rank 99 of 100.)
 func (c CDF) Quantile(q float64) time.Duration {
-	if len(c.Sorted) == 0 {
+	n := len(c.Sorted)
+	if n == 0 {
 		return 0
 	}
 	if q <= 0 {
 		return time.Duration(c.Sorted[0])
 	}
 	if q >= 1 {
-		return time.Duration(c.Sorted[len(c.Sorted)-1])
+		return time.Duration(c.Sorted[n-1])
 	}
-	idx := int(q * float64(len(c.Sorted)-1))
-	return time.Duration(c.Sorted[idx])
+	rank := int(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return time.Duration(c.Sorted[rank-1])
 }
 
 // FractionBelow returns the fraction of samples at or below d — e.g. the
@@ -207,11 +272,22 @@ type Utilization struct {
 	epoch   time.Duration
 	busy    []time.Duration
 	history [][]float64
+	limit   int // 0 = unbounded history (batch runs)
 }
 
 // NewUtilization tracks n joiners with the given epoch length.
 func NewUtilization(n int, epoch time.Duration) *Utilization {
 	return &Utilization{epoch: epoch, busy: make([]time.Duration, n)}
+}
+
+// LimitHistory keeps only the newest n epochs (0 restores unbounded
+// retention). Long-running servers sample forever; an unbounded history
+// would be the same leak the reservoir recorder fixes.
+func (u *Utilization) LimitHistory(n int) {
+	u.limit = n
+	if n > 0 && len(u.history) > n {
+		u.history = append(u.history[:0], u.history[len(u.history)-n:]...)
+	}
 }
 
 // AddBusy accounts busy-time d to joiner i during the current epoch. Only
@@ -221,15 +297,27 @@ func (u *Utilization) AddBusy(i int, d time.Duration) { u.busy[i] += d }
 
 // Snapshot closes the current epoch: it appends each joiner's utilization
 // (busy/epoch, capped at 1) to the history and zeroes the counters.
-func (u *Utilization) Snapshot() []float64 {
+func (u *Utilization) Snapshot() []float64 { return u.SnapshotOver(u.epoch) }
+
+// SnapshotOver closes the current epoch against the actual elapsed
+// duration — live samplers tick on the wall clock, which jitters, so the
+// denominator is measured rather than nominal.
+func (u *Utilization) SnapshotOver(epoch time.Duration) []float64 {
 	row := make([]float64, len(u.busy))
 	for i, b := range u.busy {
-		f := float64(b) / float64(u.epoch)
+		var f float64
+		if epoch > 0 {
+			f = float64(b) / float64(epoch)
+		}
 		if f > 1 {
 			f = 1
 		}
 		row[i] = f
 		u.busy[i] = 0
+	}
+	if u.limit > 0 && len(u.history) >= u.limit {
+		copy(u.history, u.history[len(u.history)-u.limit+1:])
+		u.history = u.history[:u.limit-1]
 	}
 	u.history = append(u.history, row)
 	return row

@@ -112,6 +112,15 @@ func (e *Engine) Stats() *engine.Stats { return e.stats }
 // Heartbeat implements engine.Engine.
 func (e *Engine) Heartbeat() { e.tr.Heartbeat() }
 
+// QueueDepths implements engine.Introspector.
+func (e *Engine) QueueDepths() []int { return e.tr.QueueDepths() }
+
+// Watermark implements engine.Introspector.
+func (e *Engine) Watermark() tuple.Time { return e.tr.Watermark() }
+
+// MaxEventTS implements engine.Introspector.
+func (e *Engine) MaxEventTS() tuple.Time { return e.tr.MaxEventTS() }
+
 func (e *Engine) work(id int, t tuple.Tuple) {
 	e.stats.Processed[id].Add(1)
 	if t.Side == tuple.Probe {

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Admin is the observability HTTP endpoint of a running daemon. It serves
+//
+//	/metrics       Prometheus text exposition of a Registry
+//	/statusz       JSON snapshot produced by the status callback
+//	/debug/pprof/  the standard Go profiling handlers
+//
+// on its own mux (never http.DefaultServeMux, so importing this package
+// cannot leak pprof onto an application server).
+type Admin struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// ServeAdmin binds addr (use ":0" for an ephemeral port) and serves the
+// admin endpoints in a background goroutine. status is invoked per
+// /statusz request and must be safe from any goroutine; nil disables the
+// endpoint.
+func ServeAdmin(addr string, reg *Registry, status func() any) (*Admin, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	if status != nil {
+		mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(status())
+		})
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	a := &Admin{srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}, ln: ln}
+	go a.srv.Serve(ln)
+	return a, nil
+}
+
+// Addr returns the bound address.
+func (a *Admin) Addr() net.Addr { return a.ln.Addr() }
+
+// Close stops the admin server, interrupting in-flight scrapes.
+func (a *Admin) Close() error { return a.srv.Close() }

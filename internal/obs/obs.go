@@ -1,0 +1,295 @@
+// Package obs is the live observability layer: lock-free per-joiner
+// instruments (padded atomic counters and gauges, streaming histograms), a
+// registry that snapshots them without stopping joiners, and an admin HTTP
+// server exposing Prometheus text metrics, a JSON statusz, and pprof.
+//
+// The hot-path contract mirrors the engines' SWMR discipline: every
+// instrument is sharded per joiner, exactly one goroutine writes a shard,
+// and the scrape path merges shard snapshots — recording is a shard-local
+// atomic write, never a lock, so instrumentation cannot perturb the
+// throughput the paper measures.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+const cacheLine = 64
+
+// Counter is a monotonically increasing counter on its own cache line, so
+// adjacent shards never false-share.
+type Counter struct {
+	v atomic.Int64
+	_ [cacheLine - 8]byte
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is a settable float64 value on its own cache line.
+type Gauge struct {
+	bits atomic.Uint64
+	_    [cacheLine - 8]byte
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Load returns the current value.
+func (g *Gauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// CounterVec is a named family of per-shard counters.
+type CounterVec struct {
+	name, help string
+	shards     []Counter
+}
+
+// Shard returns shard i; only that shard's owning goroutine should write
+// it, though writes are atomic so violating that only costs cache traffic.
+func (v *CounterVec) Shard(i int) *Counter { return &v.shards[i] }
+
+// Total sums all shards.
+func (v *CounterVec) Total() int64 {
+	var n int64
+	for i := range v.shards {
+		n += v.shards[i].Load()
+	}
+	return n
+}
+
+// Values returns the per-shard values.
+func (v *CounterVec) Values() []int64 {
+	out := make([]int64, len(v.shards))
+	for i := range v.shards {
+		out[i] = v.shards[i].Load()
+	}
+	return out
+}
+
+// GaugeVec is a named family of per-shard gauges.
+type GaugeVec struct {
+	name, help string
+	shards     []Gauge
+}
+
+// Shard returns gauge i.
+func (v *GaugeVec) Shard(i int) *Gauge { return &v.shards[i] }
+
+// Values returns the per-shard values.
+func (v *GaugeVec) Values() []float64 {
+	out := make([]float64, len(v.shards))
+	for i := range v.shards {
+		out[i] = v.shards[i].Load()
+	}
+	return out
+}
+
+// HistogramVec is a named family of per-shard streaming histograms.
+// Values are recorded in the given unit and rendered to Prometheus scaled
+// by 1/scale (e.g. record nanoseconds, scale 1e9, render seconds).
+type HistogramVec struct {
+	name, help string
+	scale      float64
+	quantiles  []float64
+	shards     []Histogram
+}
+
+// Shard returns histogram i (single writer per shard).
+func (v *HistogramVec) Shard(i int) *Histogram { return &v.shards[i] }
+
+// Snapshot merges every shard into one point-in-time view.
+func (v *HistogramVec) Snapshot() *HistSnapshot {
+	s := &HistSnapshot{}
+	for i := range v.shards {
+		s.Merge(&v.shards[i])
+	}
+	return s
+}
+
+// gaugeFunc reads its value at scrape time — for state that already lives
+// in engine atomics (queue depths, watermarks) and needs no second copy.
+type gaugeFunc struct {
+	name, help string
+	fn         func() float64
+}
+
+// gaugeVecFunc is the per-shard variant of gaugeFunc.
+type gaugeVecFunc struct {
+	name, help string
+	fn         func() []float64
+}
+
+// Registry holds the instrument families of one process. Registration
+// takes a lock; recording and scraping never do (scrapes read atomics).
+type Registry struct {
+	mu       sync.Mutex
+	counters []*CounterVec
+	gauges   []*GaugeVec
+	gfns     []*gaugeFunc
+	gvfns    []*gaugeVecFunc
+	hists    []*HistogramVec
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// DefaultQuantiles are the summary quantiles rendered for histograms —
+// the grid the paper's CDF figures read off (§III-B).
+var DefaultQuantiles = []float64{0.5, 0.9, 0.99, 0.999}
+
+// NewCounterVec registers a counter family with the given shard count.
+func (r *Registry) NewCounterVec(name, help string, shards int) *CounterVec {
+	v := &CounterVec{name: name, help: help, shards: make([]Counter, shards)}
+	r.mu.Lock()
+	r.counters = append(r.counters, v)
+	r.mu.Unlock()
+	return v
+}
+
+// NewCounter registers a single-shard counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	return r.NewCounterVec(name, help, 1).Shard(0)
+}
+
+// NewGaugeVec registers a gauge family with the given shard count.
+func (r *Registry) NewGaugeVec(name, help string, shards int) *GaugeVec {
+	v := &GaugeVec{name: name, help: help, shards: make([]Gauge, shards)}
+	r.mu.Lock()
+	r.gauges = append(r.gauges, v)
+	r.mu.Unlock()
+	return v
+}
+
+// NewGaugeFunc registers a gauge evaluated at scrape time. fn must be safe
+// to call from any goroutine.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	r.mu.Lock()
+	r.gfns = append(r.gfns, &gaugeFunc{name, help, fn})
+	r.mu.Unlock()
+}
+
+// NewGaugeVecFunc registers a per-shard gauge family evaluated at scrape
+// time; fn returns one value per shard and must be safe from any goroutine.
+func (r *Registry) NewGaugeVecFunc(name, help string, fn func() []float64) {
+	r.mu.Lock()
+	r.gvfns = append(r.gvfns, &gaugeVecFunc{name, help, fn})
+	r.mu.Unlock()
+}
+
+// NewHistogramVec registers a histogram family. scale divides recorded
+// values on output (0 means 1); quantiles nil means DefaultQuantiles.
+func (r *Registry) NewHistogramVec(name, help string, shards int, scale float64, quantiles []float64) *HistogramVec {
+	if scale == 0 {
+		scale = 1
+	}
+	if quantiles == nil {
+		quantiles = DefaultQuantiles
+	}
+	v := &HistogramVec{name: name, help: help, scale: scale, quantiles: quantiles, shards: make([]Histogram, shards)}
+	r.mu.Lock()
+	r.hists = append(r.hists, v)
+	r.mu.Unlock()
+	return v
+}
+
+// WritePrometheus renders every registered instrument in the Prometheus
+// text exposition format (version 0.0.4). Multi-shard families get a
+// {joiner="i"} label per shard; histograms render as summaries.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	counters := append([]*CounterVec(nil), r.counters...)
+	gauges := append([]*GaugeVec(nil), r.gauges...)
+	gfns := append([]*gaugeFunc(nil), r.gfns...)
+	gvfns := append([]*gaugeVecFunc(nil), r.gvfns...)
+	hists := append([]*HistogramVec(nil), r.hists...)
+	r.mu.Unlock()
+
+	for _, v := range counters {
+		if err := writeHeader(w, v.name, v.help, "counter"); err != nil {
+			return err
+		}
+		if len(v.shards) == 1 {
+			if _, err := fmt.Fprintf(w, "%s %d\n", v.name, v.shards[0].Load()); err != nil {
+				return err
+			}
+			continue
+		}
+		for i := range v.shards {
+			if _, err := fmt.Fprintf(w, "%s{joiner=\"%d\"} %d\n", v.name, i, v.shards[i].Load()); err != nil {
+				return err
+			}
+		}
+	}
+	for _, v := range gauges {
+		if err := writeHeader(w, v.name, v.help, "gauge"); err != nil {
+			return err
+		}
+		if len(v.shards) == 1 {
+			if _, err := fmt.Fprintf(w, "%s %g\n", v.name, v.shards[0].Load()); err != nil {
+				return err
+			}
+			continue
+		}
+		for i := range v.shards {
+			if _, err := fmt.Fprintf(w, "%s{joiner=\"%d\"} %g\n", v.name, i, v.shards[i].Load()); err != nil {
+				return err
+			}
+		}
+	}
+	for _, g := range gfns {
+		if err := writeHeader(w, g.name, g.help, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %g\n", g.name, g.fn()); err != nil {
+			return err
+		}
+	}
+	for _, g := range gvfns {
+		if err := writeHeader(w, g.name, g.help, "gauge"); err != nil {
+			return err
+		}
+		for i, val := range g.fn() {
+			if _, err := fmt.Fprintf(w, "%s{joiner=\"%d\"} %g\n", g.name, i, val); err != nil {
+				return err
+			}
+		}
+	}
+	for _, v := range hists {
+		if err := writeHeader(w, v.name, v.help, "summary"); err != nil {
+			return err
+		}
+		s := v.Snapshot()
+		qs := append([]float64(nil), v.quantiles...)
+		sort.Float64s(qs)
+		for _, q := range qs {
+			if _, err := fmt.Fprintf(w, "%s{quantile=\"%g\"} %g\n", v.name, q, float64(s.Quantile(q))/v.scale); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", v.name, float64(s.Sum)/v.scale, v.name, s.N); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHeader(w io.Writer, name, help, typ string) error {
+	if help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+	return err
+}

@@ -1,0 +1,289 @@
+package obs
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"oij/internal/metrics"
+)
+
+func TestBucketLayout(t *testing.T) {
+	// Lower bounds are strictly increasing and invert bucketIndex.
+	prev := int64(-1)
+	for i := 0; i < histBuckets; i++ {
+		lo := bucketLower(i)
+		if lo <= prev {
+			t.Fatalf("bucket %d lower %d <= previous %d", i, lo, prev)
+		}
+		if got := bucketIndex(lo); got != i {
+			t.Fatalf("bucketIndex(bucketLower(%d)) = %d", i, got)
+		}
+		prev = lo
+	}
+	// Every value lands in a bucket whose range contains it.
+	rng := rand.New(rand.NewSource(1))
+	for n := 0; n < 100000; n++ {
+		v := rng.Int63() >> uint(rng.Intn(60))
+		i := bucketIndex(v)
+		if lo := bucketLower(i); v < lo {
+			t.Fatalf("value %d below its bucket %d lower %d", v, i, lo)
+		}
+		if i+1 < histBuckets {
+			if hi := bucketLower(i + 1); v >= hi {
+				t.Fatalf("value %d at or above next bucket lower %d", v, hi)
+			}
+		}
+	}
+	if bucketIndex(-5) != 0 {
+		t.Fatal("negative values must clamp to bucket 0")
+	}
+}
+
+func TestHistogramSmallValuesExact(t *testing.T) {
+	var h Histogram
+	for v := int64(0); v < histSub; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.N != histSub {
+		t.Fatalf("N = %d", s.N)
+	}
+	// Below histSub buckets are exact, so quantiles are exact.
+	if got := s.Quantile(0.5); got != histSub/2-1 {
+		t.Fatalf("p50 = %d", got)
+	}
+	if got := s.Quantile(1); got != histSub-1 {
+		t.Fatalf("p100 = %d", got)
+	}
+	if s.Max != histSub-1 {
+		t.Fatalf("max = %d", s.Max)
+	}
+}
+
+// TestHistogramMergeEquivalence is the satellite acceptance check: the
+// streaming histogram's quantiles, merged across shards, agree with the
+// exact CDF quantiles within one bucket width.
+func TestHistogramMergeEquivalence(t *testing.T) {
+	const shards = 4
+	const perShard = 5000
+	rng := rand.New(rand.NewSource(42))
+	hs := make([]Histogram, shards)
+	recs := make([]*metrics.LatencyRecorder, shards)
+	for i := range recs {
+		recs[i] = metrics.NewLatencyRecorder(perShard)
+	}
+	for i := 0; i < shards; i++ {
+		for n := 0; n < perShard; n++ {
+			// Log-uniform latencies from ~1µs to ~100ms in ns.
+			v := int64(1000 * (1 + rng.Float64()*rng.Float64()*100000))
+			hs[i].Observe(v)
+			recs[i].Record(time.Duration(v))
+		}
+	}
+	merged := &HistSnapshot{}
+	for i := range hs {
+		merged.Merge(&hs[i])
+	}
+	cdf := metrics.MergeCDF(recs...)
+	if merged.N != int64(len(cdf.Sorted)) {
+		t.Fatalf("counts diverge: %d vs %d", merged.N, len(cdf.Sorted))
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 0.999} {
+		exact := int64(cdf.Quantile(q))
+		approx := merged.Quantile(q)
+		width := bucketWidth(bucketIndex(exact))
+		if approx > exact || exact-approx > width {
+			t.Fatalf("q=%g: histogram %d vs exact %d (allowed width %d)", q, approx, exact, width)
+		}
+	}
+}
+
+// TestHistogramConcurrentSnapshot exercises snapshot-while-recording under
+// the race detector: one writer per shard, one reader merging continuously.
+func TestHistogramConcurrentSnapshot(t *testing.T) {
+	const shards = 4
+	const perShard = 20000
+	hs := make([]Histogram, shards)
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := &HistSnapshot{}
+			var direct int64
+			for i := range hs {
+				s.Merge(&hs[i])
+			}
+			for _, c := range s.Counts {
+				direct += int64(c)
+			}
+			// The invariant mid-run: the snapshot is internally
+			// consistent (N equals the summed buckets it actually read).
+			if direct != s.N {
+				t.Errorf("snapshot N %d != summed buckets %d", s.N, direct)
+				return
+			}
+		}
+	}()
+	var writerWG sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		writerWG.Add(1)
+		go func(h *Histogram, seed int64) {
+			defer writerWG.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for n := 0; n < perShard; n++ {
+				h.Observe(rng.Int63n(1 << 30))
+			}
+		}(&hs[i], int64(i))
+	}
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+	s := &HistSnapshot{}
+	for i := range hs {
+		s.Merge(&hs[i])
+	}
+	if s.N != shards*perShard {
+		t.Fatalf("final N = %d, want %d", s.N, shards*perShard)
+	}
+}
+
+func TestCounterGaugeVecs(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounterVec("test_counter", "h", 3)
+	c.Shard(0).Add(5)
+	c.Shard(1).Inc()
+	c.Shard(2).Add(4)
+	if c.Total() != 10 {
+		t.Fatalf("total = %d", c.Total())
+	}
+	g := r.NewGaugeVec("test_gauge", "h", 2)
+	g.Shard(0).Set(0.25)
+	g.Shard(1).Set(-1)
+	vs := g.Values()
+	if vs[0] != 0.25 || vs[1] != -1 {
+		t.Fatalf("gauge values = %v", vs)
+	}
+}
+
+// TestInstrumentsConcurrent hammers shard-local writes with a concurrent
+// scraper under -race.
+func TestInstrumentsConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const shards = 4
+	c := r.NewCounterVec("c_total", "h", shards)
+	g := r.NewGaugeVec("g", "h", shards)
+	h := r.NewHistogramVec("h_seconds", "h", shards, 1e9, nil)
+	r.NewGaugeFunc("gf", "h", func() float64 { return float64(c.Total()) })
+	r.NewGaugeVecFunc("gvf", "h", func() []float64 { return g.Values() })
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var sb strings.Builder
+			if err := r.WritePrometheus(&sb); err != nil {
+				t.Errorf("WritePrometheus: %v", err)
+				return
+			}
+		}
+	}()
+	var writers sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		writers.Add(1)
+		go func(i int) {
+			defer writers.Done()
+			for n := 0; n < 10000; n++ {
+				c.Shard(i).Inc()
+				g.Shard(i).Set(float64(n))
+				h.Shard(i).Observe(int64(n * 1000))
+			}
+		}(i)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if c.Total() != 4*10000 {
+		t.Fatalf("counter total = %d", c.Total())
+	}
+	if h.Snapshot().N != 4*10000 {
+		t.Fatalf("histogram N = %d", h.Snapshot().N)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("oij_served_total", "Tuples served.")
+	c.Add(7)
+	v := r.NewCounterVec("oij_results_total", "Results.", 2)
+	v.Shard(1).Add(3)
+	r.NewGaugeFunc("oij_lag", "Lag.", func() float64 { return 1.5 })
+	h := r.NewHistogramVec("oij_latency_seconds", "Latency.", 1, 1e9, []float64{0.5})
+	h.Shard(0).Observe(2_000_000_000)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE oij_served_total counter",
+		"oij_served_total 7",
+		`oij_results_total{joiner="0"} 0`,
+		`oij_results_total{joiner="1"} 3`,
+		"# TYPE oij_lag gauge",
+		"oij_lag 1.5",
+		"# TYPE oij_latency_seconds summary",
+		"oij_latency_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in output:\n%s", want, out)
+		}
+	}
+	// The 2s observation renders in seconds within bucket error (~3%).
+	qline := `oij_latency_seconds{quantile="0.5"} `
+	i := strings.Index(out, qline)
+	if i < 0 {
+		t.Fatalf("no quantile line in:\n%s", out)
+	}
+	rest := out[i+len(qline):]
+	rest = rest[:strings.IndexByte(rest, '\n')]
+	if !strings.HasPrefix(rest, "1.9") && !strings.HasPrefix(rest, "2") {
+		t.Fatalf("p50 rendered as %q, want ≈2s", rest)
+	}
+}
+
+// sortedQuantileCheck guards the nearest-rank convention shared with
+// metrics.CDF: 100 samples 1..100 → p99 is the 99th value.
+func TestHistogramNearestRank(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v * 1000)
+	}
+	s := h.Snapshot()
+	got := s.Quantile(0.99)
+	// Nearest rank 99 → sample 99000; the bucket lower bound may round
+	// down by at most one bucket width.
+	if got > 99000 || 99000-got > bucketWidth(bucketIndex(99000)) {
+		t.Fatalf("p99 = %d, want within one bucket of 99000", got)
+	}
+	if s.Quantile(0) != s.Quantile(0.0001) {
+		t.Fatal("q≈0 should clamp to rank 1")
+	}
+}

@@ -223,7 +223,7 @@ func (e *Engine) Drain() {
 		evicted += j.evicted
 	}
 	e.stats.Evicted.Store(evicted)
-	e.stats.Extra["reschedules"] = e.bal.Reschedules
+	e.stats.Extra["reschedules"] = e.bal.Reschedules.Load()
 	if e.opt.Sched.Topology != nil {
 		share := sched.CrossNodeShare(e.schedule, e.bal.Counts, e.opt.Sched.Topology, e.cfg.Joiners)
 		e.stats.Extra["cross_node_permille"] = int64(1000 * share)
@@ -238,6 +238,19 @@ func (e *Engine) Stats() *engine.Stats { return e.stats }
 
 // Heartbeat implements engine.Engine.
 func (e *Engine) Heartbeat() { e.tr.Heartbeat() }
+
+// QueueDepths implements engine.Introspector.
+func (e *Engine) QueueDepths() []int { return e.tr.QueueDepths() }
+
+// Watermark implements engine.Introspector.
+func (e *Engine) Watermark() tuple.Time { return e.tr.Watermark() }
+
+// MaxEventTS implements engine.Introspector.
+func (e *Engine) MaxEventTS() tuple.Time { return e.tr.MaxEventTS() }
+
+// Reschedules reports accepted dynamic-schedule changes so far; safe to
+// read live.
+func (e *Engine) Reschedules() int64 { return e.bal.Reschedules.Load() }
 
 // incEntry caches the previous window's aggregate for one key at one
 // joiner, so the next window is computed by adding and subtracting only the

@@ -11,6 +11,7 @@ package sched
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"oij/internal/metrics"
 )
@@ -162,8 +163,9 @@ type Balancer struct {
 	// Counts[p] is the (decayed) number of tuples recently routed to
 	// partition p; the driver increments it per tuple.
 	Counts []float64
-	// Reschedules counts accepted schedule changes.
-	Reschedules int64
+	// Reschedules counts accepted schedule changes. Atomic so the live
+	// observability layer can read it while the driver rebalances.
+	Reschedules atomic.Int64
 }
 
 // NewBalancer creates a Balancer for the given joiner count.
@@ -300,7 +302,7 @@ func (b *Balancer) Rebalance(cur *Schedule) (*Schedule, bool) {
 	if !changed {
 		return cur, false
 	}
-	b.Reschedules++
+	b.Reschedules.Add(1)
 	return s, true
 }
 

@@ -95,8 +95,8 @@ func TestRebalanceSkewedKey(t *testing.T) {
 	if !ns.has(0, 0) {
 		t.Fatal("replication dropped the original owner")
 	}
-	if b.Reschedules != 1 {
-		t.Fatalf("Reschedules = %d", b.Reschedules)
+	if b.Reschedules.Load() != 1 {
+		t.Fatalf("Reschedules = %d", b.Reschedules.Load())
 	}
 }
 

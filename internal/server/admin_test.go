@@ -1,0 +1,198 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// metricValue extracts the first sample value of a metric (with or without
+// labels) from Prometheus text output.
+func metricValue(t *testing.T, body, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		if !(strings.HasPrefix(rest, " ") || strings.HasPrefix(rest, "{")) {
+			continue // longer metric name sharing the prefix
+		}
+		fields := strings.Fields(line)
+		var v float64
+		if _, err := fmt.Sscanf(fields[len(fields)-1], "%g", &v); err != nil {
+			t.Fatalf("parsing %q: %v", line, err)
+		}
+		return v
+	}
+	t.Fatalf("metric %s not found in:\n%s", name, body)
+	return 0
+}
+
+// TestAdminEndToEnd is the acceptance test: while a join is streaming, the
+// admin endpoint serves Prometheus metrics, a full statusz document, and
+// pprof, with counters advancing between scrapes.
+func TestAdminEndToEnd(t *testing.T) {
+	cfg := baseCfg()
+	cfg.AdminAddr = "127.0.0.1:0"
+	cfg.UtilEpoch = 20 * time.Millisecond
+	srv, addr := startServer(t, cfg)
+	if srv.AdminAddr() == nil {
+		t.Fatal("admin address not bound")
+	}
+	base := fmt.Sprintf("http://%s", srv.AdminAddr())
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	stream := func(n, probesPer int) {
+		for i := 0; i < n; i++ {
+			for p := 0; p < probesPer; p++ {
+				c.SendProbe(uint64(i%7), int64(1000+i*10+p), 1)
+			}
+			c.SendBase(uint64(i%7), int64(1000+i*10), 0)
+		}
+		if err := c.Barrier(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.RecvResults(10 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stream(200, 3)
+	m1 := scrape(t, base+"/metrics")
+	probes1 := metricValue(t, m1, "oij_probes_total")
+	reqs1 := metricValue(t, m1, "oij_requests_total")
+	if probes1 < 600 || reqs1 < 200 {
+		t.Fatalf("first scrape: probes=%g requests=%g", probes1, reqs1)
+	}
+	for _, want := range []string{
+		"# TYPE oij_request_latency_seconds summary",
+		`oij_request_latency_seconds{quantile="0.99"}`,
+		"oij_joiner_utilization",
+		"oij_joiner_queue_depth",
+		"oij_watermark_lag_us",
+		"oij_results_total",
+	} {
+		if !strings.Contains(m1, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, m1)
+		}
+	}
+
+	// Counters advance while the join keeps streaming.
+	stream(200, 3)
+	m2 := scrape(t, base+"/metrics")
+	if probes2 := metricValue(t, m2, "oij_probes_total"); probes2 <= probes1 {
+		t.Fatalf("probes did not advance: %g -> %g", probes1, probes2)
+	}
+	if reqs2 := metricValue(t, m2, "oij_requests_total"); reqs2 <= reqs1 {
+		t.Fatalf("requests did not advance: %g -> %g", reqs1, reqs2)
+	}
+
+	var st Status
+	if err := json.Unmarshal([]byte(scrape(t, base+"/statusz")), &st); err != nil {
+		t.Fatalf("statusz JSON: %v", err)
+	}
+	if st.Algorithm == "" || st.Joiners != 2 || len(st.PerJoiner) != 2 {
+		t.Fatalf("statusz shape: %+v", st)
+	}
+	if st.Requests < 400 || st.Results < 400 || st.Probes < 1200 {
+		t.Fatalf("statusz counters: %+v", st)
+	}
+	if st.Latency.Count < 400 || st.Latency.P99Ms < st.Latency.P50Ms {
+		t.Fatalf("statusz latency: %+v", st.Latency)
+	}
+	if st.WatermarkLag <= 0 {
+		// Lateness is 1000µs and the watermark trails max event time by
+		// exactly that once tuples flow.
+		t.Fatalf("watermark lag = %d, want > 0", st.WatermarkLag)
+	}
+	var processed int64
+	for _, js := range st.PerJoiner {
+		processed += js.Processed
+		if js.QueueDepth < 0 || js.Utilization < 0 || js.Utilization > 1 {
+			t.Fatalf("joiner status out of range: %+v", js)
+		}
+	}
+	if processed == 0 {
+		t.Fatal("no per-joiner processed counts")
+	}
+
+	if body := scrape(t, base+"/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Fatal("pprof index not served")
+	}
+}
+
+// TestStatuszWithoutListen exercises the snapshot path on an idle,
+// never-listening server (no watermark yet, empty histogram).
+func TestStatuszWithoutListen(t *testing.T) {
+	s, err := New(baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown()
+	st := s.Statusz()
+	if st.WatermarkLag != 0 || st.Latency.Count != 0 || st.Served != 0 {
+		t.Fatalf("idle statusz: %+v", st)
+	}
+	if s.AdminAddr() != nil {
+		t.Fatal("admin bound without AdminAddr config")
+	}
+}
+
+// TestUtilizationSamplerAdvances verifies the Fig. 14 live gauge vector
+// gets populated while traffic flows.
+func TestUtilizationSamplerAdvances(t *testing.T) {
+	cfg := baseCfg()
+	cfg.AdminAddr = "127.0.0.1:0"
+	cfg.UtilEpoch = 5 * time.Millisecond
+	srv, addr := startServer(t, cfg)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		for i := 0; i < 500; i++ {
+			c.SendProbe(uint64(i%13), int64(1000+i), 1)
+		}
+		c.SendBase(3, 2000, 0)
+		if err := c.Barrier(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.RecvResults(5 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if srv.o.epochs.Load() > 0 {
+			return // at least one epoch sampled
+		}
+	}
+	t.Fatal("utilization sampler never closed an epoch")
+}

@@ -1,0 +1,285 @@
+// Live observability for the serving path: per-joiner instruments from
+// package obs, the /statusz snapshot, and the epoch sampler that turns the
+// paper's Fig. 14 utilization trace into a live gauge vector.
+//
+// Hot-path writes are shard-local atomics only (one counter add per tuple,
+// one histogram bucket add per result); everything else is computed at
+// scrape time from state the engine already publishes atomically.
+package server
+
+import (
+	"time"
+
+	"oij/internal/engine"
+	"oij/internal/metrics"
+	"oij/internal/obs"
+	"oij/internal/watermark"
+)
+
+// utilHistoryEpochs bounds the retained Fig. 14 trace on a long-running
+// server (at the default 1s epoch: the last 10 minutes).
+const utilHistoryEpochs = 600
+
+// serverObs owns the server's registry and hot-path instruments.
+type serverObs struct {
+	reg     *obs.Registry
+	probes  *obs.Counter      // ingested probe tuples
+	bases   *obs.Counter      // ingested base (request) tuples
+	results *obs.CounterVec   // emitted results, per joiner
+	latency *obs.HistogramVec // request latency in ns, per joiner
+	util    *obs.GaugeVec     // live utilization in [0,1], per joiner
+	trace   *metrics.Utilization
+	epochs  *obs.Counter // closed utilization epochs
+	started time.Time
+}
+
+// introspect returns the engine's live transport view, or nil when the
+// engine predates the Introspector interface.
+func (s *Server) introspect() engine.Introspector {
+	in, _ := s.eng.(engine.Introspector)
+	return in
+}
+
+// watermarkLag returns (maxEventTS, watermark, lag) in event-time µs,
+// zeros before the first tuple.
+func (s *Server) watermarkLag() (maxTS, wm, lag int64) {
+	in := s.introspect()
+	if in == nil {
+		return 0, 0, 0
+	}
+	m, w := in.MaxEventTS(), in.Watermark()
+	if m == watermark.MinTime {
+		return 0, 0, 0
+	}
+	if w == watermark.MinTime {
+		return int64(m), 0, 0
+	}
+	return int64(m), int64(w), int64(m - w)
+}
+
+// newServerObs registers every instrument against a fresh registry.
+func newServerObs(s *Server, joiners int) *serverObs {
+	reg := obs.NewRegistry()
+	o := &serverObs{
+		reg:     reg,
+		probes:  reg.NewCounter("oij_probes_total", "Probe tuples ingested over the network."),
+		bases:   reg.NewCounter("oij_requests_total", "Base (feature request) tuples ingested."),
+		results: reg.NewCounterVec("oij_results_total", "Join results emitted, per joiner.", joiners),
+		latency: reg.NewHistogramVec("oij_request_latency_seconds", "Request latency from arrival to result emission.", joiners, 1e9, nil),
+		util:    reg.NewGaugeVec("oij_joiner_utilization", "Per-joiner busy fraction over the last epoch (Fig. 14, live).", joiners),
+		trace:   metrics.NewUtilization(joiners, 0),
+		started: time.Now(),
+	}
+	o.epochs = reg.NewCounter("oij_utilization_epochs_total", "Closed utilization sampling epochs.")
+	o.trace.LimitHistory(utilHistoryEpochs)
+
+	reg.NewGaugeFunc("oij_uptime_seconds", "Seconds since the server started.", func() float64 {
+		return time.Since(o.started).Seconds()
+	})
+	reg.NewGaugeFunc("oij_watermark_lag_us", "Max observed event time minus current watermark (event-time µs).", func() float64 {
+		_, _, lag := s.watermarkLag()
+		return float64(lag)
+	})
+	reg.NewGaugeFunc("oij_pending_requests", "Requests awaiting a result.", func() float64 {
+		s.mu.Lock()
+		n := len(s.pending)
+		s.mu.Unlock()
+		return float64(n)
+	})
+	reg.NewGaugeFunc("oij_ingest_queue_depth", "Tuples buffered in the ingest funnel.", func() float64 {
+		return float64(len(s.ingest))
+	})
+	reg.NewGaugeFunc("oij_wal_errors", "WAL append failures since startup.", func() float64 {
+		return float64(s.walErrs.Load())
+	})
+	reg.NewGaugeFunc("oij_effectiveness", "Paper Eq. 1: in-window fraction of visited buffer entries (1 when uninstrumented).", func() float64 {
+		return s.eng.Stats().MergedEffectiveness()
+	})
+	reg.NewGaugeFunc("oij_unbalancedness", "Paper Eq. 2: dispersion of per-joiner workloads.", func() float64 {
+		return metrics.Unbalancedness(s.eng.Stats().Loads())
+	})
+	reg.NewGaugeVecFunc("oij_joiner_queue_depth", "Per-joiner input ring depth.", func() []float64 {
+		in := s.introspect()
+		if in == nil {
+			return make([]float64, joiners)
+		}
+		depths := in.QueueDepths()
+		out := make([]float64, len(depths))
+		for i, d := range depths {
+			out[i] = float64(d)
+		}
+		return out
+	})
+	reg.NewGaugeVecFunc("oij_joiner_processed_total", "Data tuples handled per joiner (paper W_i).", func() []float64 {
+		st := s.eng.Stats()
+		out := make([]float64, len(st.Processed))
+		for i := range st.Processed {
+			out[i] = float64(st.Processed[i].Load())
+		}
+		return out
+	})
+	if r, ok := s.eng.(interface{ Reschedules() int64 }); ok {
+		reg.NewGaugeFunc("oij_reschedules", "Accepted dynamic-schedule changes (Algorithm 3).", func() float64 {
+			return float64(r.Reschedules())
+		})
+	}
+	return o
+}
+
+// sampleUtilization closes one epoch: per-joiner busy-time deltas become
+// the live gauge vector and one Fig. 14 trace row.
+func (s *Server) sampleUtilization(prevBusy []int64, epoch time.Duration) {
+	st := s.eng.Stats()
+	for i := range st.Busy {
+		cur := st.Busy[i].Load()
+		s.o.trace.AddBusy(i, time.Duration(cur-prevBusy[i]))
+		prevBusy[i] = cur
+	}
+	row := s.o.trace.SnapshotOver(epoch)
+	for i, f := range row {
+		s.o.util.Shard(i).Set(f)
+	}
+	s.o.epochs.Inc()
+}
+
+// samplerLoop runs until Shutdown, closing a utilization epoch per tick.
+func (s *Server) samplerLoop() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.cfg.UtilEpoch)
+	defer tick.Stop()
+	prev := make([]int64, s.cfg.Engine.Joiners)
+	last := time.Now()
+	for {
+		select {
+		case <-s.stopSampler:
+			return
+		case now := <-tick.C:
+			s.sampleUtilization(prev, now.Sub(last))
+			last = now
+		}
+	}
+}
+
+// JoinerStatus is one joiner's row in the /statusz document.
+type JoinerStatus struct {
+	Processed   int64   `json:"processed"`
+	Results     int64   `json:"results"`
+	QueueDepth  int     `json:"queue_depth"`
+	Utilization float64 `json:"utilization"`
+}
+
+// LatencyStatus summarises the live request-latency distribution.
+type LatencyStatus struct {
+	Count  int64   `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// Status is the /statusz document: the paper's post-run metrics (§III-B,
+// Eq. 1, Eq. 2, Fig. 14) read live off a serving daemon.
+type Status struct {
+	Algorithm        string         `json:"algorithm"`
+	Mode             string         `json:"mode"`
+	Joiners          int            `json:"joiners"`
+	UptimeSeconds    float64        `json:"uptime_seconds"`
+	Served           int64          `json:"served"`
+	Probes           int64          `json:"probes"`
+	Requests         int64          `json:"requests"`
+	Results          int64          `json:"results"`
+	PendingRequests  int            `json:"pending_requests"`
+	IngestQueueDepth int            `json:"ingest_queue_depth"`
+	WALErrors        int64          `json:"wal_errors"`
+	MaxEventTS       int64          `json:"max_event_ts_us"`
+	Watermark        int64          `json:"watermark_us"`
+	WatermarkLag     int64          `json:"watermark_lag_us"`
+	Effectiveness    float64        `json:"effectiveness"`
+	Unbalancedness   float64        `json:"unbalancedness"`
+	Reschedules      *int64         `json:"reschedules,omitempty"`
+	Latency          LatencyStatus  `json:"latency"`
+	PerJoiner        []JoinerStatus `json:"per_joiner"`
+}
+
+// Statusz snapshots the server without stopping it: counters and gauges
+// are atomics, the latency histogram merges per-joiner SWMR shards, and
+// the only lock taken is the short pending-map mutex.
+func (s *Server) Statusz() Status {
+	st := s.eng.Stats()
+	maxTS, wm, lag := s.watermarkLag()
+	s.mu.Lock()
+	pending := len(s.pending)
+	s.mu.Unlock()
+
+	joiners := s.cfg.Engine.Joiners
+	var depths []int
+	if in := s.introspect(); in != nil {
+		depths = in.QueueDepths()
+	} else {
+		depths = make([]int, joiners)
+	}
+	utils := s.o.util.Values()
+	resultsPer := s.o.results.Values()
+
+	out := Status{
+		Algorithm:        s.cfg.Algorithm,
+		Mode:             s.cfg.Engine.Mode.String(),
+		Joiners:          joiners,
+		UptimeSeconds:    time.Since(s.o.started).Seconds(),
+		Served:           s.served.Load(),
+		Probes:           s.o.probes.Load(),
+		Requests:         s.o.bases.Load(),
+		Results:          s.o.results.Total(),
+		PendingRequests:  pending,
+		IngestQueueDepth: len(s.ingest),
+		WALErrors:        s.walErrs.Load(),
+		MaxEventTS:       maxTS,
+		Watermark:        wm,
+		WatermarkLag:     lag,
+		Effectiveness:    st.MergedEffectiveness(),
+		Unbalancedness:   metrics.Unbalancedness(st.Loads()),
+		PerJoiner:        make([]JoinerStatus, joiners),
+	}
+	if r, ok := s.eng.(interface{ Reschedules() int64 }); ok {
+		n := r.Reschedules()
+		out.Reschedules = &n
+	}
+	h := s.o.latency.Snapshot()
+	msOf := func(ns int64) float64 { return float64(ns) / float64(time.Millisecond) }
+	out.Latency = LatencyStatus{
+		Count:  h.N,
+		MeanMs: h.Mean() / float64(time.Millisecond),
+		P50Ms:  msOf(h.Quantile(0.5)),
+		P90Ms:  msOf(h.Quantile(0.9)),
+		P99Ms:  msOf(h.Quantile(0.99)),
+		P999Ms: msOf(h.Quantile(0.999)),
+		MaxMs:  msOf(h.Max),
+	}
+	for i := 0; i < joiners; i++ {
+		js := JoinerStatus{Processed: st.Processed[i].Load()}
+		if i < len(resultsPer) {
+			js.Results = resultsPer[i]
+		}
+		if i < len(depths) {
+			js.QueueDepth = depths[i]
+		}
+		if i < len(utils) {
+			js.Utilization = utils[i]
+		}
+		out.PerJoiner[i] = js
+	}
+	return out
+}
+
+// Record implements engine.LatencyRecorder: engines call it once per
+// result whose base tuple carries an arrival stamp. The write is one
+// atomic bucket add in the joiner's own histogram shard.
+func (k serverSink) Record(joiner int, d time.Duration) {
+	k.s.o.latency.Shard(joiner).Observe(int64(d))
+}
+
+// compile-time check: the server sink accepts latency samples from
+// engines.
+var _ engine.LatencyRecorder = serverSink{}

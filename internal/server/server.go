@@ -25,6 +25,7 @@ import (
 
 	"oij/internal/engine"
 	"oij/internal/harness"
+	"oij/internal/obs"
 	"oij/internal/tuple"
 	"oij/internal/wire"
 )
@@ -49,6 +50,12 @@ type Config struct {
 	WALPath string
 	// WALSegmentBytes is the rotation threshold (default 64 MiB).
 	WALSegmentBytes int64
+	// AdminAddr, when set, serves the observability endpoint there:
+	// /metrics (Prometheus text), /statusz (JSON), and /debug/pprof.
+	// Use ":0" for an ephemeral port (AdminAddr() reports the binding).
+	AdminAddr string
+	// UtilEpoch is the live utilization sampling epoch (default 1s).
+	UtilEpoch time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -67,6 +74,12 @@ func (c Config) withDefaults() Config {
 		// for a 256-tuple batch. High-rate deployments raise this.
 		c.Engine.WatermarkEvery = 1
 	}
+	if c.UtilEpoch <= 0 {
+		c.UtilEpoch = time.Second
+	}
+	// Busy-time tracking feeds the live utilization gauges; its cost is
+	// two clock reads per joiner batch, not per tuple.
+	c.Engine.TrackBusy = true
 	c.Engine = c.Engine.WithDefaults()
 	return c
 }
@@ -107,6 +120,10 @@ type Server struct {
 	wal     *walWriter
 	walErrs atomic.Int64
 	started bool
+
+	o           *serverObs
+	admin       *obs.Admin
+	stopSampler chan struct{}
 }
 
 // New builds a server (not yet listening).
@@ -116,16 +133,18 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: %w", err)
 	}
 	s := &Server{
-		cfg:      cfg,
-		ingest:   make(chan ingestReq, cfg.IngestBuffer),
-		pending:  map[uint64]pendingBase{},
-		sessions: map[*session]struct{}{},
+		cfg:         cfg,
+		ingest:      make(chan ingestReq, cfg.IngestBuffer),
+		pending:     map[uint64]pendingBase{},
+		sessions:    map[*session]struct{}{},
+		stopSampler: make(chan struct{}),
 	}
 	eng, err := harness.Build(cfg.Algorithm, cfg.Engine, serverSink{s})
 	if err != nil {
 		return nil, err
 	}
 	s.eng = eng
+	s.o = newServerObs(s, cfg.Engine.Joiners)
 	if cfg.WALPath != "" {
 		w := cfg.Engine.Window
 		retention := 2*w.Len() + w.Lateness
@@ -167,7 +186,8 @@ func (s *Server) Recover() (int, error) {
 type serverSink struct{ s *Server }
 
 // Emit implements engine.Sink.
-func (k serverSink) Emit(_ int, r tuple.Result) {
+func (k serverSink) Emit(joiner int, r tuple.Result) {
+	k.s.o.results.Shard(joiner).Inc()
 	k.s.mu.Lock()
 	p, ok := k.s.pending[r.BaseSeq]
 	if ok {
@@ -195,10 +215,28 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	}
 	s.ln = ln
 	s.startEngine()
-	s.wg.Add(2)
+	if s.cfg.AdminAddr != "" {
+		admin, err := obs.ServeAdmin(s.cfg.AdminAddr, s.o.reg, func() any { return s.Statusz() })
+		if err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("server: admin endpoint: %w", err)
+		}
+		s.admin = admin
+	}
+	s.wg.Add(3)
 	go s.ingestLoop()
 	go s.acceptLoop()
+	go s.samplerLoop()
 	return ln.Addr(), nil
+}
+
+// AdminAddr returns the bound admin address, or nil when no admin endpoint
+// was configured or the server is not listening yet.
+func (s *Server) AdminAddr() net.Addr {
+	if s.admin == nil {
+		return nil
+	}
+	return s.admin.Addr()
 }
 
 func (s *Server) acceptLoop() {
@@ -270,8 +308,10 @@ func (s *Server) ingestLoop() {
 			s.pending[t.Seq] = pendingBase{sess: req.sess, localSeq: local}
 			s.mu.Unlock()
 			req.sess.outstanding.Add(1)
+			s.o.bases.Inc()
 		} else {
 			t.Side = tuple.Probe
+			s.o.probes.Inc()
 			if s.wal != nil {
 				if err := s.wal.append(req.t); err != nil {
 					// Durability degraded, availability kept:
@@ -315,8 +355,12 @@ func (s *Server) Shutdown() {
 	}
 	s.sessWG.Wait()
 	close(s.ingest)
+	close(s.stopSampler)
 	s.eng.Drain()
 	s.wg.Wait()
+	if s.admin != nil {
+		s.admin.Close()
+	}
 	if s.wal != nil {
 		s.wal.close()
 	}

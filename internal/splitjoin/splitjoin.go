@@ -118,6 +118,15 @@ func (e *Engine) Stats() *engine.Stats { return e.stats }
 // Heartbeat implements engine.Engine.
 func (e *Engine) Heartbeat() { e.tr.Heartbeat() }
 
+// QueueDepths implements engine.Introspector.
+func (e *Engine) QueueDepths() []int { return e.tr.QueueDepths() }
+
+// Watermark implements engine.Introspector.
+func (e *Engine) Watermark() tuple.Time { return e.tr.Watermark() }
+
+// MaxEventTS implements engine.Introspector.
+func (e *Engine) MaxEventTS() tuple.Time { return e.tr.MaxEventTS() }
+
 // mergeLoop is the collection stage: it gathers the J partial aggregates
 // of every base tuple and emits the merged result.
 type mergeSlot struct {
