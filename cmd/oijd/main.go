@@ -40,11 +40,12 @@ func main() {
 		parallel = flag.Int("parallel", 4, "joiner goroutines")
 		exact    = flag.Bool("exact", false, "emit on watermark (exact event-time results) instead of on arrival")
 		wal      = flag.String("wal", "", "write-ahead log path: probe state survives restarts")
+		walSync  = flag.String("wal-sync", "interval", "WAL durability: interval (fsync on the heartbeat cadence), always (fsync before each append), none (let the OS persist)")
 		admin    = flag.String("admin", "", "observability address serving /metrics, /statusz, /debug/pprof (e.g. :7782)")
 	)
 	flag.Parse()
 
-	cfg := server.Config{Algorithm: *alg, WALPath: *wal, AdminAddr: *admin}
+	cfg := server.Config{Algorithm: *alg, WALPath: *wal, WALSync: *walSync, AdminAddr: *admin}
 	if *sqlText != "" {
 		q, err := sql.Parse(*sqlText)
 		if err != nil {
@@ -83,7 +84,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "oijd: recovering %s: %v\n", *wal, err)
 			os.Exit(1)
 		}
-		fmt.Printf("oijd: recovered %d probes from %s\n", n, *wal)
+		_, skipped, truncated := srv.WALStats()
+		fmt.Printf("oijd: recovered %d probes from %s (%d corrupt frames skipped, %d torn bytes truncated, sync=%s)\n",
+			n, *wal, skipped, truncated, *walSync)
 	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {

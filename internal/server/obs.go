@@ -92,6 +92,15 @@ func newServerObs(s *Server, joiners int) *serverObs {
 	reg.NewGaugeFunc("oij_wal_errors", "WAL append failures since startup.", func() float64 {
 		return float64(s.walErrs.Load())
 	})
+	reg.NewGaugeFunc("oij_wal_recovered_frames", "WAL frames replayed into the engine at recovery.", func() float64 {
+		return float64(s.walRecovered.Load())
+	})
+	reg.NewGaugeFunc("oij_wal_skipped_frames", "Checksum-failed WAL frames skipped at recovery.", func() float64 {
+		return float64(s.walSkipped.Load())
+	})
+	reg.NewGaugeFunc("oij_wal_truncated_bytes", "Torn or unsalvageable bytes truncated from WAL segment tails.", func() float64 {
+		return float64(s.walTruncated.Load())
+	})
 	reg.NewGaugeFunc("oij_effectiveness", "Paper Eq. 1: in-window fraction of visited buffer entries (1 when uninstrumented).", func() float64 {
 		return s.eng.Stats().MergedEffectiveness()
 	})
@@ -193,6 +202,10 @@ type Status struct {
 	PendingRequests  int            `json:"pending_requests"`
 	IngestQueueDepth int            `json:"ingest_queue_depth"`
 	WALErrors        int64          `json:"wal_errors"`
+	WALSync          string         `json:"wal_sync,omitempty"`
+	WALRecovered     int64          `json:"wal_recovered_frames"`
+	WALSkipped       int64          `json:"wal_skipped_frames"`
+	WALTruncated     int64          `json:"wal_truncated_bytes"`
 	MaxEventTS       int64          `json:"max_event_ts_us"`
 	Watermark        int64          `json:"watermark_us"`
 	WatermarkLag     int64          `json:"watermark_lag_us"`
@@ -235,12 +248,18 @@ func (s *Server) Statusz() Status {
 		PendingRequests:  pending,
 		IngestQueueDepth: len(s.ingest),
 		WALErrors:        s.walErrs.Load(),
+		WALRecovered:     s.walRecovered.Load(),
+		WALSkipped:       s.walSkipped.Load(),
+		WALTruncated:     s.walTruncated.Load(),
 		MaxEventTS:       maxTS,
 		Watermark:        wm,
 		WatermarkLag:     lag,
 		Effectiveness:    st.MergedEffectiveness(),
 		Unbalancedness:   metrics.Unbalancedness(st.Loads()),
 		PerJoiner:        make([]JoinerStatus, joiners),
+	}
+	if s.wal != nil {
+		out.WALSync = s.wal.sync.String()
 	}
 	if r, ok := s.eng.(interface{ Reschedules() int64 }); ok {
 		n := r.Reschedules()

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"oij/internal/engine"
+	"oij/internal/faultfs"
 	"oij/internal/harness"
 	"oij/internal/obs"
 	"oij/internal/tuple"
@@ -44,12 +45,19 @@ type Config struct {
 	// state.
 	ResultBuffer int
 	// WALPath, when set, appends every ingested probe to a write-ahead
-	// log (wire format) and lets Recover rebuild the join state after a
-	// restart. The log keeps at most two segments covering the join's
-	// retention horizon.
+	// log (checksummed v2 frame format) and lets Recover rebuild the join
+	// state after a restart. The log keeps at most two segments covering
+	// the join's retention horizon.
 	WALPath string
 	// WALSegmentBytes is the rotation threshold (default 64 MiB).
 	WALSegmentBytes int64
+	// WALSync selects append durability: "interval" (default — fsync on
+	// the heartbeat cadence), "always" (fsync before each append returns),
+	// or "none" (flush to the OS, never fsync).
+	WALSync string
+	// WALFS overrides the filesystem the WAL writes through — the fault
+	// injection seam of the crash tests. Nil means the real filesystem.
+	WALFS faultfs.FS
 	// AdminAddr, when set, serves the observability endpoint there:
 	// /metrics (Prometheus text), /statusz (JSON), and /debug/pprof.
 	// Use ":0" for an ephemeral port (AdminAddr() reports the binding).
@@ -117,9 +125,12 @@ type Server struct {
 	wg         sync.WaitGroup // ingest + accept loops
 	sessWG     sync.WaitGroup // session goroutines
 
-	wal     *walWriter
-	walErrs atomic.Int64
-	started bool
+	wal          *walWriter
+	walErrs      atomic.Int64
+	walRecovered atomic.Int64
+	walSkipped   atomic.Int64
+	walTruncated atomic.Int64
+	started      bool
 
 	o           *serverObs
 	admin       *obs.Admin
@@ -146,12 +157,20 @@ func New(cfg Config) (*Server, error) {
 	s.eng = eng
 	s.o = newServerObs(s, cfg.Engine.Joiners)
 	if cfg.WALPath != "" {
+		mode, err := parseWALSync(cfg.WALSync)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
 		w := cfg.Engine.Window
 		retention := 2*w.Len() + w.Lateness
-		s.wal, err = newWALWriter(cfg.WALPath, cfg.WALSegmentBytes, retention)
+		s.wal, err = newWALWriter(cfg.WALFS, cfg.WALPath, cfg.WALSegmentBytes, retention, mode)
 		if err != nil {
 			return nil, err
 		}
+		// Tail bytes cut while sanitizing existing segments (torn v2
+		// tails, unsalvageable v1 suffixes) count as truncated even if
+		// Recover is never called.
+		s.walTruncated.Add(s.wal.sanitized)
 	}
 	return s, nil
 }
@@ -166,20 +185,25 @@ func (s *Server) startEngine() {
 
 // Recover replays the write-ahead log into the engine, rebuilding the
 // probe state a previous process had buffered. Call before Listen; returns
-// the number of probes recovered. A torn final frame (crash mid-write) is
-// tolerated. Without a configured WALPath it is a no-op.
+// the number of probes recovered. Recovery is salvage-oriented: a torn
+// tail (crash mid-write) is truncated and checksum-failed frames are
+// skipped, with both outcomes counted in WALStats and /metrics. Without a
+// configured WALPath it is a no-op.
 func (s *Server) Recover() (int, error) {
 	if s.cfg.WALPath == "" {
 		return 0, nil
 	}
 	s.startEngine()
-	n, newest, err := replayWAL(s.cfg.WALPath, func(t wire.Tuple) {
+	st, newest, err := replayWAL(s.wal.fs, s.cfg.WALPath, func(t wire.Tuple) {
 		s.eng.Ingest(tuple.Tuple{TS: t.TS, Key: t.Key, Val: t.Val, Side: tuple.Probe})
 	})
+	s.walRecovered.Add(st.recovered)
+	s.walSkipped.Add(st.skipped)
+	s.walTruncated.Add(st.truncated)
 	if newest > s.wal.maxTS {
 		s.wal.maxTS = newest
 	}
-	return n, err
+	return int(st.recovered), err
 }
 
 // serverSink routes engine results back to the issuing session.
@@ -285,7 +309,11 @@ func (s *Server) ingestLoop() {
 		case <-beat.C:
 			s.eng.Heartbeat()
 			if s.wal != nil {
-				s.wal.flush() // durability rides the heartbeat cadence
+				// Durability rides the heartbeat cadence (and fsyncs
+				// here in the default "interval" sync mode).
+				if err := s.wal.heartbeat(); err != nil {
+					s.walErrs.Add(1)
+				}
 			}
 			continue
 		}
@@ -368,6 +396,13 @@ func (s *Server) Shutdown() {
 
 // WALErrors reports append failures since startup (0 without a WAL).
 func (s *Server) WALErrors() int64 { return s.walErrs.Load() }
+
+// WALStats reports recovery outcomes since startup: frames replayed into
+// the engine, checksum-failed frames skipped, and torn or unsalvageable
+// bytes truncated from segment tails. All zero without a WAL.
+func (s *Server) WALStats() (recovered, skipped, truncatedBytes int64) {
+	return s.walRecovered.Load(), s.walSkipped.Load(), s.walTruncated.Load()
+}
 
 // Served returns the number of tuples ingested over the network.
 func (s *Server) Served() int64 { return s.served.Load() }

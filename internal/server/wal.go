@@ -1,20 +1,30 @@
 package server
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
-	"os"
+	"io/fs"
 
+	"oij/internal/faultfs"
 	"oij/internal/tuple"
 	"oij/internal/wire"
 )
 
 // The write-ahead log makes the serving layer's probe state survive
-// restarts: every probe frame is appended (in the same wire format the
-// network speaks) before it is acknowledged by ingestion order, and on
-// startup Recover replays the log into the fresh engine. Base frames are
-// not logged — they are requests, not state.
+// restarts: every probe frame is appended before it is acknowledged by
+// ingestion order, and on startup Recover replays the log into the fresh
+// engine. Base frames are not logged — they are requests, not state.
+//
+// On-disk format (v2, see internal/wire walframe.go): a magic segment
+// header followed by fixed-size frames each carrying a CRC32C. Legacy v1
+// segments (raw 25-byte network frames, no checksums) are migrated to v2
+// in place when the writer opens them; recovery reads both. Recovery is
+// salvage-oriented: a torn tail is truncated so appends continue on a
+// clean frame boundary, a checksum-failed frame is skipped, and all three
+// outcomes are counted (recovered / skipped frames, truncated bytes) for
+// the /metrics endpoint.
 //
 // The log is two segments: `path` (current) and `path.1` (previous). When
 // the current segment exceeds SegmentBytes AND everything in the previous
@@ -23,120 +33,290 @@ import (
 // old previous is deleted — so at most two segments exist and together
 // they always cover the retention horizon.
 
+// walSyncMode selects when appended frames are fsynced.
+type walSyncMode uint8
+
+const (
+	// walSyncInterval fsyncs on the ingest heartbeat cadence (default):
+	// a power loss costs at most a heartbeat's worth of probes.
+	walSyncInterval walSyncMode = iota
+	// walSyncAlways flushes and fsyncs before every append returns — the
+	// fsync-on-ack mode: a probe can influence an answer only after it is
+	// power-durable.
+	walSyncAlways
+	// walSyncNever flushes to the OS on the heartbeat but never fsyncs;
+	// persistence timing is the kernel's business.
+	walSyncNever
+)
+
+// parseWALSync maps the -wal-sync flag / Config.WALSync values.
+func parseWALSync(s string) (walSyncMode, error) {
+	switch s {
+	case "", "interval":
+		return walSyncInterval, nil
+	case "always":
+		return walSyncAlways, nil
+	case "none":
+		return walSyncNever, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown sync mode %q (want interval, always or none)", s)
+	}
+}
+
+// String implements fmt.Stringer.
+func (m walSyncMode) String() string {
+	switch m {
+	case walSyncAlways:
+		return "always"
+	case walSyncNever:
+		return "none"
+	default:
+		return "interval"
+	}
+}
+
+// walStats counts recovery outcomes.
+type walStats struct {
+	recovered int64 // frames replayed into the engine
+	skipped   int64 // checksum-failed frames skipped over
+	truncated int64 // unsalvageable bytes cut from segment tails
+}
+
+func (a *walStats) add(b walStats) {
+	a.recovered += b.recovered
+	a.skipped += b.skipped
+	a.truncated += b.truncated
+}
+
+const (
+	// walFlushChunk is the buffered-frame threshold that forces a write
+	// between heartbeats.
+	walFlushChunk = 32 << 10
+	// walMaxBuffer bounds frames retained across failed writes (disk
+	// full): beyond it the newest frames are dropped — availability over
+	// durability, with every drop surfaced through append errors.
+	walMaxBuffer = 1 << 20
+)
+
 // walWriter appends probe frames to the current segment. Single-writer
 // (the ingest goroutine).
 type walWriter struct {
+	fs       faultfs.FS
 	path     string
 	maxBytes int64
 	// retention is how far behind the newest timestamp data must still
 	// be replayable (window + lateness + slack).
 	retention tuple.Time
+	sync      walSyncMode
 
-	f     *os.File
-	w     *wire.Writer
-	size  int64
+	f     faultfs.File
+	size  int64  // frame-aligned bytes known written to the segment
+	buf   []byte // encoded frames not yet written
 	maxTS tuple.Time
-	// prevNewest is the newest timestamp in path.1 (0 if none).
+	// prevNewest is the newest timestamp in path.1; hasPrev distinguishes
+	// "no previous segment" from a previous segment whose newest frame is
+	// legitimately stamped 0.
 	prevNewest tuple.Time
+	hasPrev    bool
+	// sanitized counts tail bytes cut while opening existing segments
+	// (torn v2 tails, unsalvageable v1 suffixes dropped by migration).
+	sanitized int64
 }
 
-// frameBytes is the on-disk size of one probe frame.
-const frameBytes = 25
-
-func newWALWriter(path string, maxBytes int64, retention tuple.Time) (*walWriter, error) {
+func newWALWriter(fsys faultfs.FS, path string, maxBytes int64, retention tuple.Time, sync walSyncMode) (*walWriter, error) {
+	if fsys == nil {
+		fsys = faultfs.OS{}
+	}
 	if maxBytes <= 0 {
 		maxBytes = 64 << 20
 	}
-	w := &walWriter{path: path, maxBytes: maxBytes, retention: retention}
-	if err := w.open(); err != nil {
+	w := &walWriter{fs: fsys, path: path, maxBytes: maxBytes, retention: retention, sync: sync}
+
+	// A restart must not forget what the previous segment still covers:
+	// rotation compares against prevNewest, and treating it as absent
+	// would let the next rotation delete a segment still inside the
+	// retention horizon.
+	if st, newest, err := scanSegmentFile(fsys, path+".1", nil); err == nil && st.recovered > 0 {
+		w.prevNewest, w.hasPrev = newest, true
+		if newest > w.maxTS {
+			w.maxTS = newest
+		}
+	}
+
+	// Sanitize the current segment before appending to it: cut a torn
+	// tail back to a frame boundary (so new frames never land mid-frame
+	// after a crash) and migrate a legacy v1 segment to the checksummed
+	// format.
+	cut, newest, err := sanitizeSegment(fsys, path)
+	if err != nil {
+		return nil, err
+	}
+	w.sanitized = cut
+	if newest > w.maxTS {
+		w.maxTS = newest
+	}
+
+	if err := w.openSegment(); err != nil {
 		return nil, err
 	}
 	return w, nil
 }
 
-func (w *walWriter) open() error {
-	f, err := os.OpenFile(w.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+// openSegment opens the current segment for appending, stamping the v2
+// header on a fresh file.
+func (w *walWriter) openSegment() error {
+	f, size, err := w.fs.OpenAppend(w.path)
 	if err != nil {
-		return fmt.Errorf("wal: %w", err)
-	}
-	st, err := f.Stat()
-	if err != nil {
-		f.Close()
 		return fmt.Errorf("wal: %w", err)
 	}
 	w.f = f
-	w.w = wire.NewWriter(f)
-	w.size = st.Size()
+	w.size = size
+	if size == 0 {
+		n, err := f.Write([]byte(wire.WALMagicV2))
+		if err != nil || n != wire.WALHeaderBytes {
+			// A partial header would poison the segment; reset it so the
+			// next attempt starts clean.
+			w.fs.Truncate(w.path, 0)
+			f.Close()
+			w.f = nil
+			if err == nil {
+				err = io.ErrShortWrite
+			}
+			return fmt.Errorf("wal: header: %w", err)
+		}
+		w.size = int64(n)
+	}
 	return nil
 }
 
-// append logs one probe tuple and rotates if due.
+// append logs one probe tuple and rotates if due. On error the frame is
+// retained (bounded) for a later retry, so a transiently full disk drops
+// nothing.
 func (w *walWriter) append(t wire.Tuple) error {
 	t.Base = false
-	if err := w.w.WriteTuple(t); err != nil {
-		return err
-	}
-	w.size += frameBytes
+	var frame [wire.WALFrameBytes]byte
+	wire.EncodeWALFrame(frame[:], t)
+	w.buf = append(w.buf, frame[:]...)
 	if t.TS > w.maxTS {
 		w.maxTS = t.TS
 	}
-	if w.size >= w.maxBytes {
-		return w.maybeRotate()
+	var err error
+	switch {
+	case w.sync == walSyncAlways:
+		err = w.flushBuf(true)
+	case len(w.buf) >= walFlushChunk:
+		err = w.flushBuf(false)
+	}
+	if rerr := w.maybeRotate(); err == nil {
+		err = rerr
+	}
+	return err
+}
+
+// flushBuf writes buffered frames, keeping the segment frame-aligned in
+// the face of short writes and write errors: fully-written frames are kept,
+// a torn tail is truncated away, and unwritten frames stay buffered for
+// the next attempt (newest dropped first past walMaxBuffer).
+func (w *walWriter) flushBuf(syncNow bool) error {
+	if w.f == nil {
+		if err := w.openSegment(); err != nil {
+			w.dropOverflow()
+			return err
+		}
+	}
+	if len(w.buf) > 0 {
+		n, err := w.f.Write(w.buf)
+		if err != nil {
+			keep := n - n%wire.WALFrameBytes
+			if n > keep {
+				// Cut the torn tail; if even that fails the misaligned
+				// bytes stay and the next startup's sanitize pass cuts
+				// everything after the last clean frame.
+				if terr := w.fs.Truncate(w.path, w.size+int64(keep)); terr != nil {
+					keep = n
+				}
+			}
+			w.size += int64(keep)
+			w.buf = append(w.buf[:0], w.buf[keep:]...)
+			w.dropOverflow()
+			return fmt.Errorf("wal: %w", err)
+		}
+		w.size += int64(n)
+		w.buf = w.buf[:0]
+	}
+	if syncNow {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
 	}
 	return nil
 }
 
-// maybeRotate rotates current → previous when the previous segment's
-// contents are entirely expired (or absent), keeping the two segments
-// sufficient to rebuild the retention horizon.
+// dropOverflow bounds the retry buffer, discarding the newest frames so
+// the durable log stays a prefix of the ingest order.
+func (w *walWriter) dropOverflow() {
+	if len(w.buf) > walMaxBuffer {
+		w.buf = w.buf[:walMaxBuffer-walMaxBuffer%wire.WALFrameBytes]
+	}
+}
+
+// maybeRotate rotates current → previous when the current segment is over
+// the size threshold and the previous segment's contents are entirely
+// expired (or absent), keeping the two segments sufficient to rebuild the
+// retention horizon.
 func (w *walWriter) maybeRotate() error {
-	if w.prevNewest != 0 && w.prevNewest+w.retention >= w.maxTS {
+	if w.size+int64(len(w.buf)) < w.maxBytes {
+		return nil
+	}
+	if w.hasPrev && w.prevNewest+w.retention >= w.maxTS {
 		return nil // previous still holds live data; keep growing
 	}
-	if err := w.w.Flush(); err != nil {
+	if err := w.flushBuf(w.sync != walSyncNever); err != nil {
 		return err
 	}
 	if err := w.f.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(w.path, w.path+".1"); err != nil {
-		return err
+	w.f = nil
+	if err := w.fs.Rename(w.path, w.path+".1"); err != nil {
+		// Keep appending to the unrotated segment rather than lose frames.
+		w.openSegment()
+		return fmt.Errorf("wal: rotate: %w", err)
 	}
 	w.prevNewest = w.maxTS
-	return w.open()
+	w.hasPrev = true
+	return w.openSegment()
 }
 
-// flush pushes buffered frames to the OS.
-func (w *walWriter) flush() error {
-	if w.w == nil {
-		return nil
-	}
-	return w.w.Flush()
+// heartbeat pushes buffered frames to the OS (and to stable storage in
+// interval mode) on the ingest loop's idle cadence.
+func (w *walWriter) heartbeat() error {
+	return w.flushBuf(w.sync == walSyncInterval)
 }
 
-// close flushes and closes the segment.
+// close flushes, fsyncs (unless sync mode is none) and closes the segment.
 func (w *walWriter) close() error {
-	if w.f == nil {
+	if w.f == nil && len(w.buf) == 0 {
 		return nil
 	}
-	if err := w.w.Flush(); err != nil {
+	if err := w.flushBuf(w.sync != walSyncNever); err != nil {
 		return err
 	}
 	return w.f.Close()
 }
 
 // replayWAL streams the recoverable probes — previous segment first, then
-// current — into fn. A truncated trailing frame (torn write at crash) ends
-// replay of that segment cleanly.
-func replayWAL(path string, fn func(wire.Tuple)) (int, tuple.Time, error) {
-	total := 0
+// current — into fn, tolerating torn tails and skipping checksum-failed
+// frames. It never fails on content, only on I/O.
+func replayWAL(fsys faultfs.FS, path string, fn func(wire.Tuple)) (walStats, tuple.Time, error) {
+	var total walStats
 	var newest tuple.Time
 	for _, p := range []string{path + ".1", path} {
-		n, ts, err := replaySegment(p, fn)
+		st, ts, err := scanSegmentFile(fsys, p, fn)
+		total.add(st)
 		if err != nil {
 			return total, newest, err
 		}
-		total += n
 		if ts > newest {
 			newest = ts
 		}
@@ -144,35 +324,169 @@ func replayWAL(path string, fn func(wire.Tuple)) (int, tuple.Time, error) {
 	return total, newest, nil
 }
 
-func replaySegment(path string, fn func(wire.Tuple)) (int, tuple.Time, error) {
-	f, err := os.Open(path)
-	if errors.Is(err, os.ErrNotExist) {
+// scanSegmentFile reads one segment and scans it (fn may be nil to scan
+// without replaying). A missing segment is zero frames, not an error.
+func scanSegmentFile(fsys faultfs.FS, path string, fn func(wire.Tuple)) (walStats, tuple.Time, error) {
+	rc, err := fsys.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return walStats{}, 0, nil
+	}
+	if err != nil {
+		return walStats{}, 0, fmt.Errorf("wal: %w", err)
+	}
+	b, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil {
+		return walStats{}, 0, fmt.Errorf("wal: %s: %w", path, err)
+	}
+	st, newest, _ := scanSegment(b, fn)
+	return st, newest, nil
+}
+
+// scanSegment parses every salvageable frame of a segment image, calling
+// fn (if non-nil) per intact frame in log order. It returns the recovery
+// stats, the newest intact timestamp, and the byte offset after the last
+// parseable frame — everything beyond `good` is torn or unsalvageable.
+//
+// v2 segments (magic header) resynchronize on fixed frame boundaries, so
+// a checksum-failed frame mid-log is skipped and scanning continues. v1
+// segments have no checksums: parsing stops at the first undecodable
+// byte and the remainder is counted as truncated.
+func scanSegment(b []byte, fn func(wire.Tuple)) (st walStats, newest tuple.Time, good int) {
+	if len(b) == 0 {
+		return st, 0, 0
+	}
+	if len(b) >= wire.WALHeaderBytes && string(b[:wire.WALHeaderBytes]) == wire.WALMagicV2 {
+		off := wire.WALHeaderBytes
+		for off+wire.WALFrameBytes <= len(b) {
+			t, err := wire.DecodeWALFrame(b[off : off+wire.WALFrameBytes])
+			if err != nil {
+				st.skipped++
+			} else {
+				st.recovered++
+				if t.TS > newest {
+					newest = t.TS
+				}
+				if fn != nil {
+					fn(t)
+				}
+			}
+			off += wire.WALFrameBytes
+		}
+		st.truncated = int64(len(b) - off)
+		return st, newest, off
+	}
+
+	// Legacy v1: raw network frames, trusted as far as they parse.
+	r := wire.NewReader(bytes.NewReader(b))
+	const v1Frame = 25
+	for {
+		m, err := r.Read()
+		if err != nil || (m.Kind != wire.TagProbe && m.Kind != wire.TagBase) {
+			// io.EOF is a clean end; anything else (torn tail, unknown
+			// tag, garbage) ends the salvageable prefix.
+			good = int(st.recovered) * v1Frame
+			st.truncated = int64(len(b) - good)
+			return st, newest, good
+		}
+		st.recovered++
+		if m.Tuple.TS > newest {
+			newest = m.Tuple.TS
+		}
+		if fn != nil {
+			fn(m.Tuple)
+		}
+	}
+}
+
+// sanitizeSegment prepares the current segment for appending: a torn v2
+// tail is truncated back to a frame boundary, and a legacy v1 segment is
+// rewritten in the checksummed v2 format (dropping only bytes that do not
+// parse). It returns the tail bytes cut and the segment's newest intact
+// timestamp.
+func sanitizeSegment(fsys faultfs.FS, path string) (int64, tuple.Time, error) {
+	rc, err := fsys.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
 		return 0, 0, nil
 	}
 	if err != nil {
 		return 0, 0, fmt.Errorf("wal: %w", err)
 	}
-	defer f.Close()
-	r := wire.NewReader(f)
-	n := 0
-	var newest tuple.Time
+	b, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: %s: %w", path, err)
+	}
+	if len(b) == 0 {
+		return 0, 0, nil
+	}
+
+	st, newest, good := scanSegment(b, nil)
+	if len(b) >= wire.WALHeaderBytes && string(b[:wire.WALHeaderBytes]) == wire.WALMagicV2 {
+		if good < len(b) {
+			if err := fsys.Truncate(path, int64(good)); err != nil {
+				return 0, newest, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
+			}
+		}
+		return st.truncated, newest, nil
+	}
+	// A headerless segment that salvages nothing is not a v1 log — it is
+	// garbage (e.g. a torn header from a crashed segment creation).
+	// Resetting it to empty lets openSegment stamp a clean header.
+	if st.recovered == 0 {
+		if err := fsys.Truncate(path, 0); err != nil {
+			return 0, 0, fmt.Errorf("wal: resetting %s: %w", path, err)
+		}
+		return int64(len(b)), 0, nil
+	}
+	cut, err := migrateV1Segment(fsys, path, b[:good])
+	if err != nil {
+		return 0, newest, err
+	}
+	return cut + int64(len(b)-good), newest, nil
+}
+
+// migrateV1Segment rewrites the salvageable v1 prefix as a v2 segment via
+// a temp file + rename, so a crash mid-migration leaves either the old v1
+// segment or the complete v2 one.
+func migrateV1Segment(fsys faultfs.FS, path string, v1 []byte) (int64, error) {
+	tmp := path + ".migrate"
+	if err := fsys.Remove(tmp); err != nil {
+		return 0, fmt.Errorf("wal: migrate: %w", err)
+	}
+	f, size, err := fsys.OpenAppend(tmp)
+	if err != nil {
+		return 0, fmt.Errorf("wal: migrate: %w", err)
+	}
+	if size != 0 {
+		f.Close()
+		return 0, fmt.Errorf("wal: migrate: stale %s not empty", tmp)
+	}
+	out := make([]byte, 0, wire.WALHeaderBytes+len(v1)/25*wire.WALFrameBytes)
+	out = append(out, wire.WALMagicV2...)
+	var frame [wire.WALFrameBytes]byte
+	r := wire.NewReader(bytes.NewReader(v1))
 	for {
 		m, err := r.Read()
-		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			// ErrUnexpectedEOF is a torn final frame from a crash
-			// mid-write; everything before it is intact.
-			return n, newest, nil
-		}
 		if err != nil {
-			return n, newest, fmt.Errorf("wal: %s: %w", path, err)
+			break
 		}
-		if m.Kind != wire.TagProbe {
-			return n, newest, fmt.Errorf("wal: %s: unexpected frame tag 0x%02x", path, m.Kind)
-		}
-		if m.Tuple.TS > newest {
-			newest = m.Tuple.TS
-		}
-		fn(m.Tuple)
-		n++
+		wire.EncodeWALFrame(frame[:], m.Tuple)
+		out = append(out, frame[:]...)
 	}
+	if _, err := f.Write(out); err != nil {
+		f.Close()
+		return 0, fmt.Errorf("wal: migrate: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return 0, fmt.Errorf("wal: migrate: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return 0, fmt.Errorf("wal: migrate: %w", err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		return 0, fmt.Errorf("wal: migrate: %w", err)
+	}
+	return 0, nil
 }

@@ -111,7 +111,7 @@ func TestWALTornTail(t *testing.T) {
 // still sees the live horizon.
 func TestWALRotation(t *testing.T) {
 	cfg, path := walCfg(t)
-	cfg.WALSegmentBytes = 10 * frameBytes
+	cfg.WALSegmentBytes = 10 * wire.WALFrameBytes
 	cfg.Engine.Window.Pre = 100 // tiny horizon so rotation can discard
 	cfg.Engine.Window.Lateness = 10
 
@@ -138,7 +138,7 @@ func TestWALRotation(t *testing.T) {
 	if err != nil {
 		t.Fatalf("current segment missing: %v", err)
 	}
-	if cur.Size() > 40*frameBytes {
+	if cur.Size() > 40*wire.WALFrameBytes {
 		t.Fatalf("current segment grew to %d bytes despite rotation", cur.Size())
 	}
 	// Recovery over the rotated pair still works.

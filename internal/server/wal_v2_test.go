@@ -1,0 +1,547 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"oij/internal/faultfs"
+	"oij/internal/tuple"
+	"oij/internal/wire"
+)
+
+// collectReplay replays a log into a slice.
+func collectReplay(t *testing.T, fsys faultfs.FS, path string) ([]wire.Tuple, walStats) {
+	t.Helper()
+	var got []wire.Tuple
+	st, _, err := replayWAL(fsys, path, func(tp wire.Tuple) { got = append(got, tp) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, st
+}
+
+// TestWALWritesV2Header: a fresh segment starts with the magic and frames
+// carry checksums.
+func TestWALWritesV2Header(t *testing.T) {
+	m := faultfs.NewMem()
+	w, err := newWALWriter(m, "wal", 0, 1000, walSyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.append(wire.Tuple{TS: 1, Key: 2, Val: 3})
+	w.close()
+
+	b := m.Bytes("wal")
+	if len(b) != wire.WALHeaderBytes+wire.WALFrameBytes {
+		t.Fatalf("segment size %d", len(b))
+	}
+	if string(b[:wire.WALHeaderBytes]) != wire.WALMagicV2 {
+		t.Fatalf("header %q", b[:wire.WALHeaderBytes])
+	}
+	if tu, err := wire.DecodeWALFrame(b[wire.WALHeaderBytes:]); err != nil || tu.TS != 1 || tu.Key != 2 || tu.Val != 3 {
+		t.Fatalf("frame %+v %v", tu, err)
+	}
+}
+
+// TestWALCorruptFrameSkipped: a bit-flipped frame mid-log is skipped, the
+// frames around it survive, and the skip is counted. On the v1 format this
+// was silent garbage or an aborted recovery.
+func TestWALCorruptFrameSkipped(t *testing.T) {
+	m := faultfs.NewMem()
+	w, err := newWALWriter(m, "wal", 0, 1000, walSyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		w.append(wire.Tuple{TS: tuple.Time(i), Key: 1, Val: float64(i)})
+	}
+	w.close()
+	// Flip a bit inside frame 4's value field.
+	m.Corrupt("wal", int64(wire.WALHeaderBytes+4*wire.WALFrameBytes+20))
+
+	got, st := collectReplay(t, m, "wal")
+	if st.recovered != 9 || st.skipped != 1 || st.truncated != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	for _, tp := range got {
+		if tp.TS == 4 {
+			t.Fatal("corrupt frame replayed")
+		}
+	}
+}
+
+// TestWALTornTailTruncateAndContinue: after a crash leaves a torn tail,
+// the next writer must cut the tail back to a frame boundary before
+// appending — otherwise new frames land mid-frame and a later recovery
+// reads garbage. The pre-v2 WAL failed exactly this: it opened with
+// O_APPEND after the torn bytes, and the second recovery lost every frame
+// written after the first crash.
+func TestWALTornTailTruncateAndContinue(t *testing.T) {
+	m := faultfs.NewMem()
+	w, err := newWALWriter(m, "wal", 0, 1000, walSyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		w.append(wire.Tuple{TS: tuple.Time(i), Key: 1, Val: 1})
+	}
+	w.close()
+
+	// Crash mid-frame: 11 bytes of a frame made it to disk.
+	var torn [wire.WALFrameBytes]byte
+	wire.EncodeWALFrame(torn[:], wire.Tuple{TS: 5, Key: 1, Val: 1})
+	m.Put("wal", append(m.Bytes("wal"), torn[:11]...))
+
+	// Second life: open (sanitize), append five more frames.
+	w2, err := newWALWriter(m, "wal", 0, 1000, walSyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.sanitized != 11 {
+		t.Fatalf("sanitized %d bytes, want 11", w2.sanitized)
+	}
+	for i := 5; i < 10; i++ {
+		w2.append(wire.Tuple{TS: tuple.Time(i), Key: 1, Val: 1})
+	}
+	w2.close()
+
+	got, st := collectReplay(t, m, "wal")
+	if st.recovered != 10 || st.skipped != 0 {
+		t.Fatalf("stats %+v (frames written after a torn tail were lost)", st)
+	}
+	for i, tp := range got {
+		if tp.TS != tuple.Time(i) {
+			t.Fatalf("frame %d has ts %d", i, tp.TS)
+		}
+	}
+}
+
+// TestWALMigratesV1: a legacy unchecksummed segment is rewritten as v2 on
+// open; recovery sees every frame and new appends are checksummed.
+func TestWALMigratesV1(t *testing.T) {
+	m := faultfs.NewMem()
+	var v1 []byte
+	{
+		var sb strings.Builder
+		enc := wire.NewWriter(&sb)
+		for i := 0; i < 7; i++ {
+			enc.WriteTuple(wire.Tuple{TS: tuple.Time(100 + i), Key: 3, Val: float64(i)})
+		}
+		enc.Flush()
+		v1 = []byte(sb.String())
+	}
+	m.Put("wal", v1)
+
+	w, err := newWALWriter(m, "wal", 0, 1000, walSyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.append(wire.Tuple{TS: 200, Key: 3, Val: 9})
+	w.close()
+
+	b := m.Bytes("wal")
+	if string(b[:wire.WALHeaderBytes]) != wire.WALMagicV2 {
+		t.Fatalf("not migrated: %q", b[:wire.WALHeaderBytes])
+	}
+	got, st := collectReplay(t, m, "wal")
+	if st.recovered != 8 || st.skipped != 0 || st.truncated != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if got[0].TS != 100 || got[7].TS != 200 {
+		t.Fatalf("order lost: first %d last %d", got[0].TS, got[7].TS)
+	}
+}
+
+// TestWALMigratesV1TornTail: migration drops only the torn suffix of a
+// legacy segment and counts the cut bytes.
+func TestWALMigratesV1TornTail(t *testing.T) {
+	m := faultfs.NewMem()
+	var sb strings.Builder
+	enc := wire.NewWriter(&sb)
+	for i := 0; i < 4; i++ {
+		enc.WriteTuple(wire.Tuple{TS: tuple.Time(i), Key: 1, Val: 1})
+	}
+	enc.Flush()
+	m.Put("wal", append([]byte(sb.String()), wire.TagProbe, 0x01, 0x02))
+
+	w, err := newWALWriter(m, "wal", 0, 1000, walSyncInterval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.sanitized != 3 {
+		t.Fatalf("sanitized %d, want 3", w.sanitized)
+	}
+	w.close()
+	_, st := collectReplay(t, m, "wal")
+	if st.recovered != 4 || st.truncated != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestWALGarbageSegmentReset: a current segment that salvages nothing
+// (e.g. a torn header) is reset so the writer can stamp a clean header.
+func TestWALGarbageSegmentReset(t *testing.T) {
+	m := faultfs.NewMem()
+	m.Put("wal", []byte("OIJW")) // torn header from a crashed creation
+	w, err := newWALWriter(m, "wal", 0, 1000, walSyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.sanitized != 4 {
+		t.Fatalf("sanitized %d, want 4", w.sanitized)
+	}
+	w.append(wire.Tuple{TS: 1, Key: 1, Val: 1})
+	w.close()
+	_, st := collectReplay(t, m, "wal")
+	if st.recovered != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestWALDiskFullRetry: a failed append keeps the frame buffered and a
+// later flush persists it — a transiently full disk loses nothing.
+func TestWALDiskFullRetry(t *testing.T) {
+	m := faultfs.NewMem()
+	w, err := newWALWriter(m, "wal", 0, 1000, walSyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.FailAt(m.Ops() + 1) // next write fails
+	if err := w.append(wire.Tuple{TS: 1, Key: 1, Val: 1}); err == nil {
+		t.Fatal("append on full disk must report an error")
+	}
+	// Disk clears; the buffered frame goes out with the next append.
+	if err := w.append(wire.Tuple{TS: 2, Key: 1, Val: 2}); err != nil {
+		t.Fatal(err)
+	}
+	w.close()
+	got, st := collectReplay(t, m, "wal")
+	if st.recovered != 2 || len(got) != 2 || got[0].TS != 1 || got[1].TS != 2 {
+		t.Fatalf("stats %+v got %+v", st, got)
+	}
+}
+
+// TestWALShortWriteRealigns: a short write (torn append) is truncated back
+// to a frame boundary and the interrupted frame is rewritten whole.
+func TestWALShortWriteRealigns(t *testing.T) {
+	m := faultfs.NewMem()
+	w, err := newWALWriter(m, "wal", 0, 1000, walSyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.append(wire.Tuple{TS: 1, Key: 1, Val: 1})
+	m.ShortWriteAt(m.Ops() + 1)
+	if err := w.append(wire.Tuple{TS: 2, Key: 1, Val: 2}); err == nil {
+		t.Fatal("short write must surface")
+	}
+	if err := w.append(wire.Tuple{TS: 3, Key: 1, Val: 3}); err != nil {
+		t.Fatal(err)
+	}
+	w.close()
+	got, st := collectReplay(t, m, "wal")
+	if st.recovered != 3 || st.skipped != 0 || st.truncated != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	for i, tp := range got {
+		if tp.TS != tuple.Time(i+1) {
+			t.Fatalf("frame %d ts %d", i, tp.TS)
+		}
+	}
+}
+
+// TestWALFsyncAlwaysSurvivesPowerLoss: in "always" mode every append that
+// returned is durable across a power kill; in "none" mode unflushed frames
+// are legitimately lost. This is the contract the -wal-sync knob sells.
+func TestWALFsyncAlwaysSurvivesPowerLoss(t *testing.T) {
+	m := faultfs.NewMem()
+	w, err := newWALWriter(m, "wal", 0, 1000, walSyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := w.append(wire.Tuple{TS: tuple.Time(i), Key: 1, Val: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No close, no flush: the process dies and the machine loses power.
+	m.KillPower()
+	_, st := collectReplay(t, m, "wal")
+	if st.recovered != 20 {
+		t.Fatalf("fsync-on-ack lost frames: %+v", st)
+	}
+
+	m2 := faultfs.NewMem()
+	w2, err := newWALWriter(m2, "wal", 0, 1000, walSyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		w2.append(wire.Tuple{TS: tuple.Time(i), Key: 1, Val: 1})
+	}
+	w2.heartbeat() // flushed to the OS, never fsynced
+	m2.KillPower()
+	if _, st := collectReplay(t, m2, "wal"); st.recovered != 0 {
+		t.Fatalf("sync=none recovered %d frames across power loss — Mem sync model broken", st.recovered)
+	}
+}
+
+// TestWALRotationKeepsZeroTimestampSegment: a previous segment whose
+// newest frame is stamped 0 is still inside the retention horizon; the
+// old writer used 0 as the "no previous" sentinel and deleted it.
+func TestWALRotationKeepsZeroTimestampSegment(t *testing.T) {
+	m := faultfs.NewMem()
+	maxBytes := int64(wire.WALHeaderBytes + 4*wire.WALFrameBytes)
+	w, err := newWALWriter(m, "wal", maxBytes, 1_000_000, walSyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12 frames all at ts=0: everything stays inside the horizon forever,
+	// so nothing may ever be deleted. The first rotation is legal (no
+	// previous segment); after it prevNewest == 0.
+	for i := 0; i < 12; i++ {
+		if err := w.append(wire.Tuple{TS: 0, Key: 1, Val: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.close()
+	_, st := collectReplay(t, m, "wal")
+	if st.recovered != 12 {
+		t.Fatalf("rotation deleted live zero-timestamp frames: recovered %d of 12", st.recovered)
+	}
+}
+
+// TestWALRotationSurvivesRestart: prevNewest must be rediscovered from
+// disk after a restart. The old writer forgot it, so the first rotation
+// of the new process deleted a previous segment still inside the
+// retention horizon.
+func TestWALRotationSurvivesRestart(t *testing.T) {
+	m := faultfs.NewMem()
+	maxBytes := int64(wire.WALHeaderBytes + 4*wire.WALFrameBytes)
+	retention := tuple.Time(1_000_000)
+	w, err := newWALWriter(m, "wal", maxBytes, retention, walSyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill past one rotation: frames 0..7, rotation happens at frame 4
+	// (no previous yet), so "wal.1" holds live frames.
+	for i := 0; i < 8; i++ {
+		if err := w.append(wire.Tuple{TS: tuple.Time(i), Key: 1, Val: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.close()
+	if m.Bytes("wal.1") == nil {
+		t.Fatal("test setup: no rotation happened")
+	}
+
+	// Restart and keep appending timestamps still within the horizon.
+	w2, err := newWALWriter(m, "wal", maxBytes, retention, walSyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w2.hasPrev {
+		t.Fatal("restart forgot the previous segment")
+	}
+	for i := 8; i < 16; i++ {
+		if err := w2.append(wire.Tuple{TS: tuple.Time(i), Key: 1, Val: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w2.close()
+	_, st := collectReplay(t, m, "wal")
+	if st.recovered != 16 {
+		t.Fatalf("restart rotation deleted live frames: recovered %d of 16", st.recovered)
+	}
+}
+
+// TestWALRotationBoundary: rotation at the exact retention boundary. A
+// previous segment whose newest frame sits exactly window+lateness+slack
+// behind the newest timestamp is still needed (eviction is strict-less),
+// so rotation must keep it; one microsecond older and it may go.
+func TestWALRotationBoundary(t *testing.T) {
+	maxBytes := int64(wire.WALHeaderBytes + 2*wire.WALFrameBytes)
+	retention := tuple.Time(100)
+
+	run := func(newestDelta tuple.Time) (kept bool) {
+		m := faultfs.NewMem()
+		w, err := newWALWriter(m, "wal", maxBytes, retention, walSyncAlways)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Two frames fill the segment; rotation moves them to wal.1.
+		w.append(wire.Tuple{TS: 0, Key: 1, Val: 1})
+		w.append(wire.Tuple{TS: 10, Key: 1, Val: 1}) // prevNewest = 10
+		// Two more at the probe boundary: rotation decision compares
+		// prevNewest+retention against maxTS.
+		w.append(wire.Tuple{TS: 10 + retention + newestDelta, Key: 1, Val: 1})
+		w.append(wire.Tuple{TS: 10 + retention + newestDelta, Key: 1, Val: 1})
+		w.close()
+		got, _ := collectReplay(t, m, "wal")
+		for _, tp := range got {
+			if tp.TS == 10 {
+				return true // the boundary segment survived
+			}
+		}
+		return false
+	}
+
+	if !run(0) {
+		t.Fatal("segment exactly at the retention boundary was rotated away")
+	}
+	if run(1) {
+		t.Fatal("segment past the retention boundary was kept forever")
+	}
+}
+
+// TestWALSyncModeValidation: the config knob rejects unknown values and
+// reports the active mode through /statusz.
+func TestWALSyncModeValidation(t *testing.T) {
+	cfg, _ := walCfg(t)
+	cfg.WALSync = "sometimes"
+	if _, err := New(cfg); err == nil {
+		t.Fatal("bogus WALSync accepted")
+	}
+	cfg.WALSync = "always"
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown()
+	if got := s.Statusz().WALSync; got != "always" {
+		t.Fatalf("statusz wal_sync = %q", got)
+	}
+}
+
+// TestWALRecoveryMetricsExposed: a log with one corrupt frame and a torn
+// tail recovers with the skip and truncation visible in /statusz and in
+// the Prometheus scrape — the operator-facing face of crash recovery.
+func TestWALRecoveryMetricsExposed(t *testing.T) {
+	m := faultfs.NewMem()
+	w, err := newWALWriter(m, "wal", 0, 1000, walSyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		w.append(wire.Tuple{TS: tuple.Time(1000 + i), Key: 9, Val: 2})
+	}
+	w.close()
+	m.Corrupt("wal", int64(wire.WALHeaderBytes+3*wire.WALFrameBytes+5))
+	m.Put("wal", append(m.Bytes("wal"), 0xde, 0xad, 0xbe)) // torn tail
+
+	cfg := baseCfg()
+	cfg.WALPath = "wal"
+	cfg.WALFS = m
+	cfg.AdminAddr = "127.0.0.1:0"
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 9 {
+		t.Fatalf("recovered %d, want 9", n)
+	}
+	rec, skip, trunc := s.WALStats()
+	if rec != 9 || skip != 1 || trunc != 3 {
+		t.Fatalf("WALStats = (%d, %d, %d), want (9, 1, 3)", rec, skip, trunc)
+	}
+	if _, err := s.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown()
+
+	st := s.Statusz()
+	if st.WALRecovered != 9 || st.WALSkipped != 1 || st.WALTruncated != 3 {
+		t.Fatalf("statusz wal counters: %+v", st)
+	}
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(fmt.Sprintf("http://%s/metrics", s.AdminAddr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		"oij_wal_recovered_frames 9",
+		"oij_wal_skipped_frames 1",
+		"oij_wal_truncated_bytes 3",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestWALEndToEndSecondLifeOnDisk: the full server path on the real
+// filesystem — stream, kill with a torn tail, recover, query — answers
+// reflect exactly the surviving frames.
+func TestWALEndToEndSecondLifeOnDisk(t *testing.T) {
+	cfg, path := walCfg(t)
+	cfg.WALSync = "always"
+
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s1.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, _ := Dial(addr.String())
+	for i := 0; i < 30; i++ {
+		c1.SendProbe(5, tuple.Time(1000+i), 1)
+	}
+	c1.Barrier()
+	if _, err := c1.RecvResults(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+	s1.Shutdown()
+
+	// Simulated crash damage: flip a bit in one frame, tear the tail.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[wire.WALHeaderBytes+10*wire.WALFrameBytes+3] ^= 0x10
+	b = append(b, 0x77)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 29 {
+		t.Fatalf("recovered %d, want 29 (one corrupt frame skipped)", n)
+	}
+	addr2, err := s2.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Shutdown()
+	c2, _ := Dial(addr2.String())
+	defer c2.Close()
+	c2.SendBase(5, 2000, 0)
+	c2.Barrier()
+	rs, err := c2.RecvResults(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].Matches != 29 || rs[0].Agg != 29 {
+		t.Fatalf("recovered answer wrong: %+v", rs)
+	}
+}

@@ -1,0 +1,58 @@
+package wire
+
+import (
+	"math"
+	"testing"
+
+	"oij/internal/tuple"
+)
+
+// TestWALFrameRoundTrip: encode → decode is the identity, bit for bit.
+func TestWALFrameRoundTrip(t *testing.T) {
+	cases := []Tuple{
+		{TS: 0, Key: 0, Val: 0},
+		{TS: 1<<62 - 1, Key: tuple.Key(^uint64(0) >> 1), Val: -math.MaxFloat64},
+		{TS: 123456, Key: 42, Val: 3.141592653589793},
+		{Base: true, TS: 7, Key: 9, Val: math.Inf(1)},
+		{TS: -5, Key: 1, Val: math.SmallestNonzeroFloat64},
+	}
+	var b [WALFrameBytes]byte
+	for _, want := range cases {
+		EncodeWALFrame(b[:], want)
+		got, err := DecodeWALFrame(b[:])
+		if err != nil {
+			t.Fatalf("decode %+v: %v", want, err)
+		}
+		if got.Base != want.Base || got.TS != want.TS || got.Key != want.Key ||
+			math.Float64bits(got.Val) != math.Float64bits(want.Val) {
+			t.Fatalf("round trip: got %+v want %+v", got, want)
+		}
+	}
+}
+
+// TestWALFrameDetectsCorruption: flipping any single bit of a frame must
+// fail the checksum (or the tag check) — the property v1 lacked.
+func TestWALFrameDetectsCorruption(t *testing.T) {
+	var b [WALFrameBytes]byte
+	EncodeWALFrame(b[:], Tuple{TS: 9999, Key: 7, Val: 2.5})
+	for bit := 0; bit < WALFrameBytes*8; bit++ {
+		c := b
+		c[bit/8] ^= 1 << (bit % 8)
+		if _, err := DecodeWALFrame(c[:]); err == nil {
+			t.Fatalf("bit flip at %d went undetected", bit)
+		}
+	}
+}
+
+// TestWALFrameBadTag: non-data tags are rejected before the checksum.
+func TestWALFrameBadTag(t *testing.T) {
+	var b [WALFrameBytes]byte
+	EncodeWALFrame(b[:], Tuple{TS: 1, Key: 1, Val: 1})
+	for _, tag := range []byte{TagResult, TagFlush, TagError, 0x00, 0xff} {
+		c := b
+		c[0] = tag
+		if _, err := DecodeWALFrame(c[:]); err == nil {
+			t.Fatalf("tag 0x%02x accepted", tag)
+		}
+	}
+}
