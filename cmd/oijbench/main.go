@@ -1,14 +1,22 @@
-// Command oijbench regenerates the tables and figures of "Scalable Online
-// Interval Join on Modern Multicore Processors in OpenMLDB" (ICDE 2023)
-// against this repository's engines.
+// Command oijbench is the benchmark front end of the repository.
 //
-// Usage:
+// Subcommands drive the perf subsystem (internal/perf):
+//
+//	oijbench sweep -spec full -tag nightly         # record BENCH_nightly.json
+//	oijbench baseline -spec seed                   # record BENCH_seed.json
+//	oijbench gate -baseline BENCH_seed.json        # re-measure + regression-gate
+//	oijbench specs                                 # list builtin sweep specs
+//
+// The legacy flag form regenerates the tables and figures of "Scalable
+// Online Interval Join on Modern Multicore Processors in OpenMLDB"
+// (ICDE 2023) against this repository's engines:
 //
 //	oijbench -list
 //	oijbench -exp fig4
 //	oijbench -exp all -n 500000 -threads 1,2,4,8,16,32
 //
-// See DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+// See DESIGN.md for the experiment index, EXPERIMENTS.md for the sweep
+// spec format and gate semantics, and PAPER_RESULTS.md for recorded
 // paper-vs-measured outcomes.
 package main
 
@@ -17,14 +25,30 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"strconv"
-	"strings"
 	"time"
 
 	"oij/internal/harness"
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "sweep", "baseline":
+			os.Exit(runSweepOrBaseline(os.Args[1], os.Args[2:], os.Stdout, os.Stderr))
+		case "gate":
+			os.Exit(runGate(os.Args[2:], os.Stdout, os.Stderr))
+		case "specs":
+			os.Exit(runSpecs(os.Stdout, os.Stderr))
+		case "help", "-h", "-help", "--help":
+			fmt.Println(usageText)
+			return
+		}
+	}
+	legacyMain()
+}
+
+// legacyMain is the original figure-regeneration mode.
+func legacyMain() {
 	var (
 		exp     = flag.String("exp", "", "experiment ID to run, or \"all\"")
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
@@ -32,6 +56,10 @@ func main() {
 		threads = flag.String("threads", "", "comma-separated joiner sweep (default 1,2,4,8,16)")
 		latj    = flag.Int("latency-threads", 0, "joiner count for latency CDFs (default 16)")
 	)
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, usageText)
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	if *list {
@@ -46,28 +74,17 @@ func main() {
 	}
 
 	opts := harness.ExpOptions{N: *n, LatencyThreads: *latj}
-	if *threads != "" {
-		for _, part := range strings.Split(*threads, ",") {
-			v, err := strconv.Atoi(strings.TrimSpace(part))
-			if err != nil || v < 1 {
-				fmt.Fprintf(os.Stderr, "oijbench: bad -threads value %q\n", part)
-				os.Exit(2)
-			}
-			opts.Threads = append(opts.Threads, v)
-		}
+	ts, err := parseThreads(*threads)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "oijbench: %v\n", err)
+		os.Exit(2)
 	}
+	opts.Threads = ts
 
-	var toRun []harness.Experiment
-	if *exp == "all" {
-		toRun = harness.AllExperiments()
-	} else {
-		e, ok := harness.FindExperiment(*exp)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "oijbench: unknown experiment %q; known IDs: %s\n",
-				*exp, strings.Join(harness.ExperimentIDs(), ", "))
-			os.Exit(2)
-		}
-		toRun = []harness.Experiment{e}
+	toRun, err := legacyExperiments(*exp)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "oijbench: %v\n", err)
+		os.Exit(2)
 	}
 
 	fmt.Printf("oijbench: GOMAXPROCS=%d (parallel speedup is bounded by available CPUs)\n", runtime.GOMAXPROCS(0))

@@ -29,11 +29,12 @@ const (
 	ScaleOIJIncOnly = "scale-oij-inconly" // index + incremental, static schedule
 	SplitJoin       = "splitjoin"
 	OpenMLDB        = "openmldb"
+	RefJoin         = "refjoin" // serial full-scan oracle (see refengine.go)
 )
 
 // Engines lists every variant Build accepts.
 func Engines() []string {
-	return []string{KeyOIJ, ScaleOIJ, ScaleOIJNoInc, ScaleOIJNoDyn, ScaleOIJStatic, ScaleOIJIncOnly, SplitJoin, OpenMLDB}
+	return []string{KeyOIJ, ScaleOIJ, ScaleOIJNoInc, ScaleOIJNoDyn, ScaleOIJStatic, ScaleOIJIncOnly, SplitJoin, OpenMLDB, RefJoin}
 }
 
 // Build constructs an engine variant by name.
@@ -59,6 +60,8 @@ func Build(name string, cfg engine.Config, sink engine.Sink) (engine.Engine, err
 		return splitjoin.New(cfg, sink), nil
 	case OpenMLDB:
 		return mldb.New(cfg, sink), nil
+	case RefJoin:
+		return newRefEngine(cfg, sink), nil
 	default:
 		return nil, fmt.Errorf("harness: unknown engine %q (known: %v)", name, Engines())
 	}

@@ -228,6 +228,69 @@ func (c CDF) Series(quantiles []float64) []struct {
 	return out
 }
 
+// Summary describes a small set of repeated measurements (e.g. the
+// per-cell throughput samples of a benchmark sweep) by its nearest-rank
+// quartiles — the statistics the perf regression gate compares. Quartiles
+// use the same nearest-rank convention as CDF.Quantile, so with very few
+// repeats Q1 and Q3 degrade gracefully toward the sample extremes and the
+// interquartile range covers the whole observed spread.
+type Summary struct {
+	N      int
+	Min    float64
+	Q1     float64
+	Median float64
+	Q3     float64
+	Max    float64
+}
+
+// Summarize computes the five-number summary of samples. A zero Summary is
+// returned for an empty input.
+func Summarize(samples []float64) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	rank := func(q float64) float64 {
+		r := int(math.Ceil(q * float64(len(sorted))))
+		if r < 1 {
+			r = 1
+		}
+		if r > len(sorted) {
+			r = len(sorted)
+		}
+		return sorted[r-1]
+	}
+	return Summary{
+		N:      len(sorted),
+		Min:    sorted[0],
+		Q1:     rank(0.25),
+		Median: rank(0.5),
+		Q3:     rank(0.75),
+		Max:    sorted[len(sorted)-1],
+	}
+}
+
+// Scale returns the summary with every statistic multiplied by f —
+// used to normalize a baseline recorded on different hardware by a
+// calibration ratio.
+func (s Summary) Scale(f float64) Summary {
+	s.Min *= f
+	s.Q1 *= f
+	s.Median *= f
+	s.Q3 *= f
+	s.Max *= f
+	return s
+}
+
+// IQROverlaps reports whether the interquartile ranges [Q1, Q3] of the two
+// summaries intersect. Overlapping IQRs mean the two sample sets are
+// indistinguishable at benchmark-noise resolution, which the regression
+// gate treats as "no regression" regardless of the median delta.
+func (s Summary) IQROverlaps(o Summary) bool {
+	return s.Q1 <= o.Q3 && o.Q1 <= s.Q3
+}
+
 // Breakdown accumulates the paper's Fig. 6 time categories for one joiner.
 // Lookup is time spent visiting buffered tuples to find the in-window set,
 // Match is time spent folding in-window tuples into the aggregate, and

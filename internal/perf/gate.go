@@ -1,0 +1,189 @@
+package perf
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"oij/internal/metrics"
+)
+
+// GateOptions tunes the regression decision.
+type GateOptions struct {
+	// MaxThroughputDrop is the tolerated relative drop of median
+	// throughput per gated cell (0.10 = fail beyond a 10% drop).
+	MaxThroughputDrop float64
+	// MaxP99Inflation is the tolerated relative increase of median p99
+	// latency per gated latency cell (0.25 = fail beyond +25%).
+	MaxP99Inflation float64
+	// Normalize scales the baseline by the ratio of the two reports'
+	// calibration scores, so a baseline recorded on different hardware
+	// compares in machine-relative terms. Ignored when either report
+	// lacks a calibration score.
+	Normalize bool
+}
+
+// DefaultGateOptions returns the thresholds the local gate uses. CI passes
+// wider ones (see .github/workflows/ci.yml) because shared runners are
+// noisy and differently sized than the machine that recorded the
+// baseline.
+func DefaultGateOptions() GateOptions {
+	return GateOptions{MaxThroughputDrop: 0.10, MaxP99Inflation: 0.25, Normalize: true}
+}
+
+// CellVerdict is the gate's decision for one gated cell. Base summaries
+// are post-normalization — the numbers actually compared.
+type CellVerdict struct {
+	ID        string
+	Base      metrics.Summary // throughput, tuples/s
+	Fresh     metrics.Summary
+	TputRatio float64         // fresh median / base median (1.0 = unchanged)
+	BaseP99   metrics.Summary // ns; zero unless a latency cell
+	FreshP99  metrics.Summary
+	P99Ratio  float64
+	Regressed bool
+	Reasons   []string
+}
+
+// GateResult is the full comparison outcome.
+type GateResult struct {
+	// CalibrationRatio is fresh-machine speed over baseline-machine speed
+	// (1.0 when normalization is off or unavailable).
+	CalibrationRatio float64
+	Verdicts         []CellVerdict
+	// MissingCells are gated baseline cells the fresh run did not
+	// measure — treated as failures so gated coverage cannot silently
+	// shrink.
+	MissingCells []string
+	// NewCells are fresh gated cells with no baseline yet (informational;
+	// they start being enforced once a new baseline is recorded).
+	NewCells []string
+	// Regressions counts verdicts with Regressed set.
+	Regressions int
+}
+
+// OK reports whether the gate passes.
+func (g GateResult) OK() bool { return g.Regressions == 0 && len(g.MissingCells) == 0 }
+
+// Gate compares a fresh report against a baseline.
+//
+// A gated cell regresses only when both conditions hold:
+//
+//  1. the fresh median throughput is more than MaxThroughputDrop below
+//     the (normalized) baseline median, and
+//  2. the two sample sets' interquartile ranges do not overlap.
+//
+// Condition 2 is the noise guard: with pinned repeats the IQR covers the
+// observed run-to-run spread, so a median delta inside overlapping IQRs is
+// indistinguishable from noise and never fails the gate. Latency cells
+// additionally apply the same two-part test to p99 inflation.
+func Gate(baseline, fresh *Report, o GateOptions) GateResult {
+	ratio := 1.0
+	if o.Normalize && baseline.Env.CalibrationOpsPerUS > 0 && fresh.Env.CalibrationOpsPerUS > 0 {
+		ratio = fresh.Env.CalibrationOpsPerUS / baseline.Env.CalibrationOpsPerUS
+	}
+	g := GateResult{CalibrationRatio: ratio}
+
+	freshByID := map[string]Cell{}
+	for _, c := range fresh.Cells {
+		freshByID[c.ID] = c
+	}
+	baseSeen := map[string]bool{}
+
+	for _, bc := range baseline.Cells {
+		baseSeen[bc.ID] = true
+		if !bc.Gated {
+			continue
+		}
+		fc, ok := freshByID[bc.ID]
+		if !ok {
+			g.MissingCells = append(g.MissingCells, bc.ID)
+			continue
+		}
+		v := CellVerdict{
+			ID: bc.ID,
+			// A faster fresh machine (ratio > 1) raises the throughput
+			// bar and lowers the latency bar proportionally.
+			Base:  metrics.Summarize(bc.Throughputs()).Scale(ratio),
+			Fresh: metrics.Summarize(fc.Throughputs()),
+		}
+		if v.Base.Median > 0 {
+			v.TputRatio = v.Fresh.Median / v.Base.Median
+		}
+		if v.TputRatio < 1-o.MaxThroughputDrop && !v.Fresh.IQROverlaps(v.Base) {
+			v.Regressed = true
+			v.Reasons = append(v.Reasons,
+				fmt.Sprintf("median throughput %.1f%% below baseline (limit %.0f%%), IQRs disjoint",
+					(1-v.TputRatio)*100, o.MaxThroughputDrop*100))
+		}
+		if bc.Latency && fc.Latency {
+			v.BaseP99 = metrics.Summarize(bc.P99s()).Scale(1 / ratio)
+			v.FreshP99 = metrics.Summarize(fc.P99s())
+			if v.BaseP99.Median > 0 {
+				v.P99Ratio = v.FreshP99.Median / v.BaseP99.Median
+			}
+			if v.P99Ratio > 1+o.MaxP99Inflation && !v.FreshP99.IQROverlaps(v.BaseP99) {
+				v.Regressed = true
+				v.Reasons = append(v.Reasons,
+					fmt.Sprintf("median p99 latency %.1f%% above baseline (limit +%.0f%%), IQRs disjoint",
+						(v.P99Ratio-1)*100, o.MaxP99Inflation*100))
+			}
+		}
+		if v.Regressed {
+			g.Regressions++
+		}
+		g.Verdicts = append(g.Verdicts, v)
+	}
+
+	for _, fc := range fresh.Cells {
+		if fc.Gated && !baseSeen[fc.ID] {
+			g.NewCells = append(g.NewCells, fc.ID)
+		}
+	}
+	return g
+}
+
+// WriteTable renders the per-cell comparison for humans (and CI logs).
+func (g GateResult) WriteTable(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "cell\tbase med\tfresh med\ttput ratio\tp99 ratio\tverdict")
+	for _, v := range g.Verdicts {
+		verdict := "ok"
+		if v.Regressed {
+			verdict = "REGRESSED"
+		}
+		p99 := "-"
+		if v.BaseP99.N > 0 {
+			p99 = fmt.Sprintf("%.2f", v.P99Ratio)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.2f\t%s\t%s\n",
+			v.ID, fmtTPS(v.Base.Median), fmtTPS(v.Fresh.Median), v.TputRatio, p99, verdict)
+	}
+	tw.Flush()
+	if g.CalibrationRatio != 1.0 {
+		fmt.Fprintf(w, "calibration ratio (fresh/base machine speed): %.3f — baseline scaled accordingly\n", g.CalibrationRatio)
+	}
+	for _, id := range g.MissingCells {
+		fmt.Fprintf(w, "MISSING gated cell (in baseline, not measured): %s\n", id)
+	}
+	for _, id := range g.NewCells {
+		fmt.Fprintf(w, "new gated cell (no baseline yet): %s\n", id)
+	}
+	for _, v := range g.Verdicts {
+		for _, r := range v.Reasons {
+			fmt.Fprintf(w, "REGRESSION %s: %s\n", v.ID, r)
+		}
+	}
+}
+
+// fmtTPS renders tuples/second compactly (4.21M/s).
+func fmtTPS(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM/s", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fK/s", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f/s", v)
+	}
+}

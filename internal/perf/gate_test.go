@@ -1,0 +1,121 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// synthReport builds a report whose single gated cell has the given
+// throughput samples (tuples/s) and optional p99 samples (ns).
+func synthReport(calib float64, tput []float64, p99 []int64) *Report {
+	cell := Cell{
+		ID:    "threads/key-oij/wl=default/t=4/w=1000us/l=100us/z=0/on-arrival",
+		Sweep: "threads", Engine: "key-oij", Workload: "default",
+		Threads: 4, WindowUS: 1000, LatenessUS: 100, Mode: "on-arrival",
+		N: 1000, Gated: true, Latency: len(p99) > 0,
+	}
+	for i, v := range tput {
+		s := Sample{ThroughputTPS: v, ElapsedNS: int64(time.Millisecond), Results: 1}
+		if len(p99) > 0 {
+			s.P50NS = p99[i] / 2
+			s.P99NS = p99[i]
+			s.P999NS = p99[i] * 2
+		}
+		cell.Samples = append(cell.Samples, s)
+	}
+	return &Report{
+		SchemaVersion: SchemaVersion,
+		Tag:           "synth",
+		Env:           Env{CalibrationOpsPerUS: calib},
+		Spec:          validSpec(),
+		Cells:         []Cell{cell},
+	}
+}
+
+func TestGatePassesOnEqualReports(t *testing.T) {
+	base := synthReport(100, []float64{1e6, 1.02e6, 0.98e6}, nil)
+	fresh := synthReport(100, []float64{0.99e6, 1.01e6, 1e6}, nil)
+	g := Gate(base, fresh, DefaultGateOptions())
+	if !g.OK() || g.Regressions != 0 {
+		t.Fatalf("expected pass, got %+v", g)
+	}
+	if len(g.Verdicts) != 1 {
+		t.Fatalf("expected 1 verdict, got %d", len(g.Verdicts))
+	}
+}
+
+func TestGateFailsOnThroughputCollapse(t *testing.T) {
+	base := synthReport(100, []float64{1e6, 1.02e6, 0.98e6}, nil)
+	fresh := synthReport(100, []float64{0.5e6, 0.51e6, 0.49e6}, nil)
+	g := Gate(base, fresh, DefaultGateOptions())
+	if g.OK() {
+		t.Fatal("expected 50% throughput drop to regress")
+	}
+	if g.Regressions != 1 || !g.Verdicts[0].Regressed {
+		t.Fatalf("unexpected result %+v", g)
+	}
+	var sb strings.Builder
+	g.WriteTable(&sb)
+	if !strings.Contains(sb.String(), "REGRESSED") {
+		t.Errorf("table does not flag the regression:\n%s", sb.String())
+	}
+}
+
+// A median drop beyond the threshold is forgiven while the IQRs still
+// overlap — the noise guard.
+func TestGateIQROverlapRescuesNoisyDrop(t *testing.T) {
+	base := synthReport(100, []float64{1.0e6, 1.3e6, 1.6e6}, nil)
+	fresh := synthReport(100, []float64{0.8e6, 0.85e6, 1.1e6}, nil)
+	g := Gate(base, fresh, DefaultGateOptions())
+	if !g.OK() {
+		t.Fatalf("overlapping IQRs must not regress: %+v", g.Verdicts[0])
+	}
+}
+
+func TestGateFailsOnP99Inflation(t *testing.T) {
+	base := synthReport(100, []float64{1e6, 1e6, 1e6}, []int64{1000, 1100, 1050})
+	fresh := synthReport(100, []float64{1e6, 1e6, 1e6}, []int64{5000, 5100, 5050})
+	g := Gate(base, fresh, DefaultGateOptions())
+	if g.OK() {
+		t.Fatal("expected 5x p99 inflation to regress")
+	}
+	if len(g.Verdicts[0].Reasons) != 1 || !strings.Contains(g.Verdicts[0].Reasons[0], "p99") {
+		t.Fatalf("unexpected reasons %v", g.Verdicts[0].Reasons)
+	}
+}
+
+// A committed baseline from a machine 2x faster than the fresh runner
+// would spuriously fail every cell without normalization; the calibration
+// ratio scales the bar.
+func TestGateCalibrationNormalization(t *testing.T) {
+	base := synthReport(200, []float64{2e6, 2.02e6, 1.98e6}, nil)
+	fresh := synthReport(100, []float64{1e6, 1.01e6, 0.99e6}, nil)
+
+	g := Gate(base, fresh, DefaultGateOptions())
+	if !g.OK() {
+		t.Fatalf("normalized gate should pass on proportionally slower machine: %+v", g.Verdicts[0])
+	}
+	if g.CalibrationRatio != 0.5 {
+		t.Fatalf("calibration ratio = %g, want 0.5", g.CalibrationRatio)
+	}
+
+	o := DefaultGateOptions()
+	o.Normalize = false
+	if g := Gate(base, fresh, o); g.OK() {
+		t.Fatal("unnormalized gate should fail on the same pair")
+	}
+}
+
+func TestGateMissingGatedCellFails(t *testing.T) {
+	base := synthReport(100, []float64{1e6}, nil)
+	fresh := synthReport(100, []float64{1e6}, nil)
+	fresh.Cells[0].ID = "renamed"
+	g := Gate(base, fresh, DefaultGateOptions())
+	if g.OK() {
+		t.Fatal("dropping a gated cell must fail the gate")
+	}
+	if len(g.MissingCells) != 1 || len(g.NewCells) != 1 {
+		t.Fatalf("missing=%v new=%v", g.MissingCells, g.NewCells)
+	}
+}

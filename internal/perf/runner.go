@@ -1,0 +1,129 @@
+package perf
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"oij/internal/harness"
+	"oij/internal/tuple"
+)
+
+// RunOptions configures one sweep execution.
+type RunOptions struct {
+	// Tag names the produced report (Report.Tag).
+	Tag string
+	// GitSHA records provenance (best effort; may be empty).
+	GitSHA string
+	// Repeats overrides the spec's repeat count when > 0.
+	Repeats int
+	// N overrides the spec's tuples-per-workload when > 0.
+	N int
+	// Progress, when non-nil, receives one line per completed sample.
+	Progress io.Writer
+	// Env overrides the captured environment fingerprint (tests skip the
+	// calibration microbenchmark this way).
+	Env *Env
+}
+
+// RunSpec executes every cell of the spec and assembles the report.
+//
+// Repeats run in rounds — every cell once, then every cell again — so
+// slow machine-wide drift (thermal throttling, a noisy CI neighbour)
+// spreads across all cells' samples instead of biasing whichever cell it
+// coincided with. Workload generation is cached per distinct parameter set
+// and shared across engines, thread counts, and repeats, so measured time
+// is join time only.
+func RunSpec(spec Spec, o RunOptions) (*Report, error) {
+	if o.Repeats > 0 {
+		spec.Repeats = o.Repeats
+	}
+	if o.N > 0 {
+		spec.N = o.N
+	}
+	cells, err := spec.Cells()
+	if err != nil {
+		return nil, err
+	}
+
+	gen := map[string][]tuple.Tuple{}
+	for rep := 0; rep < spec.Repeats; rep++ {
+		for i := range cells {
+			sample, err := runCell(&cells[i], spec, rep, gen)
+			if err != nil {
+				return nil, fmt.Errorf("perf: cell %s (repeat %d): %w", cells[i].ID, rep+1, err)
+			}
+			cells[i].Samples = append(cells[i].Samples, sample)
+			if o.Progress != nil {
+				fmt.Fprintf(o.Progress, "perf: [%d/%d] %-60s rep %d/%d  %10.0f tuples/s\n",
+					i+1, len(cells), cells[i].ID, rep+1, spec.Repeats, sample.ThroughputTPS)
+			}
+		}
+	}
+
+	env := CaptureEnv()
+	if o.Env != nil {
+		env = *o.Env
+	}
+	return &Report{
+		SchemaVersion: SchemaVersion,
+		Tag:           o.Tag,
+		CreatedAt:     time.Now().UTC(),
+		GitSHA:        o.GitSHA,
+		Env:           env,
+		Spec:          spec,
+		Cells:         cells,
+	}, nil
+}
+
+// runCell measures one repeat of one cell.
+func runCell(c *Cell, spec Spec, rep int, gen map[string][]tuple.Tuple) (Sample, error) {
+	wl, err := c.workloadConfig()
+	if err != nil {
+		return Sample{}, err
+	}
+	key := fmt.Sprintf("%s/n=%d/w=%d/l=%d/z=%g", c.Workload, c.N, c.WindowUS, c.LatenessUS, c.ZipfS)
+	tuples, ok := gen[key]
+	if !ok {
+		if tuples, err = wl.Generate(); err != nil {
+			return Sample{}, err
+		}
+		gen[key] = tuples
+	}
+
+	maxSamples := spec.MaxLatencySamples
+	if c.Latency && maxSamples <= 0 {
+		maxSamples = 4096
+	}
+	rc := harness.RunConfig{
+		Engine:            c.Engine,
+		Workload:          wl,
+		Tuples:            tuples,
+		Joiners:           c.Threads,
+		Mode:              emitModes[c.Mode],
+		Paced:             c.Paced,
+		MeasureLatency:    c.Latency,
+		MaxLatencySamples: maxSamples,
+		LatencySeed:       uint64(spec.Seed)*1_000_003 + uint64(rep),
+		Instrument:        c.Instrumented,
+	}
+	res, err := harness.Run(rc)
+	if err != nil {
+		return Sample{}, err
+	}
+	s := Sample{
+		ThroughputTPS:  res.Throughput,
+		ElapsedNS:      int64(res.Elapsed),
+		Results:        res.Results,
+		Unbalancedness: res.Unbalancedness,
+	}
+	if c.Latency {
+		s.P50NS = int64(res.CDF.Quantile(0.50))
+		s.P99NS = int64(res.CDF.Quantile(0.99))
+		s.P999NS = int64(res.CDF.Quantile(0.999))
+	}
+	if c.Instrumented {
+		s.Effectiveness = res.Effectiveness
+	}
+	return s, nil
+}

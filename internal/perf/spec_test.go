@@ -1,0 +1,151 @@
+package perf
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"oij/internal/harness"
+)
+
+func validSpec() Spec {
+	return Spec{
+		SpecVersion: CurrentSpecVersion,
+		Name:        "t",
+		N:           1000,
+		Repeats:     2,
+		Sweeps: []Sweep{
+			{Name: "s", Workload: "default", Engines: []string{harness.KeyOIJ}},
+		},
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := validSpec().Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*Spec)
+		wantSub string
+	}{
+		{"bad version", func(s *Spec) { s.SpecVersion = 99 }, "version"},
+		{"zero n", func(s *Spec) { s.N = 0 }, "N must be positive"},
+		{"zero repeats", func(s *Spec) { s.Repeats = 0 }, "repeats"},
+		{"no sweeps", func(s *Spec) { s.Sweeps = nil }, "no sweeps"},
+		{"unknown engine", func(s *Spec) { s.Sweeps[0].Engines = []string{"nope"} }, "unknown engine"},
+		{"unknown workload", func(s *Spec) { s.Sweeps[0].Workload = "nope" }, "unknown preset"},
+		{"unknown mode", func(s *Spec) { s.Sweeps[0].Modes = []string{"sometimes"} }, "unknown mode"},
+		{"bad threads", func(s *Spec) { s.Sweeps[0].Threads = []int{0} }, "threads"},
+		{"bad window", func(s *Spec) { s.Sweeps[0].WindowUS = []int64{0} }, "window_us"},
+		{"bad lateness", func(s *Spec) { s.Sweeps[0].LatenessUS = []int64{-1} }, "lateness_us"},
+		{"empty sweep name", func(s *Spec) { s.Sweeps[0].Name = "" }, "empty name"},
+		{"duplicate sweep", func(s *Spec) { s.Sweeps = append(s.Sweeps, s.Sweeps[0]) }, "duplicate"},
+	}
+	for _, tc := range cases {
+		s := validSpec()
+		tc.mutate(&s)
+		err := s.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: got error %v, want substring %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+func TestSpecCellsExpansion(t *testing.T) {
+	s := validSpec()
+	s.Sweeps = []Sweep{{
+		Name:       "x",
+		Workload:   "default",
+		Engines:    []string{harness.KeyOIJ, harness.ScaleOIJ},
+		Threads:    []int{1, 4},
+		LatenessUS: []int64{100, 1000, 10000},
+		Gate:       true,
+	}}
+	cells, err := s.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * 2 * 3; len(cells) != want {
+		t.Fatalf("got %d cells, want %d", len(cells), want)
+	}
+	ids := map[string]bool{}
+	for _, c := range cells {
+		if ids[c.ID] {
+			t.Fatalf("duplicate cell ID %s", c.ID)
+		}
+		ids[c.ID] = true
+		if !c.Gated {
+			t.Errorf("%s: expected gated", c.ID)
+		}
+		// Unset axes resolve to the preset's concrete values, so the ID
+		// pins every parameter.
+		if c.WindowUS != 1000 { // DefaultSynthetic's |w|
+			t.Errorf("%s: window not resolved from preset, got %d", c.ID, c.WindowUS)
+		}
+		wl, err := c.workloadConfig()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(wl.Window.Lateness) != c.LatenessUS || int64(wl.Disorder) != c.LatenessUS {
+			t.Errorf("%s: lateness override not applied (lateness=%d disorder=%d)",
+				c.ID, wl.Window.Lateness, wl.Disorder)
+		}
+	}
+	// Expansion is deterministic.
+	again, err := s.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cells {
+		if cells[i].ID != again[i].ID {
+			t.Fatalf("expansion order unstable at %d: %s vs %s", i, cells[i].ID, again[i].ID)
+		}
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	for _, name := range BuiltinSpecNames() {
+		s, err := BuiltinSpec(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseSpec(data)
+		if err != nil {
+			t.Fatalf("%s: round-trip parse: %v", name, err)
+		}
+		if !reflect.DeepEqual(s, back) {
+			t.Errorf("%s: spec changed across JSON round-trip:\n%+v\n%+v", name, s, back)
+		}
+	}
+}
+
+func TestBuiltinSpecsValidAndGated(t *testing.T) {
+	for _, name := range BuiltinSpecNames() {
+		s, err := BuiltinSpec(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells, err := s.Cells()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		gated := 0
+		for _, c := range cells {
+			if c.Gated {
+				gated++
+			}
+		}
+		if gated == 0 {
+			t.Errorf("builtin spec %s gates no cells", name)
+		}
+	}
+	if _, err := BuiltinSpec("nope"); err == nil {
+		t.Error("expected error for unknown builtin spec")
+	}
+}

@@ -1,0 +1,41 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The registry gives every preset a stable, spec-addressable name so that
+// declarative sweep specifications (internal/perf) and BENCH_*.json reports
+// can reference workloads by string instead of embedding generator
+// parameters. Names are part of the benchmark schema: renaming one orphans
+// every recorded baseline that uses it.
+var registry = map[string]func(n int) Config{
+	"A":       A,
+	"B":       B,
+	"C":       C,
+	"D":       D,
+	"default": DefaultSynthetic,
+	"tableV":  TableV,
+	"skewed":  Skewed,
+}
+
+// Base builds the named preset workload with n tuples. The name must be one
+// of BaseNames.
+func Base(name string, n int) (Config, error) {
+	mk, ok := registry[name]
+	if !ok {
+		return Config{}, fmt.Errorf("workload: unknown preset %q (known: %v)", name, BaseNames())
+	}
+	return mk(n), nil
+}
+
+// BaseNames lists the registered preset names in sorted order.
+func BaseNames() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
