@@ -1,0 +1,99 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"time"
+
+	"oij/internal/agg"
+	"oij/internal/engine"
+	"oij/internal/harness"
+	"oij/internal/server"
+	"oij/internal/sql"
+	"oij/internal/window"
+)
+
+// options is the fully resolved daemon configuration; parseArgs builds one
+// from an argument slice so the unit tests drive the exact code path main
+// dispatches to.
+type options struct {
+	addr   string
+	cfg    server.Config
+	banner string // one-line description of the declared join, for startup output
+}
+
+// parseArgs resolves the oijd command line into a server configuration.
+// Errors are suitable for printing (the FlagSet's own output goes to w).
+func parseArgs(args []string, w io.Writer) (*options, error) {
+	fs := flag.NewFlagSet("oijd", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:7781", "listen address")
+		sqlText  = fs.String("sql", "", "join declaration in the OpenMLDB dialect (overrides -pre/-fol/-lateness/-agg)")
+		pre      = fs.Duration("pre", time.Minute, "window PRECEDING offset")
+		fol      = fs.Duration("fol", 0, "window FOLLOWING offset")
+		lateness = fs.Duration("lateness", time.Second, "out-of-order bound")
+		aggName  = fs.String("agg", "sum", "aggregation: sum|count|avg|min|max")
+		alg      = fs.String("algorithm", harness.ScaleOIJ, "engine variant")
+		parallel = fs.Int("parallel", 4, "joiner goroutines")
+		exact    = fs.Bool("exact", false, "emit on watermark (exact event-time results) instead of on arrival")
+		wal      = fs.String("wal", "", "write-ahead log path: probe state survives restarts")
+		walSync  = fs.String("wal-sync", "interval", "WAL durability: interval (fsync on the heartbeat cadence), always (fsync before each append), none (let the OS persist)")
+		admin    = fs.String("admin", "", "observability address serving /metrics, /statusz, /debug/pprof (e.g. :7782)")
+
+		admission = fs.String("admission", server.AdmissionBlock,
+			"overload admission policy when the ingest queue is full: block (senders wait), shed-probes (drop probe data, requests wait), reject (drop probes and NACK requests)")
+		deadline = fs.Duration("deadline", 0,
+			"per-request deadline: feature requests queued longer are answered with a deadline NACK (0 disables)")
+		memCap = fs.Int64("mem-cap", 0,
+			"buffered-probe cap: above it the server sheds oldest-window probes first (0 disables)")
+		slowGrace = fs.Duration("slow-grace", 0,
+			"slow-consumer grace before a non-draining session is evicted (0 keeps the server default, negative disables eviction)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+
+	o := &options{
+		addr: *addr,
+		cfg: server.Config{
+			Algorithm:         *alg,
+			WALPath:           *wal,
+			WALSync:           *walSync,
+			AdminAddr:         *admin,
+			Admission:         *admission,
+			RequestDeadline:   *deadline,
+			MemCapProbes:      *memCap,
+			SlowConsumerGrace: *slowGrace,
+		},
+	}
+	if *sqlText != "" {
+		q, err := sql.Parse(*sqlText)
+		if err != nil {
+			return nil, err
+		}
+		o.cfg.Engine.Window = q.Window
+		o.cfg.Engine.Agg = q.Aggs[0].Func
+		o.banner = fmt.Sprintf("%s ⋈ %s on %s over %s", q.BaseTable, q.ProbeTable, q.PartitionBy, q.Window)
+	} else {
+		fn, err := agg.Parse(*aggName)
+		if err != nil {
+			return nil, err
+		}
+		o.cfg.Engine.Window = window.Spec{
+			Pre:      pre.Microseconds(),
+			Fol:      fol.Microseconds(),
+			Lateness: lateness.Microseconds(),
+		}
+		o.cfg.Engine.Agg = fn
+	}
+	o.cfg.Engine.Joiners = *parallel
+	if *exact {
+		o.cfg.Engine.Mode = engine.OnWatermark
+	}
+	return o, nil
+}

@@ -10,6 +10,11 @@
 //	    ROWS_RANGE BETWEEN 1h PRECEDING AND CURRENT ROW LATENESS 5s)'
 //
 // or with explicit flags (-pre, -agg, ...) when no SQL is given.
+//
+// Overload control is configured with -admission (block | shed-probes |
+// reject), -deadline (per-request NACK deadline), -mem-cap (buffered-probe
+// ceiling) and -slow-grace (slow-consumer eviction grace); see the README's
+// "Operating oijd" section for the degradation ladder they form.
 package main
 
 import (
@@ -18,83 +23,47 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
-	"time"
 
-	"oij/internal/agg"
-	"oij/internal/engine"
-	"oij/internal/harness"
 	"oij/internal/server"
-	"oij/internal/sql"
-	"oij/internal/window"
 )
 
 func main() {
-	var (
-		addr     = flag.String("addr", "127.0.0.1:7781", "listen address")
-		sqlText  = flag.String("sql", "", "join declaration in the OpenMLDB dialect (overrides -pre/-fol/-lateness/-agg)")
-		pre      = flag.Duration("pre", time.Minute, "window PRECEDING offset")
-		fol      = flag.Duration("fol", 0, "window FOLLOWING offset")
-		lateness = flag.Duration("lateness", time.Second, "out-of-order bound")
-		aggName  = flag.String("agg", "sum", "aggregation: sum|count|avg|min|max")
-		alg      = flag.String("algorithm", harness.ScaleOIJ, "engine variant")
-		parallel = flag.Int("parallel", 4, "joiner goroutines")
-		exact    = flag.Bool("exact", false, "emit on watermark (exact event-time results) instead of on arrival")
-		wal      = flag.String("wal", "", "write-ahead log path: probe state survives restarts")
-		walSync  = flag.String("wal-sync", "interval", "WAL durability: interval (fsync on the heartbeat cadence), always (fsync before each append), none (let the OS persist)")
-		admin    = flag.String("admin", "", "observability address serving /metrics, /statusz, /debug/pprof (e.g. :7782)")
-	)
-	flag.Parse()
-
-	cfg := server.Config{Algorithm: *alg, WALPath: *wal, WALSync: *walSync, AdminAddr: *admin}
-	if *sqlText != "" {
-		q, err := sql.Parse(*sqlText)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "oijd: %v\n", err)
+	o, err := parseArgs(os.Args[1:], os.Stderr)
+	if err != nil {
+		if err == flag.ErrHelp {
 			os.Exit(2)
 		}
-		cfg.Engine.Window = q.Window
-		cfg.Engine.Agg = q.Aggs[0].Func
-		fmt.Printf("oijd: %s ⋈ %s on %s over %s\n", q.BaseTable, q.ProbeTable, q.PartitionBy, q.Window)
-	} else {
-		fn, err := agg.Parse(*aggName)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "oijd: %v\n", err)
-			os.Exit(2)
-		}
-		cfg.Engine.Window = window.Spec{
-			Pre:      pre.Microseconds(),
-			Fol:      fol.Microseconds(),
-			Lateness: lateness.Microseconds(),
-		}
-		cfg.Engine.Agg = fn
-	}
-	cfg.Engine.Joiners = *parallel
-	if *exact {
-		cfg.Engine.Mode = engine.OnWatermark
+		fmt.Fprintf(os.Stderr, "oijd: %v\n", err)
+		os.Exit(2)
 	}
 
-	srv, err := server.New(cfg)
+	srv, err := server.New(o.cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "oijd: %v\n", err)
 		os.Exit(2)
 	}
-	if *wal != "" {
+	if o.banner != "" {
+		fmt.Printf("oijd: %s\n", o.banner)
+	}
+	if o.cfg.WALPath != "" {
 		n, err := srv.Recover()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "oijd: recovering %s: %v\n", *wal, err)
+			fmt.Fprintf(os.Stderr, "oijd: recovering %s: %v\n", o.cfg.WALPath, err)
 			os.Exit(1)
 		}
 		_, skipped, truncated := srv.WALStats()
 		fmt.Printf("oijd: recovered %d probes from %s (%d corrupt frames skipped, %d torn bytes truncated, sync=%s)\n",
-			n, *wal, skipped, truncated, *walSync)
+			n, o.cfg.WALPath, skipped, truncated, o.cfg.WALSync)
 	}
-	bound, err := srv.Listen(*addr)
+	bound, err := srv.Listen(o.addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "oijd: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("oijd: serving %s with %s (%d joiners) on %s\n",
-		cfg.Engine.Agg, *alg, *parallel, bound)
+		o.cfg.Engine.Agg, o.cfg.Algorithm, o.cfg.Engine.Joiners, bound)
+	fmt.Printf("oijd: overload: admission=%s deadline=%s mem-cap=%d\n",
+		o.cfg.Admission, o.cfg.RequestDeadline, o.cfg.MemCapProbes)
 	if a := srv.AdminAddr(); a != nil {
 		fmt.Printf("oijd: observability on http://%s (/metrics /statusz /debug/pprof)\n", a)
 	}

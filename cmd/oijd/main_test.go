@@ -1,0 +1,116 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"oij/internal/engine"
+	"oij/internal/harness"
+	"oij/internal/server"
+)
+
+func TestParseDefaults(t *testing.T) {
+	o, err := parseArgs(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.addr != "127.0.0.1:7781" {
+		t.Errorf("addr = %q", o.addr)
+	}
+	if o.cfg.Algorithm != harness.ScaleOIJ || o.cfg.Engine.Joiners != 4 {
+		t.Errorf("engine = %s/%d", o.cfg.Algorithm, o.cfg.Engine.Joiners)
+	}
+	if w := o.cfg.Engine.Window; w.Pre != time.Minute.Microseconds() || w.Lateness != time.Second.Microseconds() {
+		t.Errorf("window = %+v", w)
+	}
+	if o.cfg.Admission != server.AdmissionBlock {
+		t.Errorf("admission = %q", o.cfg.Admission)
+	}
+	if o.cfg.RequestDeadline != 0 || o.cfg.MemCapProbes != 0 || o.cfg.SlowConsumerGrace != 0 {
+		t.Errorf("overload knobs not zero by default: %+v", o.cfg)
+	}
+	// The default configuration must actually construct a server.
+	srv, err := server.New(o.cfg)
+	if err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+	srv.Shutdown()
+}
+
+func TestParseOverloadFlags(t *testing.T) {
+	o, err := parseArgs([]string{
+		"-admission", "reject",
+		"-deadline", "250ms",
+		"-mem-cap", "100000",
+		"-slow-grace", "2s",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.cfg.Admission != server.AdmissionReject {
+		t.Errorf("admission = %q", o.cfg.Admission)
+	}
+	if o.cfg.RequestDeadline != 250*time.Millisecond {
+		t.Errorf("deadline = %v", o.cfg.RequestDeadline)
+	}
+	if o.cfg.MemCapProbes != 100000 {
+		t.Errorf("mem-cap = %d", o.cfg.MemCapProbes)
+	}
+	if o.cfg.SlowConsumerGrace != 2*time.Second {
+		t.Errorf("slow-grace = %v", o.cfg.SlowConsumerGrace)
+	}
+}
+
+func TestParseBadAdmissionRejectedByServer(t *testing.T) {
+	o, err := parseArgs([]string{"-admission", "panic-wildly"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.New(o.cfg); err == nil || !strings.Contains(err.Error(), "admission") {
+		t.Fatalf("bad policy accepted: %v", err)
+	}
+}
+
+func TestParseSQL(t *testing.T) {
+	o, err := parseArgs([]string{"-sql",
+		"SELECT sum(amount) OVER w FROM requests WINDOW w AS (UNION orders PARTITION BY user ORDER BY ts ROWS_RANGE BETWEEN 1h PRECEDING AND CURRENT ROW LATENESS 5s)",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.cfg.Engine.Window.Pre != time.Hour.Microseconds() {
+		t.Errorf("pre = %d", o.cfg.Engine.Window.Pre)
+	}
+	if o.cfg.Engine.Window.Lateness != (5 * time.Second).Microseconds() {
+		t.Errorf("lateness = %d", o.cfg.Engine.Window.Lateness)
+	}
+	if !strings.Contains(o.banner, "requests") || !strings.Contains(o.banner, "orders") {
+		t.Errorf("banner = %q", o.banner)
+	}
+}
+
+func TestParseExactMode(t *testing.T) {
+	o, err := parseArgs([]string{"-exact"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.cfg.Engine.Mode != engine.OnWatermark {
+		t.Errorf("mode = %v", o.cfg.Engine.Mode)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-agg", "frobnicate"},
+		{"-sql", "SELECT nonsense"},
+		{"stray-positional"},
+		{"-deadline", "not-a-duration"},
+		{"-mem-cap", "NaN"},
+	} {
+		if _, err := parseArgs(args, io.Discard); err == nil {
+			t.Errorf("parseArgs(%q): expected error", args)
+		}
+	}
+}

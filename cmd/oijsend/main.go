@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +23,18 @@ import (
 	"oij/internal/tuple"
 	"oij/internal/wire"
 )
+
+// fail prints a classified error and exits nonzero. Lost connections get a
+// message naming the server rather than the raw EPIPE/ECONNRESET the
+// kernel produced.
+func fail(addr, op string, err error) {
+	if errors.Is(err, server.ErrDisconnected) {
+		fmt.Fprintf(os.Stderr, "oijsend: connection to %s lost during %s: %v\n", addr, op, err)
+	} else {
+		fmt.Fprintf(os.Stderr, "oijsend: %s: %v\n", op, err)
+	}
+	os.Exit(1)
+}
 
 func main() {
 	var (
@@ -93,6 +106,7 @@ func main() {
 	var wg sync.WaitGroup
 	wg.Add(1)
 	var recvErr error
+	var nacked int
 	go func() {
 		defer wg.Done()
 		fmt.Println("seq,ts,key,agg,matches")
@@ -106,6 +120,10 @@ func main() {
 			case wire.TagResult:
 				r := m.Result
 				fmt.Printf("%d,%d,%d,%g,%d\n", r.Seq, r.TS, r.Key, r.Agg, r.Matches)
+			case wire.TagNack:
+				n := server.NackError{Seq: m.Nack.Seq, Code: m.Nack.Code}
+				fmt.Fprintf(os.Stderr, "oijsend: %v\n", &n)
+				nacked++
 			case wire.TagFlush: // everything answered
 				return
 			}
@@ -121,19 +139,20 @@ func main() {
 			err = c.SendProbe(tuple.Key(e.rec.Key), e.rec.TS, e.rec.Val)
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "oijsend: send: %v\n", err)
-			os.Exit(1)
+			fail(*addr, "send", err)
 		}
 		sent++
 	}
 	if err := c.Barrier(); err != nil {
-		fmt.Fprintf(os.Stderr, "oijsend: %v\n", err)
-		os.Exit(1)
+		fail(*addr, "flush", err)
 	}
 	wg.Wait()
 	if recvErr != nil {
-		fmt.Fprintf(os.Stderr, "oijsend: recv: %v\n", recvErr)
-		os.Exit(1)
+		fail(*addr, "recv", recvErr)
 	}
 	fmt.Fprintf(os.Stderr, "oijsend: streamed %d tuples (%d requests)\n", sent, len(bases))
+	if nacked > 0 {
+		fmt.Fprintf(os.Stderr, "oijsend: %d request(s) rejected by the server's overload control\n", nacked)
+		os.Exit(1)
+	}
 }

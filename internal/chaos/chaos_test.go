@@ -1,0 +1,170 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes bytes back until closed.
+func echoServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(c, c)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func dialProxy(t *testing.T, p *Proxy) net.Conn {
+	t.Helper()
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func roundTrip(t *testing.T, c net.Conn, payload []byte) []byte {
+	t.Helper()
+	if _, err := c.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestTransparentRelay(t *testing.T) {
+	p, err := Listen(echoServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	payload := bytes.Repeat([]byte("interval-join"), 100)
+	if got := roundTrip(t, c, payload); !bytes.Equal(got, payload) {
+		t.Fatal("payload corrupted through clean proxy")
+	}
+	if p.ForwardedBytes.Load() < int64(2*len(payload)) {
+		t.Fatalf("forwarded = %d", p.ForwardedBytes.Load())
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	p, err := Listen(echoServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	roundTrip(t, c, []byte("warm")) // establish both pumps
+
+	p.SetLatency(50*time.Millisecond, 10*time.Millisecond)
+	t0 := time.Now()
+	roundTrip(t, c, []byte("slow"))
+	// Two pump traversals, ≥50ms each.
+	if d := time.Since(t0); d < 100*time.Millisecond {
+		t.Fatalf("round-trip %v under injected latency", d)
+	}
+	p.ClearFaults()
+}
+
+func TestChunkedPartialWrites(t *testing.T) {
+	p, err := Listen(echoServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetChunk(3)
+	c := dialProxy(t, p)
+	payload := bytes.Repeat([]byte{0xab, 0xcd, 0xef, 0x01}, 200)
+	if got := roundTrip(t, c, payload); !bytes.Equal(got, payload) {
+		t.Fatal("payload corrupted by chunked writes")
+	}
+}
+
+func TestStall(t *testing.T) {
+	p, err := Listen(echoServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	roundTrip(t, c, []byte("warm"))
+
+	p.SetStall(1, 80*time.Millisecond)
+	t0 := time.Now()
+	roundTrip(t, c, []byte("stalled"))
+	if d := time.Since(t0); d < 80*time.Millisecond {
+		t.Fatalf("round-trip %v under stall", d)
+	}
+}
+
+func TestRefuseNewKeepsExisting(t *testing.T) {
+	p, err := Listen(echoServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	old := dialProxy(t, p)
+	roundTrip(t, old, []byte("pre"))
+
+	p.SetRefuseNew(true)
+	fresh, err := net.Dial("tcp", p.Addr())
+	if err == nil {
+		fresh.SetReadDeadline(time.Now().Add(5 * time.Second))
+		if _, rerr := fresh.Read(make([]byte, 1)); rerr == nil {
+			t.Fatal("new connection served while refusing")
+		}
+		fresh.Close()
+	}
+	// The established session keeps working.
+	if got := roundTrip(t, old, []byte("post")); !bytes.Equal(got, []byte("post")) {
+		t.Fatal("existing session broken by refuse-new")
+	}
+}
+
+func TestDropActive(t *testing.T) {
+	p, err := Listen(echoServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	roundTrip(t, c, []byte("up"))
+
+	p.DropActive()
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 8)
+	_, werr := c.Write([]byte("dead?"))
+	_, rerr := c.Read(buf)
+	if werr == nil && rerr == nil {
+		t.Fatal("session survived DropActive")
+	}
+	if p.DroppedConns.Load() < 1 {
+		t.Fatalf("dropped = %d", p.DroppedConns.Load())
+	}
+
+	// The proxy still accepts fresh sessions afterwards.
+	c2 := dialProxy(t, p)
+	if got := roundTrip(t, c2, []byte("back")); !bytes.Equal(got, []byte("back")) {
+		t.Fatal("proxy dead after DropActive")
+	}
+}

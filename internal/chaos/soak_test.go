@@ -1,0 +1,322 @@
+package chaos_test
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"oij/internal/agg"
+	"oij/internal/chaos"
+	"oij/internal/engine"
+	"oij/internal/server"
+	"oij/internal/window"
+)
+
+// soakStats aggregates what the client fleet observed; the soak asserts
+// server-side counters against these.
+type soakStats struct {
+	mu          sync.Mutex
+	latencies   []time.Duration // successful (admitted) request rounds
+	nacks       int64
+	failed      int64 // rounds that failed even after retries (fault phase only)
+	disconnects int64
+}
+
+func (st *soakStats) record(d time.Duration) {
+	st.mu.Lock()
+	st.latencies = append(st.latencies, d)
+	st.mu.Unlock()
+}
+
+func (st *soakStats) p99() time.Duration {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.latencies) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), st.latencies...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[(len(s)*99)/100]
+}
+
+// TestSoakOverloadAndRecovery drives a bursty client fleet through the
+// chaos proxy against a fully armed server (admission policy, request
+// deadline, memory cap, slow-consumer grace) across three phases — clean,
+// faulted (latency + partial writes + stalls + a connection drop + a
+// never-reading consumer), recovered — and asserts the degradation ladder:
+// no deadlock anywhere, the slow session evicted and counted, shed/NACK
+// accounting consistent between clients, /statusz, and /metrics, bounded
+// p99 for admitted requests in clean phases, and a return to a NACK-free
+// steady state once faults clear.
+func TestSoakOverloadAndRecovery(t *testing.T) {
+	clients, warmRounds, faultRounds, recoverRounds := 8, 8, 24, 12
+	if testing.Short() {
+		clients, warmRounds, faultRounds, recoverRounds = 4, 4, 10, 6
+	}
+
+	cfg := server.Config{
+		Admission:         server.AdmissionShedProbes,
+		RequestDeadline:   5 * time.Second,
+		MemCapProbes:      1 << 20,
+		SlowConsumerGrace: 300 * time.Millisecond,
+		ResultBuffer:      32,
+		AdminAddr:         "127.0.0.1:0",
+		Engine: engine.Config{
+			Joiners: 2,
+			Window:  window.Spec{Pre: 10_000_000, Lateness: 10_000},
+			Agg:     agg.Sum,
+		},
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown()
+
+	proxy, err := chaos.Listen(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	var stats soakStats
+	var ts atomic.Int64 // shared virtual event clock
+	ts.Store(1000)
+
+	round := func(rc *server.RetryClient, key uint64) error {
+		t0 := time.Now()
+		err := rc.Do(func(c *server.Client) error {
+			base := ts.Add(100)
+			for i := int64(0); i < 20; i++ {
+				if err := c.SendProbe(key, base+i, 1); err != nil {
+					return err
+				}
+			}
+			for i := int64(0); i < 3; i++ {
+				if _, err := c.SendBase(key, base+50+i, 0); err != nil {
+					return err
+				}
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			_, err := c.RecvResults(15 * time.Second)
+			return err
+		})
+		var nerr *server.NackError
+		if errors.As(err, &nerr) {
+			atomic.AddInt64(&stats.nacks, 1)
+		}
+		if errors.Is(err, server.ErrDisconnected) {
+			atomic.AddInt64(&stats.disconnects, 1)
+		}
+		if err == nil {
+			stats.record(time.Since(t0))
+		}
+		return err
+	}
+
+	runPhase := func(name string, rounds int, strict bool) {
+		var wg sync.WaitGroup
+		for id := 0; id < clients; id++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				rc := server.NewRetryClient(proxy.Addr(), server.DialOptions{
+					DialTimeout:  2 * time.Second,
+					ReadTimeout:  15 * time.Second,
+					WriteTimeout: 5 * time.Second,
+				})
+				rc.Backoff = server.Backoff{Base: 5 * time.Millisecond, Max: 100 * time.Millisecond}
+				rc.Breaker = server.Breaker{Threshold: 4, Cooldown: 100 * time.Millisecond}
+				rc.MaxAttempts = 10
+				defer rc.Close()
+				for r := 0; r < rounds; r++ {
+					if err := round(rc, uint64(id+1)); err != nil {
+						if strict {
+							t.Errorf("%s: client %d round %d: %v", name, id, r, err)
+							return
+						}
+						atomic.AddInt64(&stats.failed, 1)
+					}
+				}
+			}(id)
+		}
+		wg.Wait()
+	}
+
+	// Phase 1: clean warmup — everything must succeed.
+	runPhase("warmup", warmRounds, true)
+
+	// Phase 2: degrade the network and add a never-reading consumer.
+	proxy.SetLatency(2*time.Millisecond, 3*time.Millisecond)
+	proxy.SetChunk(7)
+	proxy.SetStall(64, 10*time.Millisecond)
+
+	slowDone := make(chan struct{})
+	go func() {
+		defer close(slowDone)
+		// Dial the server directly (not via the proxy) with a tiny receive
+		// buffer so kernel TCP buffering cannot absorb the unread results —
+		// the server's send side must actually block past the grace period.
+		raw, err := net.Dial("tcp", addr.String())
+		if err != nil {
+			return
+		}
+		if tc, ok := raw.(*net.TCPConn); ok {
+			tc.SetReadBuffer(2048)
+		}
+		c := server.NewClient(raw)
+		defer c.Close()
+		// Request answers, never read them: the server must evict this
+		// session after SlowConsumerGrace instead of wedging a joiner.
+		// The volume must out-run tcp_wmem autotuning (4MB here) so the
+		// server's send side genuinely blocks rather than buffering.
+		for i := int64(0); i < 1<<18; i++ {
+			if _, err := c.SendBase(99, ts.Load()+i, 0); err != nil {
+				return
+			}
+			if i%512 == 0 {
+				if err := c.Flush(); err != nil {
+					return
+				}
+			}
+		}
+		c.Flush()
+		<-time.After(2 * time.Second) // hold the unread connection open
+	}()
+
+	faultHalf := faultRounds / 2
+	runPhase("fault-a", faultHalf, false)
+	// Partition mid-phase so live sessions actually reset and clients must
+	// reconnect through backoff.
+	dropDone := make(chan struct{})
+	go func() {
+		defer close(dropDone)
+		time.Sleep(100 * time.Millisecond)
+		proxy.DropActive()
+	}()
+	runPhase("fault-b", faultRounds-faultHalf, false)
+	<-dropDone
+	<-slowDone
+	if proxy.DroppedConns.Load() < 1 {
+		t.Error("partition dropped no live sessions")
+	}
+
+	// Phase 3: clear every fault and require a clean steady state.
+	proxy.ClearFaults()
+	waitFor(t, 10*time.Second, "slow session eviction", func() bool {
+		return s.Statusz().Overload.SlowSessionsEvicted >= 1
+	})
+	nacksBefore := atomic.LoadInt64(&stats.nacks)
+	runPhase("recovery", recoverRounds, true)
+	if d := atomic.LoadInt64(&stats.nacks) - nacksBefore; d != 0 {
+		t.Errorf("recovery phase saw %d NACKs, want 0", d)
+	}
+
+	// Bounded p99 for admitted requests across the whole soak: every
+	// recorded latency is a request the server accepted and answered.
+	if p99 := stats.p99(); p99 <= 0 || p99 > 10*time.Second {
+		t.Errorf("admitted-request p99 = %v", p99)
+	}
+
+	// Accounting: the overload ladder's transitions all surface as
+	// counters, and /statusz agrees with /metrics at quiesce.
+	st := s.Statusz()
+	if st.Overload.SlowSessionsEvicted < 1 {
+		t.Errorf("slow sessions evicted = %d, want >= 1", st.Overload.SlowSessionsEvicted)
+	}
+	if clientNacks := atomic.LoadInt64(&stats.nacks); clientNacks > 0 &&
+		st.Overload.DeadlineRejected+st.Overload.Rejected+st.Overload.NacksDropped < clientNacks {
+		t.Errorf("clients saw %d NACKs but server counted %+v", clientNacks, st.Overload)
+	}
+	admin := s.AdminAddr()
+	if admin == nil {
+		t.Fatal("no admin endpoint")
+	}
+	metrics := httpGet(t, fmt.Sprintf("http://%s/metrics", admin))
+	for metric, want := range map[string]int64{
+		"oij_slow_sessions_evicted_total": st.Overload.SlowSessionsEvicted,
+		"oij_admission_shed_probes_total": st.Overload.ShedProbes,
+		"oij_admission_rejected_total":    st.Overload.Rejected,
+		"oij_deadline_rejected_total":     st.Overload.DeadlineRejected,
+		"oij_mem_shed_probes_total":       st.Overload.MemShedProbes,
+		"oij_transport_stall_parks_total": -1, // presence only
+		"oij_stalled_joiners":             -1,
+		"oij_mem_pressure_level":          -1,
+		"oij_buffered_probes":             -1,
+	} {
+		line := metricLine(metrics, metric)
+		if line == "" {
+			t.Errorf("metric %s missing from /metrics", metric)
+			continue
+		}
+		if want >= 0 && !strings.HasSuffix(line, fmt.Sprintf(" %d", want)) {
+			t.Errorf("metric %s = %q, statusz says %d", metric, line, want)
+		}
+	}
+	var statusz struct {
+		Overload struct {
+			SlowSessionsEvicted int64 `json:"slow_sessions_evicted"`
+		} `json:"overload"`
+	}
+	if err := json.Unmarshal([]byte(httpGet(t, fmt.Sprintf("http://%s/statusz", admin))), &statusz); err != nil {
+		t.Fatalf("statusz decode: %v", err)
+	}
+	if statusz.Overload.SlowSessionsEvicted != st.Overload.SlowSessionsEvicted {
+		t.Errorf("statusz HTTP evictions = %d, direct = %d",
+			statusz.Overload.SlowSessionsEvicted, st.Overload.SlowSessionsEvicted)
+	}
+
+	t.Logf("soak: %d admitted rounds (p99 %v), %d NACKs, %d disconnects, %d failed fault-phase rounds, overload=%+v",
+		len(stats.latencies), stats.p99(), stats.nacks, stats.disconnects, stats.failed, st.Overload)
+}
+
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// metricLine returns the sample line for a metric name (exact match, not a
+// prefix of a longer name).
+func metricLine(metrics, name string) string {
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			return strings.TrimSpace(line)
+		}
+	}
+	return ""
+}

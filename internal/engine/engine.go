@@ -153,6 +153,34 @@ type Introspector interface {
 	// (watermark.MinTime before the first tuple). MaxEventTS − Watermark
 	// is the live watermark lag.
 	MaxEventTS() tuple.Time
+	// Stalls reports the transport's push-stall state (see StallSnapshot).
+	Stalls() StallSnapshot
+}
+
+// StallSnapshot is the stall detector's view of the driver→joiner rings:
+// how often the driver had to park waiting for ring space, and for each
+// ring how long the driver's current push (if any) has been blocked. A
+// joiner whose BlockedFor keeps growing is wedged — its consumer stopped
+// draining — and the watchdog surfaces it instead of letting the driver
+// spin invisibly.
+type StallSnapshot struct {
+	// Parks counts driver parks (bounded sleeps after the spin budget was
+	// exhausted) across all rings since startup.
+	Parks int64
+	// BlockedFor[i] is how long the driver's in-progress push to ring i
+	// has been blocked (0 when the last push completed normally).
+	BlockedFor []time.Duration
+}
+
+// Wedged returns the indexes of rings blocked longer than threshold.
+func (s StallSnapshot) Wedged(threshold time.Duration) []int {
+	var out []int
+	for i, d := range s.BlockedFor {
+		if d >= threshold {
+			out = append(out, i)
+		}
+	}
+	return out
 }
 
 // Stats aggregates what the experiments measure.
@@ -253,7 +281,33 @@ type Transport struct {
 	// the cost on the ingest path is one uncontended atomic store.
 	pubMax atomic.Int64
 	pubWM  atomic.Int64
+
+	// stall is the per-ring stall state behind StallSnapshot. The driver
+	// writes, the watchdog reads; padded so the scrape never bounces the
+	// driver's cache line.
+	stall []ringStall
+	parks atomic.Int64
 }
+
+// ringStall records one ring's blocked-push state.
+type ringStall struct {
+	// blockedSince is the wall-clock nanos when the driver's current push
+	// to this ring exhausted its spin budget (0 = not blocked).
+	blockedSince atomic.Int64
+	_            [cacheLineSize - 8]byte
+}
+
+const cacheLineSize = 64
+
+// Push's overload behavior: spin pushSpinBudget times yielding the
+// processor, then park in pushParkDelay sleeps. Spinning keeps the
+// uncontended hot path as fast as before (a full ring normally drains in
+// microseconds); parking caps the CPU a wedged joiner can burn and gives
+// the stall detector a timestamp to watch.
+const (
+	pushSpinBudget = 256
+	pushParkDelay  = 100 * time.Microsecond
+)
 
 // watermarkAssigner tracks the driver-side max event timestamp.
 type watermarkAssigner struct {
@@ -274,14 +328,45 @@ func NewTransport(cfg Config) *Transport {
 	for i := range t.Rings {
 		t.Rings[i] = queue.NewSPSC[tuple.Tuple](cfg.QueueCap)
 	}
+	t.stall = make([]ringStall, cfg.Joiners)
 	return t
 }
 
-// Push blocks until the tuple fits in ring i (backpressure).
+// Push blocks until the tuple fits in ring i (backpressure): a bounded
+// spin, then park-and-retry with stall accounting so a wedged consumer
+// shows up on the watchdog instead of pegging the driver core forever.
 func (t *Transport) Push(i int, tp tuple.Tuple) {
-	for !t.Rings[i].TryPush(tp) {
-		runtime.Gosched()
+	if t.Rings[i].TryPush(tp) {
+		return
 	}
+	for spin := 0; spin < pushSpinBudget; spin++ {
+		runtime.Gosched()
+		if t.Rings[i].TryPush(tp) {
+			return
+		}
+	}
+	st := &t.stall[i]
+	st.blockedSince.CompareAndSwap(0, time.Now().UnixNano())
+	for {
+		t.parks.Add(1)
+		time.Sleep(pushParkDelay)
+		if t.Rings[i].TryPush(tp) {
+			st.blockedSince.Store(0)
+			return
+		}
+	}
+}
+
+// Stalls snapshots the push-stall state. Safe from any goroutine.
+func (t *Transport) Stalls() StallSnapshot {
+	s := StallSnapshot{Parks: t.parks.Load(), BlockedFor: make([]time.Duration, len(t.stall))}
+	now := time.Now().UnixNano()
+	for i := range t.stall {
+		if since := t.stall[i].blockedSince.Load(); since != 0 {
+			s.BlockedFor[i] = time.Duration(now - since)
+		}
+	}
+	return s
 }
 
 // Broadcast pushes tp to every ring (watermarks; SplitJoin data tuples).

@@ -53,6 +53,47 @@ func TestEmitModeString(t *testing.T) {
 	}
 }
 
+// TestPushStallDetection fills a ring with no consumer: the blocked push
+// must park (not busy-spin), the stall snapshot must show the ring wedged,
+// and draining the ring must complete the push and clear the stall.
+func TestPushStallDetection(t *testing.T) {
+	cfg := Config{Joiners: 1, Window: window.Spec{Pre: 100}, QueueCap: 2}.WithDefaults()
+	tr := NewTransport(cfg)
+	for tr.Rings[0].TryPush(tuple.Tuple{}) {
+	}
+	done := make(chan struct{})
+	go func() {
+		tr.Push(0, tuple.Tuple{TS: 42})
+		close(done)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := tr.Stalls()
+		if s.Parks > 0 && s.BlockedFor[0] > 0 {
+			if w := s.Wedged(time.Nanosecond); len(w) != 1 || w[0] != 0 {
+				t.Fatalf("wedged = %v", w)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stall never detected: %+v", s)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Drain one slot; the parked push must complete and reset the stall.
+	if _, ok := tr.Rings[0].TryPop(); !ok {
+		t.Fatal("pop failed")
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked push never completed")
+	}
+	if s := tr.Stalls(); s.BlockedFor[0] != 0 {
+		t.Fatalf("stall not cleared: %+v", s)
+	}
+}
+
 // TestTransportDelivery checks FIFO per ring, watermark broadcast, and the
 // drain hook.
 func TestTransportDelivery(t *testing.T) {

@@ -102,6 +102,9 @@ func (e *Engine) Watermark() tuple.Time { return e.tr.Watermark() }
 // MaxEventTS implements engine.Introspector.
 func (e *Engine) MaxEventTS() tuple.Time { return e.tr.MaxEventTS() }
 
+// Stalls implements engine.Introspector.
+func (e *Engine) Stalls() engine.StallSnapshot { return e.tr.Stalls() }
+
 // joiner is one Key-OIJ worker: per-key unsorted probe buffers plus, in
 // OnWatermark mode, a heap of base tuples awaiting window completion.
 type joiner struct {
@@ -113,6 +116,7 @@ type joiner struct {
 	wm        tuple.Time
 	lastSweep tuple.Time
 	evicted   int64
+	published int64 // evictions already mirrored into stats.Evicted
 	scratch   []engine.TSVal
 }
 
@@ -173,6 +177,13 @@ func (j *joiner) onWatermark(wm tuple.Time) {
 		for k, buf := range j.buffers {
 			j.buffers[k] = j.compact(buf, bound)
 		}
+	}
+	// Mirror evictions into the shared counter at watermark cadence, so
+	// the serving layer's memory guard reads live buffered state without a
+	// per-tuple atomic on the join path.
+	if d := j.evicted - j.published; d > 0 {
+		j.published = j.evicted
+		j.e.stats.Evicted.Add(d)
 	}
 }
 

@@ -121,6 +121,9 @@ func (e *Engine) Watermark() tuple.Time { return e.tr.Watermark() }
 // MaxEventTS implements engine.Introspector.
 func (e *Engine) MaxEventTS() tuple.Time { return e.tr.MaxEventTS() }
 
+// Stalls implements engine.Introspector.
+func (e *Engine) Stalls() engine.StallSnapshot { return e.tr.Stalls() }
+
 func (e *Engine) work(id int, t tuple.Tuple) {
 	e.stats.Processed[id].Add(1)
 	if t.Side == tuple.Probe {
@@ -202,6 +205,11 @@ func (e *Engine) watermark(id int, wm tuple.Time) {
 	w0 := time.Now()
 	e.mu.Lock()
 	e.lockWait.Add(int64(time.Since(w0)))
-	e.evicted.Add(int64(e.table.EvictBefore(maxTS - e.cfg.Window.Pre - e.cfg.Window.Fol)))
+	if n := int64(e.table.EvictBefore(maxTS - e.cfg.Window.Pre - e.cfg.Window.Fol)); n > 0 {
+		e.evicted.Add(n)
+		// Mirror live for the serving layer's memory guard; sweeps are
+		// amortized to half the retention horizon.
+		e.stats.Evicted.Add(n)
+	}
 	e.mu.Unlock()
 }

@@ -248,6 +248,9 @@ func (e *Engine) Watermark() tuple.Time { return e.tr.Watermark() }
 // MaxEventTS implements engine.Introspector.
 func (e *Engine) MaxEventTS() tuple.Time { return e.tr.MaxEventTS() }
 
+// Stalls implements engine.Introspector.
+func (e *Engine) Stalls() engine.StallSnapshot { return e.tr.Stalls() }
+
 // Reschedules reports accepted dynamic-schedule changes so far; safe to
 // read live.
 func (e *Engine) Reschedules() int64 { return e.bal.Reschedules.Load() }
@@ -447,7 +450,13 @@ func (j *joiner) maybeSweep(wm tuple.Time) {
 	j.lastSweep = wm
 	gate := j.evictWM()
 	if bound := j.evictBound(gate); bound != watermark.MinTime {
-		j.evicted += int64(j.ix.EvictBefore(bound))
+		if n := int64(j.ix.EvictBefore(bound)); n > 0 {
+			j.evicted += n
+			// Mirror live so the serving layer's memory guard can read
+			// buffered state without waiting for Drain; sweeps are
+			// amortized, so the shared atomic sees one add per sweep.
+			j.e.stats.Evicted.Add(n)
+		}
 	}
 }
 

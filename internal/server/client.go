@@ -1,13 +1,80 @@
 package server
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"net"
+	"os"
+	"syscall"
 	"time"
 
 	"oij/internal/tuple"
 	"oij/internal/wire"
 )
+
+// ErrDisconnected marks transport errors that mean the server connection is
+// gone (closed server, reset, broken pipe, EOF mid-stream). Callers match it
+// with errors.Is and reconnect; the concrete syscall error stays wrapped for
+// logs.
+var ErrDisconnected = errors.New("server connection lost")
+
+// DisconnectError wraps a raw transport error with the operation that hit it.
+// It unwraps to both ErrDisconnected (for classification) and the underlying
+// error (for inspection).
+type DisconnectError struct {
+	Op  string
+	Err error
+}
+
+func (e *DisconnectError) Error() string {
+	return fmt.Sprintf("%s: %s: %v", e.Op, ErrDisconnected, e.Err)
+}
+
+func (e *DisconnectError) Unwrap() []error { return []error{ErrDisconnected, e.Err} }
+
+// wrapDisconnect classifies err: connection-fatal errors become a
+// DisconnectError, timeouts and nil pass through untouched (a deadline expiry
+// says nothing about connection health).
+func wrapDisconnect(op string, err error) error {
+	if err == nil || errors.Is(err, os.ErrDeadlineExceeded) {
+		return err
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, syscall.EPIPE) || errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.ECONNREFUSED) {
+		return &DisconnectError{Op: op, Err: err}
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && !ne.Timeout() {
+		return &DisconnectError{Op: op, Err: err}
+	}
+	return err
+}
+
+// NackError is a server admission refusal for one request: the request was
+// received and answered, but with a typed NACK instead of a result.
+type NackError struct {
+	Seq  uint64
+	Code byte
+}
+
+func (e *NackError) Error() string {
+	return fmt.Sprintf("request %d rejected: %s", e.Seq, wire.Nack{Seq: e.Seq, Code: e.Code}.Reason())
+}
+
+// DialOptions bound the client's blocking points. Zero values mean no bound
+// (the legacy behavior).
+type DialOptions struct {
+	// DialTimeout bounds the TCP connect.
+	DialTimeout time.Duration
+	// ReadTimeout bounds each Recv/RecvResults frame read (RecvResults'
+	// explicit deadline argument takes precedence when set).
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each flush of buffered frames to the wire.
+	WriteTimeout time.Duration
+}
 
 // Client is a minimal synchronous client for the serving protocol. Send
 // methods may be called from one goroutine while another drains Recv;
@@ -17,20 +84,34 @@ type Client struct {
 	w    *wire.Writer
 	r    *wire.Reader
 	seq  uint64
+	opts DialOptions
 }
 
 // Dial connects to a Server.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialWith(addr, DialOptions{})
+}
+
+// DialWith connects to a Server with explicit timeout options.
+func DialWith(addr string, opts DialOptions) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
 	if err != nil {
-		return nil, err
+		return nil, wrapDisconnect("dial", err)
 	}
-	return &Client{conn: conn, w: wire.NewWriter(conn), r: wire.NewReader(conn)}, nil
+	c := NewClient(conn)
+	c.opts = opts
+	return c, nil
+}
+
+// NewClient wraps an established connection (any net.Conn speaking the wire
+// protocol — TCP, a proxy, or an in-memory pipe) in a Client.
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, w: wire.NewWriter(conn), r: wire.NewReader(conn)}
 }
 
 // SendProbe streams one probe tuple (buffered; see Flush).
 func (c *Client) SendProbe(key tuple.Key, ts tuple.Time, val float64) error {
-	return c.w.WriteTuple(wire.Tuple{TS: ts, Key: key, Val: val})
+	return wrapDisconnect("send probe", c.w.WriteTuple(wire.Tuple{TS: ts, Key: key, Val: val}))
 }
 
 // SendBase streams one feature request and returns its session-local
@@ -38,28 +119,43 @@ func (c *Client) SendProbe(key tuple.Key, ts tuple.Time, val float64) error {
 func (c *Client) SendBase(key tuple.Key, ts tuple.Time, val float64) (uint64, error) {
 	seq := c.seq
 	c.seq++
-	return seq, c.w.WriteTuple(wire.Tuple{Base: true, TS: ts, Key: key, Val: val})
+	return seq, wrapDisconnect("send request", c.w.WriteTuple(wire.Tuple{Base: true, TS: ts, Key: key, Val: val}))
 }
 
 // Flush pushes buffered frames to the wire.
-func (c *Client) Flush() error { return c.w.Flush() }
+func (c *Client) Flush() error {
+	if d := c.opts.WriteTimeout; d > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(d))
+		defer c.conn.SetWriteDeadline(time.Time{})
+	}
+	return wrapDisconnect("flush", c.w.Flush())
+}
 
 // Barrier sends a flush frame and pushes the buffer; the server echoes a
 // flush frame once every request sent so far has been answered (collect it
 // via Recv).
 func (c *Client) Barrier() error {
 	if err := c.w.WriteFlush(); err != nil {
-		return err
+		return wrapDisconnect("barrier", err)
 	}
-	return c.w.Flush()
+	return c.Flush()
 }
 
 // Recv reads the next server frame: a result, a flush ack (Kind ==
-// wire.TagFlush), or a server error.
-func (c *Client) Recv() (wire.Message, error) {
+// wire.TagFlush), an admission NACK (Kind == wire.TagNack), or a server
+// error.
+func (c *Client) Recv() (wire.Message, error) { return c.recv(true) }
+
+// recv implements Recv; useOpts applies the per-frame ReadTimeout (skipped
+// when a caller manages its own overall deadline, like RecvResults).
+func (c *Client) recv(useOpts bool) (wire.Message, error) {
+	if d := c.opts.ReadTimeout; useOpts && d > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(d))
+		defer c.conn.SetReadDeadline(time.Time{})
+	}
 	m, err := c.r.Read()
 	if err != nil {
-		return m, err
+		return m, wrapDisconnect("recv", err)
 	}
 	if m.Kind == wire.TagError {
 		return m, fmt.Errorf("server error: %s", m.Err)
@@ -68,22 +164,32 @@ func (c *Client) Recv() (wire.Message, error) {
 }
 
 // RecvResults collects result frames until a flush ack arrives (send
-// Barrier first) or the deadline passes.
+// Barrier first) or the deadline passes. If any request was NACKed, the
+// collected results are returned together with a *NackError for the first
+// refusal, so callers see both the partial answers and the overload signal.
 func (c *Client) RecvResults(deadline time.Duration) ([]wire.Result, error) {
 	if deadline > 0 {
 		c.conn.SetReadDeadline(time.Now().Add(deadline))
 		defer c.conn.SetReadDeadline(time.Time{})
 	}
 	var out []wire.Result
+	var nack *NackError
 	for {
-		m, err := c.Recv()
+		m, err := c.recv(deadline <= 0)
 		if err != nil {
 			return out, err
 		}
 		switch m.Kind {
 		case wire.TagResult:
 			out = append(out, m.Result)
+		case wire.TagNack:
+			if nack == nil {
+				nack = &NackError{Seq: m.Nack.Seq, Code: m.Nack.Code}
+			}
 		case wire.TagFlush:
+			if nack != nil {
+				return out, nack
+			}
 			return out, nil
 		}
 	}

@@ -31,6 +31,15 @@ type serverObs struct {
 	trace   *metrics.Utilization
 	epochs  *obs.Counter // closed utilization epochs
 	started time.Time
+
+	// Overload-control transitions: every shed, reject, and eviction is
+	// counted so the degradation ladder is visible on /metrics.
+	shedProbes       *obs.Counter // probes dropped at admission (funnel full)
+	rejected         *obs.Counter // requests NACKed at admission (policy reject)
+	deadlineRejected *obs.Counter // requests NACKed past RequestDeadline
+	memShedProbes    *obs.Counter // probes shed by the memory watermark guard
+	slowEvicted      *obs.Counter // sessions evicted for not draining results
+	nacksDropped     *obs.Counter // NACKs dropped because the session buffer was full
 }
 
 // introspect returns the engine's live transport view, or nil when the
@@ -73,6 +82,13 @@ func newServerObs(s *Server, joiners int) *serverObs {
 	o.epochs = reg.NewCounter("oij_utilization_epochs_total", "Closed utilization sampling epochs.")
 	o.trace.LimitHistory(utilHistoryEpochs)
 
+	o.shedProbes = reg.NewCounter("oij_admission_shed_probes_total", "Probe tuples dropped at admission because the ingest funnel was full.")
+	o.rejected = reg.NewCounter("oij_admission_rejected_total", "Requests NACKed at admission under the reject policy.")
+	o.deadlineRejected = reg.NewCounter("oij_deadline_rejected_total", "Requests NACKed after exceeding the per-request deadline in the funnel.")
+	o.memShedProbes = reg.NewCounter("oij_mem_shed_probes_total", "Probe tuples shed by the memory watermark guard.")
+	o.slowEvicted = reg.NewCounter("oij_slow_sessions_evicted_total", "Sessions evicted because their result buffer stayed full past the grace period.")
+	o.nacksDropped = reg.NewCounter("oij_nacks_dropped_total", "NACK frames dropped because the session's outgoing buffer was full.")
+
 	reg.NewGaugeFunc("oij_uptime_seconds", "Seconds since the server started.", func() float64 {
 		return time.Since(o.started).Seconds()
 	})
@@ -88,6 +104,30 @@ func newServerObs(s *Server, joiners int) *serverObs {
 	})
 	reg.NewGaugeFunc("oij_ingest_queue_depth", "Tuples buffered in the ingest funnel.", func() float64 {
 		return float64(len(s.ingest))
+	})
+	reg.NewGaugeFunc("oij_sessions_active", "Currently connected sessions.", func() float64 {
+		s.mu.Lock()
+		n := len(s.sessions)
+		s.mu.Unlock()
+		return float64(n)
+	})
+	reg.NewGaugeFunc("oij_buffered_probes", "Estimated probe tuples buffered in the engine (ingested minus evicted).", func() float64 {
+		return float64(s.bufferedProbes())
+	})
+	reg.NewGaugeFunc("oij_mem_pressure_level", "Memory guard rung: 0 normal, 1 shedding oldest-window probes, 2 shedding all probes.", func() float64 {
+		return float64(s.memLevel.Load())
+	})
+	reg.NewGaugeFunc("oij_transport_stall_parks_total", "Driver parks while waiting for joiner ring space.", func() float64 {
+		if in := s.introspect(); in != nil {
+			return float64(in.Stalls().Parks)
+		}
+		return 0
+	})
+	reg.NewGaugeFunc("oij_stalled_joiners", "Joiners whose input ring has blocked the driver past the stall threshold.", func() float64 {
+		if in := s.introspect(); in != nil {
+			return float64(len(in.Stalls().Wedged(s.cfg.StallThreshold)))
+		}
+		return 0
 	})
 	reg.NewGaugeFunc("oij_wal_errors", "WAL append failures since startup.", func() float64 {
 		return float64(s.walErrs.Load())
@@ -188,6 +228,27 @@ type LatencyStatus struct {
 	MaxMs  float64 `json:"max_ms"`
 }
 
+// OverloadStatus is the degradation ladder's live state on /statusz: the
+// configured policy and knobs plus every shed/reject/evict transition
+// counter and the stall watchdog's view of the joiners.
+type OverloadStatus struct {
+	Admission           string  `json:"admission"`
+	RequestDeadlineMs   float64 `json:"request_deadline_ms,omitempty"`
+	MemCapProbes        int64   `json:"mem_cap_probes,omitempty"`
+	SlowGraceMs         float64 `json:"slow_consumer_grace_ms"`
+	ShedProbes          int64   `json:"admission_shed_probes"`
+	Rejected            int64   `json:"admission_rejected"`
+	DeadlineRejected    int64   `json:"deadline_rejected"`
+	MemShedProbes       int64   `json:"mem_shed_probes"`
+	SlowSessionsEvicted int64   `json:"slow_sessions_evicted"`
+	NacksDropped        int64   `json:"nacks_dropped"`
+	BufferedProbes      int64   `json:"buffered_probes"`
+	MemPressureLevel    int32   `json:"mem_pressure_level"`
+	SessionsActive      int     `json:"sessions_active"`
+	StallParks          int64   `json:"stall_parks"`
+	StalledJoiners      []int   `json:"stalled_joiners,omitempty"`
+}
+
 // Status is the /statusz document: the paper's post-run metrics (§III-B,
 // Eq. 1, Eq. 2, Fig. 14) read live off a serving daemon.
 type Status struct {
@@ -212,6 +273,7 @@ type Status struct {
 	Effectiveness    float64        `json:"effectiveness"`
 	Unbalancedness   float64        `json:"unbalancedness"`
 	Reschedules      *int64         `json:"reschedules,omitempty"`
+	Overload         OverloadStatus `json:"overload"`
 	Latency          LatencyStatus  `json:"latency"`
 	PerJoiner        []JoinerStatus `json:"per_joiner"`
 }
@@ -224,6 +286,7 @@ func (s *Server) Statusz() Status {
 	maxTS, wm, lag := s.watermarkLag()
 	s.mu.Lock()
 	pending := len(s.pending)
+	active := len(s.sessions)
 	s.mu.Unlock()
 
 	joiners := s.cfg.Engine.Joiners
@@ -264,6 +327,26 @@ func (s *Server) Statusz() Status {
 	if r, ok := s.eng.(interface{ Reschedules() int64 }); ok {
 		n := r.Reschedules()
 		out.Reschedules = &n
+	}
+	out.Overload = OverloadStatus{
+		Admission:           s.cfg.Admission,
+		RequestDeadlineMs:   float64(s.cfg.RequestDeadline) / float64(time.Millisecond),
+		MemCapProbes:        s.cfg.MemCapProbes,
+		SlowGraceMs:         float64(s.cfg.SlowConsumerGrace) / float64(time.Millisecond),
+		ShedProbes:          s.o.shedProbes.Load(),
+		Rejected:            s.o.rejected.Load(),
+		DeadlineRejected:    s.o.deadlineRejected.Load(),
+		MemShedProbes:       s.o.memShedProbes.Load(),
+		SlowSessionsEvicted: s.o.slowEvicted.Load(),
+		NacksDropped:        s.o.nacksDropped.Load(),
+		BufferedProbes:      s.bufferedProbes(),
+		MemPressureLevel:    s.memLevel.Load(),
+		SessionsActive:      active,
+	}
+	if in := s.introspect(); in != nil {
+		stalls := in.Stalls()
+		out.Overload.StallParks = stalls.Parks
+		out.Overload.StalledJoiners = stalls.Wedged(s.cfg.StallThreshold)
 	}
 	h := s.o.latency.Snapshot()
 	msOf := func(ns int64) float64 { return float64(ns) / float64(time.Millisecond) }

@@ -1,0 +1,239 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff computes jittered exponential delays: attempt n sleeps a uniform
+// random duration in (0, min(Max, Base·2ⁿ)]. Full jitter decorrelates
+// reconnect storms — after a server restart, clients that failed together do
+// not all redial together.
+type Backoff struct {
+	Base time.Duration // first-attempt ceiling (default 50ms)
+	Max  time.Duration // ceiling for any attempt (default 5s)
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func (b *Backoff) defaults() (time.Duration, time.Duration) {
+	base, max := b.Base, b.Max
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	if base > max {
+		base = max
+	}
+	return base, max
+}
+
+// Next returns the sleep before retry number attempt (0-based).
+func (b *Backoff) Next(attempt int) time.Duration {
+	base, max := b.defaults()
+	ceil := max
+	if attempt < 62 {
+		if d := base << uint(attempt); d > 0 && d < max {
+			ceil = d
+		}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.rng == nil {
+		b.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return time.Duration(b.rng.Int63n(int64(ceil))) + 1
+}
+
+// ErrBreakerOpen is returned while the circuit breaker is refusing calls.
+var ErrBreakerOpen = errors.New("circuit breaker open")
+
+// Breaker is a consecutive-failure circuit breaker. Closed it passes every
+// call; after Threshold consecutive failures it opens and fails fast for
+// Cooldown; then one trial call is let through (half-open) — success closes
+// the circuit, failure re-opens it for another Cooldown.
+type Breaker struct {
+	Threshold int           // consecutive failures to open (default 5)
+	Cooldown  time.Duration // open duration before a trial (default 1s)
+
+	mu       sync.Mutex
+	failures int
+	openedAt time.Time
+	halfOpen bool
+	now      func() time.Time // test hook; nil means time.Now
+}
+
+func (b *Breaker) clock() time.Time {
+	if b.now != nil {
+		return b.now()
+	}
+	return time.Now()
+}
+
+func (b *Breaker) threshold() int {
+	if b.Threshold <= 0 {
+		return 5
+	}
+	return b.Threshold
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown <= 0 {
+		return time.Second
+	}
+	return b.Cooldown
+}
+
+// Allow reports whether a call may proceed, transitioning open → half-open
+// after the cooldown. In half-open exactly one caller is admitted until its
+// Success or Failure settles the state.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.failures < b.threshold() {
+		return true
+	}
+	if b.halfOpen {
+		return false // a trial is already in flight
+	}
+	if b.clock().Sub(b.openedAt) >= b.cooldown() {
+		b.halfOpen = true
+		return true
+	}
+	return false
+}
+
+// Success records a successful call and closes the circuit.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.halfOpen = false
+}
+
+// Failure records a failed call; at the threshold the circuit opens (and a
+// failed half-open trial re-opens it).
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	b.halfOpen = false
+	if b.failures >= b.threshold() {
+		b.openedAt = b.clock()
+	}
+}
+
+// State reports "closed", "open", or "half-open" (for statusz-style
+// introspection and tests).
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case b.failures < b.threshold():
+		return "closed"
+	case b.halfOpen:
+		return "half-open"
+	default:
+		return "open"
+	}
+}
+
+// RetryClient wraps Client with automatic reconnection, jittered
+// exponential backoff, and a circuit breaker. It is intended for one
+// logical session at a time (Do is serialized by the caller, like Client).
+type RetryClient struct {
+	Addr    string
+	Opts    DialOptions
+	Backoff Backoff
+	Breaker Breaker
+	// MaxAttempts bounds tries per Do call (default 4).
+	MaxAttempts int
+
+	c     *Client
+	sleep func(time.Duration) // test hook; nil means time.Sleep
+}
+
+// NewRetryClient builds a RetryClient; the first connection is dialed
+// lazily on Do.
+func NewRetryClient(addr string, opts DialOptions) *RetryClient {
+	return &RetryClient{Addr: addr, Opts: opts}
+}
+
+func (rc *RetryClient) attempts() int {
+	if rc.MaxAttempts <= 0 {
+		return 4
+	}
+	return rc.MaxAttempts
+}
+
+func (rc *RetryClient) pause(d time.Duration) {
+	if rc.sleep != nil {
+		rc.sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// retryable reports whether err is worth a reconnect-and-retry: lost
+// connections and admission NACKs (the server asked us to back off) are;
+// application errors are not.
+func retryable(err error) bool {
+	var nerr *NackError
+	return errors.Is(err, ErrDisconnected) || errors.As(err, &nerr)
+}
+
+// Do runs fn with a connected client, reconnecting and retrying on
+// disconnects and overload NACKs with backoff, and failing fast while the
+// breaker is open. fn must not retain the client beyond the call.
+func (rc *RetryClient) Do(fn func(*Client) error) error {
+	var lastErr error
+	for attempt := 0; attempt < rc.attempts(); attempt++ {
+		if attempt > 0 {
+			rc.pause(rc.Backoff.Next(attempt - 1))
+		}
+		if !rc.Breaker.Allow() {
+			lastErr = ErrBreakerOpen
+			continue
+		}
+		if rc.c == nil {
+			c, err := DialWith(rc.Addr, rc.Opts)
+			if err != nil {
+				rc.Breaker.Failure()
+				lastErr = err
+				continue
+			}
+			rc.c = c
+		}
+		err := fn(rc.c)
+		if err == nil {
+			rc.Breaker.Success()
+			return nil
+		}
+		lastErr = err
+		if errors.Is(err, ErrDisconnected) {
+			rc.c.Close()
+			rc.c = nil
+		}
+		if !retryable(err) {
+			return err
+		}
+		rc.Breaker.Failure()
+	}
+	return fmt.Errorf("giving up after %d attempts: %w", rc.attempts(), lastErr)
+}
+
+// Close releases the current connection, if any.
+func (rc *RetryClient) Close() error {
+	if rc.c == nil {
+		return nil
+	}
+	err := rc.c.Close()
+	rc.c = nil
+	return err
+}

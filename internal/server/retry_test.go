@@ -1,0 +1,267 @@
+package server
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestBackoffJitterBounds(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond}
+	for attempt := 0; attempt < 10; attempt++ {
+		ceil := 10 * time.Millisecond << uint(attempt)
+		if ceil > 80*time.Millisecond || ceil <= 0 {
+			ceil = 80 * time.Millisecond
+		}
+		for i := 0; i < 50; i++ {
+			d := b.Next(attempt)
+			if d <= 0 || d > ceil {
+				t.Fatalf("attempt %d: delay %v outside (0, %v]", attempt, d, ceil)
+			}
+		}
+	}
+}
+
+func TestBackoffDefaultsAndOverflow(t *testing.T) {
+	var b Backoff
+	if d := b.Next(0); d <= 0 || d > 50*time.Millisecond {
+		t.Fatalf("default first delay %v", d)
+	}
+	// Huge attempt numbers must not overflow past Max.
+	if d := b.Next(400); d <= 0 || d > 5*time.Second {
+		t.Fatalf("overflow delay %v", d)
+	}
+}
+
+func TestBreakerTransitions(t *testing.T) {
+	clock := time.Unix(0, 0)
+	b := Breaker{Threshold: 3, Cooldown: time.Second}
+	b.now = func() time.Time { return clock }
+
+	if b.State() != "closed" || !b.Allow() {
+		t.Fatal("new breaker not closed")
+	}
+	b.Failure()
+	b.Failure()
+	if !b.Allow() {
+		t.Fatal("breaker opened below threshold")
+	}
+	b.Failure()
+	if b.State() != "open" || b.Allow() {
+		t.Fatal("breaker not open at threshold")
+	}
+
+	// Cooldown elapses: exactly one trial call passes.
+	clock = clock.Add(time.Second)
+	if !b.Allow() {
+		t.Fatal("no trial after cooldown")
+	}
+	if b.State() != "half-open" {
+		t.Fatalf("state = %s, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent trial admitted")
+	}
+
+	// Failed trial re-opens for another full cooldown.
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("allowed right after failed trial")
+	}
+	clock = clock.Add(time.Second)
+	if !b.Allow() {
+		t.Fatal("no second trial")
+	}
+	b.Success()
+	if b.State() != "closed" || !b.Allow() {
+		t.Fatal("successful trial did not close breaker")
+	}
+}
+
+func TestWrapDisconnectClassification(t *testing.T) {
+	// Real kernel-level errors: dial a server, shut it down, keep using
+	// the connection — the client must surface ErrDisconnected, not raw
+	// EPIPE/ECONNRESET.
+	s, addr := startServer(t, baseCfg())
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s.Shutdown()
+
+	var got error
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		c.SendBase(1, 1000, 0)
+		if err := c.Barrier(); err != nil {
+			got = err
+			break
+		}
+		if _, err := c.RecvResults(time.Second); err != nil && !isTimeout(err) {
+			got = err
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got == nil {
+		t.Fatal("no error after server shutdown")
+	}
+	if !errors.Is(got, ErrDisconnected) {
+		t.Fatalf("error %v (%T) does not wrap ErrDisconnected", got, got)
+	}
+	var de *DisconnectError
+	if !errors.As(got, &de) || de.Err == nil {
+		t.Fatalf("error %v does not expose the underlying cause", got)
+	}
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+func TestDeadlineNotDisconnect(t *testing.T) {
+	_, addr := startServer(t, baseCfg())
+	c, err := DialWith(addr, DialOptions{ReadTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Nothing was sent, so Recv must time out — and a timeout is not a
+	// disconnect.
+	_, err = c.Recv()
+	if err == nil {
+		t.Fatal("Recv returned without timeout")
+	}
+	if errors.Is(err, ErrDisconnected) {
+		t.Fatalf("timeout misclassified as disconnect: %v", err)
+	}
+}
+
+func TestRetryClientReconnectsAcrossRestart(t *testing.T) {
+	s1, addr := startServer(t, baseCfg())
+
+	rc := NewRetryClient(addr, DialOptions{DialTimeout: time.Second, ReadTimeout: 5 * time.Second})
+	rc.Backoff = Backoff{Base: 5 * time.Millisecond, Max: 50 * time.Millisecond}
+	rc.MaxAttempts = 20
+	defer rc.Close()
+
+	roundTrip := func(c *Client) error {
+		if err := c.SendProbe(3, 1000, 2); err != nil {
+			return err
+		}
+		if _, err := c.SendBase(3, 1001, 0); err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		rs, err := c.RecvResults(5 * time.Second)
+		if err != nil {
+			return err
+		}
+		if len(rs) != 1 {
+			return errors.New("missing result")
+		}
+		return nil
+	}
+	if err := rc.Do(roundTrip); err != nil {
+		t.Fatalf("first round-trip: %v", err)
+	}
+
+	// Restart the server on the same port; the stale connection dies and
+	// the retry client must reconnect and succeed against the new process.
+	s1.Shutdown()
+	s2, err := New(baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Listen(addr); err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	t.Cleanup(s2.Shutdown)
+
+	if err := rc.Do(roundTrip); err != nil {
+		t.Fatalf("round-trip after restart: %v", err)
+	}
+}
+
+func TestRetryClientBreakerFailsFast(t *testing.T) {
+	// Dead address: nothing is listening.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	rc := NewRetryClient(addr, DialOptions{DialTimeout: 100 * time.Millisecond})
+	rc.Backoff = Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond}
+	rc.Breaker = Breaker{Threshold: 2, Cooldown: time.Hour}
+	rc.MaxAttempts = 6
+	var slept int
+	rc.sleep = func(time.Duration) { slept++ }
+
+	err = rc.Do(func(*Client) error { t.Fatal("fn ran without a connection"); return nil })
+	if err == nil {
+		t.Fatal("Do succeeded against a dead address")
+	}
+	// Attempts 1-2 fail to dial and trip the breaker; the remaining
+	// attempts must fail fast without dialing (breaker open, hour-long
+	// cooldown), surfacing ErrBreakerOpen as the final error.
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("final error %v, want ErrBreakerOpen", err)
+	}
+	if rc.Breaker.State() != "open" {
+		t.Fatalf("breaker state %s", rc.Breaker.State())
+	}
+}
+
+func TestRetryClientGivesUpOnAppError(t *testing.T) {
+	_, addr := startServer(t, baseCfg())
+	rc := NewRetryClient(addr, DialOptions{})
+	defer rc.Close()
+	calls := 0
+	appErr := errors.New("bad input")
+	err := rc.Do(func(*Client) error { calls++; return appErr })
+	if !errors.Is(err, appErr) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("application error retried %d times", calls)
+	}
+}
+
+func TestRetryClientRetriesNacks(t *testing.T) {
+	// A server that NACKs everything (1ns deadline) must trigger
+	// backoff-and-retry, then exhaust attempts with the NACK as cause.
+	cfg := baseCfg()
+	cfg.RequestDeadline = time.Nanosecond
+	_, addr := startServer(t, cfg)
+
+	rc := NewRetryClient(addr, DialOptions{})
+	rc.Backoff = Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond}
+	rc.MaxAttempts = 3
+	defer rc.Close()
+	calls := 0
+	err := rc.Do(func(c *Client) error {
+		calls++
+		if _, err := c.SendBase(1, 1000, 0); err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		_, err := c.RecvResults(5 * time.Second)
+		return err
+	})
+	var nerr *NackError
+	if !errors.As(err, &nerr) {
+		t.Fatalf("err = %v, want NackError cause", err)
+	}
+	if calls != 3 {
+		t.Fatalf("NACKed request tried %d times, want 3", calls)
+	}
+}

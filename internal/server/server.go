@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,10 +41,36 @@ type Config struct {
 	// IngestBuffer is the funnel channel depth (default 4096).
 	IngestBuffer int
 	// ResultBuffer is the per-session outgoing queue depth (default
-	// 1024). A session that stops reading eventually backpressures the
-	// whole engine — the deliberate flow-control of a single shared
-	// state.
+	// 1024). A session that stops reading first backpressures itself and
+	// is then evicted after SlowConsumerGrace, so one stuck client cannot
+	// stall the shared engine.
 	ResultBuffer int
+	// Admission selects what happens when the ingest funnel is full:
+	// "block" (default — senders wait, the pre-overload-control
+	// behavior), "shed-probes" (drop probe tuples, requests still wait),
+	// or "reject" (drop probes and answer requests with a typed NACK so
+	// clients fail fast).
+	Admission string
+	// RequestDeadline bounds how long a base request may wait in the
+	// ingest funnel; one that goes stale is answered with a deadline NACK
+	// instead of silently queueing into the engine. Zero disables.
+	RequestDeadline time.Duration
+	// MemCapProbes caps the engine's buffered probe state (an estimate:
+	// probes ingested minus probes evicted). Above 75% of the cap the
+	// server degrades by shedding probes already in the oldest half of
+	// the retention horizon (they expire soonest and contribute least);
+	// at the cap it sheds every incoming probe. Zero disables.
+	MemCapProbes int64
+	// SlowConsumerGrace is how long a result delivery may wait on a
+	// session whose outgoing buffer is full before the session is evicted
+	// (default 5s; negative disables eviction and restores the legacy
+	// block-forever behavior). The same bound is applied as a per-frame
+	// write deadline, so a stalled TCP peer cannot wedge the writer.
+	SlowConsumerGrace time.Duration
+	// StallThreshold is how long a joiner's input ring may block the
+	// engine driver before the watchdog reports the joiner as wedged on
+	// /statusz (default 1s).
+	StallThreshold time.Duration
 	// WALPath, when set, appends every ingested probe to a write-ahead
 	// log (checksummed v2 frame format) and lets Recover rebuild the join
 	// state after a restart. The log keeps at most two segments covering
@@ -85,11 +112,37 @@ func (c Config) withDefaults() Config {
 	if c.UtilEpoch <= 0 {
 		c.UtilEpoch = time.Second
 	}
+	if c.Admission == "" {
+		c.Admission = AdmissionBlock
+	}
+	if c.SlowConsumerGrace == 0 {
+		c.SlowConsumerGrace = 5 * time.Second
+	}
+	if c.StallThreshold <= 0 {
+		c.StallThreshold = time.Second
+	}
 	// Busy-time tracking feeds the live utilization gauges; its cost is
 	// two clock reads per joiner batch, not per tuple.
 	c.Engine.TrackBusy = true
 	c.Engine = c.Engine.WithDefaults()
 	return c
+}
+
+// Admission policy names (Config.Admission).
+const (
+	AdmissionBlock      = "block"
+	AdmissionShedProbes = "shed-probes"
+	AdmissionReject     = "reject"
+)
+
+// parseAdmission validates an admission policy name.
+func parseAdmission(s string) (string, error) {
+	switch s {
+	case AdmissionBlock, AdmissionShedProbes, AdmissionReject:
+		return s, nil
+	}
+	return "", fmt.Errorf("unknown admission policy %q (want %s, %s or %s)",
+		s, AdmissionBlock, AdmissionShedProbes, AdmissionReject)
 }
 
 // pendingBase routes a result back to its session.
@@ -102,9 +155,11 @@ type pendingBase struct {
 // (sess == nil), a base request (sess set), or a flush barrier (flush set;
 // routed through the funnel so it observes every base queued before it).
 type ingestReq struct {
-	t     wire.Tuple
-	sess  *session
-	flush bool
+	t        wire.Tuple
+	sess     *session
+	localSeq uint64    // session-local sequence, assigned by the reader
+	enq      time.Time // when the request entered the funnel
+	flush    bool
 }
 
 // Server is a running join service.
@@ -125,6 +180,15 @@ type Server struct {
 	wg         sync.WaitGroup // ingest + accept loops
 	sessWG     sync.WaitGroup // session goroutines
 
+	// Overload-control state. probesIngested counts every probe handed to
+	// the engine (network + WAL recovery), so probesIngested − Evicted
+	// estimates the buffered probe state the memory guard caps. memLevel
+	// is the current degradation rung: 0 normal, 1 shedding oldest-window
+	// probes, 2 shedding all probes.
+	probesIngested atomic.Int64
+	memLevel       atomic.Int32
+	retention      tuple.Time // probe relevance horizon in event time
+
 	wal          *walWriter
 	walErrs      atomic.Int64
 	walRecovered atomic.Int64
@@ -143,6 +207,9 @@ func New(cfg Config) (*Server, error) {
 	if err := cfg.Engine.Validate(); err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
+	if _, err := parseAdmission(cfg.Admission); err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
 	s := &Server{
 		cfg:         cfg,
 		ingest:      make(chan ingestReq, cfg.IngestBuffer),
@@ -155,6 +222,7 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.eng = eng
+	s.retention = cfg.Engine.Window.Len() + cfg.Engine.Window.Lateness
 	s.o = newServerObs(s, cfg.Engine.Joiners)
 	if cfg.WALPath != "" {
 		mode, err := parseWALSync(cfg.WALSync)
@@ -195,6 +263,7 @@ func (s *Server) Recover() (int, error) {
 	}
 	s.startEngine()
 	st, newest, err := replayWAL(s.wal.fs, s.cfg.WALPath, func(t wire.Tuple) {
+		s.probesIngested.Add(1)
 		s.eng.Ingest(tuple.Tuple{TS: t.TS, Key: t.Key, Val: t.Val, Side: tuple.Probe})
 	})
 	s.walRecovered.Add(st.recovered)
@@ -237,13 +306,22 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := s.Serve(ln); err != nil {
+		return nil, err
+	}
+	return ln.Addr(), nil
+}
+
+// Serve starts serving on an already-bound listener (Listen is the common
+// TCP wrapper). It takes ownership of ln: Shutdown closes it.
+func (s *Server) Serve(ln net.Listener) error {
 	s.ln = ln
 	s.startEngine()
 	if s.cfg.AdminAddr != "" {
 		admin, err := obs.ServeAdmin(s.cfg.AdminAddr, s.o.reg, func() any { return s.Statusz() })
 		if err != nil {
 			ln.Close()
-			return nil, fmt.Errorf("server: admin endpoint: %w", err)
+			return fmt.Errorf("server: admin endpoint: %w", err)
 		}
 		s.admin = admin
 	}
@@ -251,7 +329,7 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	go s.ingestLoop()
 	go s.acceptLoop()
 	go s.samplerLoop()
-	return ln.Addr(), nil
+	return nil
 }
 
 // AdminAddr returns the bound admin address, or nil when no admin endpoint
@@ -326,20 +404,30 @@ func (s *Server) ingestLoop() {
 		}
 		t := tuple.Tuple{TS: req.t.TS, Key: req.t.Key, Val: req.t.Val}
 		if req.sess != nil {
+			if d := s.cfg.RequestDeadline; d > 0 && time.Since(req.enq) > d {
+				// The request went stale waiting in the funnel:
+				// answer with a deadline NACK instead of queueing
+				// work whose answer nobody is waiting for.
+				s.o.deadlineRejected.Inc()
+				req.sess.sendNackNonblock(req.localSeq, wire.NackDeadline)
+				continue
+			}
 			t.Side = tuple.Base
 			t.Seq = s.nextGlobal
 			t.Arrival = time.Now()
 			s.nextGlobal++
-			local := req.sess.nextLocal
-			req.sess.nextLocal++
 			s.mu.Lock()
-			s.pending[t.Seq] = pendingBase{sess: req.sess, localSeq: local}
+			s.pending[t.Seq] = pendingBase{sess: req.sess, localSeq: req.localSeq}
 			s.mu.Unlock()
 			req.sess.outstanding.Add(1)
 			s.o.bases.Inc()
 		} else {
 			t.Side = tuple.Probe
+			if s.memGuardSheds(req.t.TS) {
+				continue
+			}
 			s.o.probes.Inc()
+			s.probesIngested.Add(1)
 			if s.wal != nil {
 				if err := s.wal.append(req.t); err != nil {
 					// Durability degraded, availability kept:
@@ -352,6 +440,45 @@ func (s *Server) ingestLoop() {
 		}
 		s.eng.Ingest(t)
 		s.served.Add(1)
+	}
+}
+
+// bufferedProbes estimates the engine's live probe state: every probe
+// handed to the engine minus every probe it has expired. Both sides are
+// atomics, so the estimate is cheap enough to check per ingested probe.
+func (s *Server) bufferedProbes() int64 {
+	return s.probesIngested.Load() - s.eng.Stats().Evicted.Load()
+}
+
+// memGuardSheds is the memory watermark guard: it decides, per incoming
+// probe, whether the tuple is shed to keep buffered state under
+// MemCapProbes. Degradation is tiered — above 75% of the cap only probes
+// already in the oldest half of the retention horizon are shed (they
+// expire soonest and contribute to the fewest future windows); at the cap
+// every probe is shed until eviction catches up.
+func (s *Server) memGuardSheds(ts tuple.Time) bool {
+	memCap := s.cfg.MemCapProbes
+	if memCap <= 0 {
+		return false
+	}
+	buffered := s.bufferedProbes()
+	switch {
+	case buffered >= memCap:
+		s.memLevel.Store(2)
+		s.o.memShedProbes.Inc()
+		return true
+	case buffered >= memCap-memCap/4:
+		s.memLevel.Store(1)
+		if in := s.introspect(); in != nil && s.retention > 0 {
+			if maxTS := in.MaxEventTS(); ts <= maxTS-s.retention/2 {
+				s.o.memShedProbes.Inc()
+				return true
+			}
+		}
+		return false
+	default:
+		s.memLevel.Store(0)
+		return false
 	}
 }
 
@@ -384,8 +511,11 @@ func (s *Server) Shutdown() {
 	s.sessWG.Wait()
 	close(s.ingest)
 	close(s.stopSampler)
-	s.eng.Drain()
+	// The ingest loop keeps pushing while it drains the closed funnel, and
+	// the rings are single-producer — it must be gone before Drain's final
+	// broadcast touches them.
 	s.wg.Wait()
+	s.eng.Drain()
 	if s.admin != nil {
 		s.admin.Close()
 	}
@@ -416,10 +546,15 @@ type session struct {
 	conn net.Conn
 	out  chan wire.Message
 
-	nextLocal   uint64 // owned by the ingest goroutine
+	// nextLocal is owned by the session's reader goroutine: local
+	// sequences are assigned in frame-arrival order before admission, so
+	// a NACKed request still consumes the sequence number the client
+	// assigned it and accepted requests stay aligned.
+	nextLocal   uint64
 	outstanding atomic.Int64
 
 	closeOnce sync.Once
+	evicted   atomic.Bool
 	done      chan struct{}
 }
 
@@ -435,12 +570,50 @@ func newSession(s *Server, conn net.Conn) *session {
 // deliver queues a result for the writer goroutine. The outstanding
 // counter is decremented only after the result is queued, so a flush ack
 // can never overtake the final answer it covers.
+//
+// A session whose buffer is full gets SlowConsumerGrace to drain; if it is
+// still full after the grace the session is evicted and the result dropped,
+// so one stuck client stalls delivery for at most one grace period instead
+// of wedging the engine behind it (grace < 0 restores the legacy blocking
+// behavior).
 func (se *session) deliver(r wire.Result) {
-	select {
-	case se.out <- wire.Message{Kind: wire.TagResult, Result: r}:
-	case <-se.done:
+	defer se.outstanding.Add(-1)
+	m := wire.Message{Kind: wire.TagResult, Result: r}
+	grace := se.s.cfg.SlowConsumerGrace
+	if grace < 0 {
+		select {
+		case se.out <- m:
+		case <-se.done:
+		}
+		return
 	}
-	se.outstanding.Add(-1)
+	select {
+	case se.out <- m:
+		return
+	case <-se.done:
+		return
+	default:
+	}
+	timer := time.NewTimer(grace)
+	defer timer.Stop()
+	select {
+	case se.out <- m:
+	case <-se.done:
+	case <-timer.C:
+		se.evictSlow()
+	}
+}
+
+// evictSlow force-closes a session that stopped draining: done stops new
+// work and the connection close unblocks both its reader and a writer stuck
+// in a send. Two detectors share it — the deliver grace timer and the
+// writer's per-frame deadline — so the CAS makes each session count once.
+func (se *session) evictSlow() {
+	if se.evicted.CompareAndSwap(false, true) {
+		se.s.o.slowEvicted.Inc()
+	}
+	se.close()
+	se.conn.Close()
 }
 
 // run services the connection until EOF or error. Teardown order matters:
@@ -464,15 +637,73 @@ func (se *session) run() {
 		}
 		switch m.Kind {
 		case wire.TagProbe:
-			se.s.ingest <- ingestReq{t: m.Tuple}
+			se.admitProbe(m.Tuple)
 		case wire.TagBase:
-			se.s.ingest <- ingestReq{t: m.Tuple, sess: se}
+			localSeq := se.nextLocal
+			se.nextLocal++
+			se.admitBase(m.Tuple, localSeq)
 		case wire.TagFlush:
 			se.s.ingest <- ingestReq{sess: se, flush: true}
 		default:
 			se.sendError(errors.New("unexpected frame from client").Error())
 			return
 		}
+	}
+}
+
+// admitProbe applies the admission policy to one probe tuple. Under
+// "shed-probes" and "reject" a full funnel drops the probe (counted)
+// instead of blocking the reader; under "block" the reader waits, which
+// backpressures this client's TCP stream.
+func (se *session) admitProbe(t wire.Tuple) {
+	req := ingestReq{t: t}
+	if se.s.cfg.Admission == AdmissionBlock {
+		se.s.ingest <- req
+		return
+	}
+	select {
+	case se.s.ingest <- req:
+	default:
+		se.s.o.shedProbes.Inc()
+	}
+}
+
+// admitBase applies the admission policy to one base request. Only the
+// "reject" policy refuses requests: a full funnel answers with an overload
+// NACK so the client can fail fast and back off; "block" and "shed-probes"
+// let the request wait (requests are the product, probes are the fuel).
+func (se *session) admitBase(t wire.Tuple, localSeq uint64) {
+	req := ingestReq{t: t, sess: se, localSeq: localSeq, enq: time.Now()}
+	if se.s.cfg.Admission != AdmissionReject {
+		se.s.ingest <- req
+		return
+	}
+	select {
+	case se.s.ingest <- req:
+	default:
+		se.s.o.rejected.Inc()
+		se.sendNack(localSeq, wire.NackOverload)
+	}
+}
+
+// sendNack queues a NACK from the session's own reader goroutine; a full
+// outgoing buffer backpressures the reader like any other frame.
+func (se *session) sendNack(seq uint64, code byte) {
+	select {
+	case se.out <- wire.Message{Kind: wire.TagNack, Nack: wire.Nack{Seq: seq, Code: code}}:
+	case <-se.done:
+	}
+}
+
+// sendNackNonblock queues a NACK from the ingest goroutine. It must never
+// block — a full session buffer would stall the shared funnel — so a NACK
+// that does not fit is dropped and counted; the session is congested and
+// headed for eviction anyway, and clients recover via read timeouts.
+func (se *session) sendNackNonblock(seq uint64, code byte) {
+	select {
+	case se.out <- wire.Message{Kind: wire.TagNack, Nack: wire.Nack{Seq: seq, Code: code}}:
+	default:
+		se.s.o.nacksDropped.Inc()
 	}
 }
 
@@ -499,27 +730,51 @@ func (se *session) sendError(msg string) {
 	}
 }
 
-// writeLoop serializes outgoing frames, flushing when the queue drains.
+// writeMsg encodes one outgoing frame, bounding the time a stalled TCP
+// peer can hold the writer: with a slow-consumer grace configured, every
+// frame gets that long to make progress before the write fails.
+func (se *session) writeMsg(w *wire.Writer, m wire.Message) error {
+	if grace := se.s.cfg.SlowConsumerGrace; grace > 0 {
+		se.conn.SetWriteDeadline(time.Now().Add(grace))
+	}
+	switch m.Kind {
+	case wire.TagResult:
+		return w.WriteResult(m.Result)
+	case wire.TagFlush:
+		return w.WriteFlush()
+	case wire.TagError:
+		return w.WriteError(m.Err)
+	case wire.TagNack:
+		return w.WriteNack(m.Nack)
+	}
+	return nil
+}
+
+// writeLoop serializes outgoing frames, flushing when the queue drains. A
+// write error force-closes the session so its reader does not linger on a
+// half-dead connection; a deadline-expired write means the peer stopped
+// draining its TCP stream and counts as a slow-consumer eviction.
 func (se *session) writeLoop(done chan struct{}) {
 	defer close(done)
+	fail := func(err error) {
+		if errors.Is(err, os.ErrDeadlineExceeded) {
+			se.evictSlow()
+			return
+		}
+		se.close()
+		se.conn.Close()
+	}
 	w := wire.NewWriter(se.conn)
 	for {
 		select {
 		case m := <-se.out:
-			var err error
-			switch m.Kind {
-			case wire.TagResult:
-				err = w.WriteResult(m.Result)
-			case wire.TagFlush:
-				err = w.WriteFlush()
-			case wire.TagError:
-				err = w.WriteError(m.Err)
-			}
-			if err != nil {
+			if err := se.writeMsg(w, m); err != nil {
+				fail(err)
 				return
 			}
 			if len(se.out) == 0 {
 				if err := w.Flush(); err != nil {
+					fail(err)
 					return
 				}
 			}
@@ -529,16 +784,7 @@ func (se *session) writeLoop(done chan struct{}) {
 			for {
 				select {
 				case m := <-se.out:
-					var err error
-					switch m.Kind {
-					case wire.TagResult:
-						err = w.WriteResult(m.Result)
-					case wire.TagFlush:
-						err = w.WriteFlush()
-					case wire.TagError:
-						err = w.WriteError(m.Err)
-					}
-					if err != nil {
+					if err := se.writeMsg(w, m); err != nil {
 						return
 					}
 				default:

@@ -127,6 +127,9 @@ func (e *Engine) Watermark() tuple.Time { return e.tr.Watermark() }
 // MaxEventTS implements engine.Introspector.
 func (e *Engine) MaxEventTS() tuple.Time { return e.tr.MaxEventTS() }
 
+// Stalls implements engine.Introspector.
+func (e *Engine) Stalls() engine.StallSnapshot { return e.tr.Stalls() }
+
 // mergeLoop is the collection stage: it gathers the J partial aggregates
 // of every base tuple and emits the merged result.
 type mergeSlot struct {
@@ -199,6 +202,7 @@ type joiner struct {
 	wm        tuple.Time
 	lastSweep tuple.Time
 	evicted   int64
+	published int64 // evictions already mirrored into stats.Evicted
 	scratch   []engine.TSVal
 }
 
@@ -255,6 +259,13 @@ func (j *joiner) onWatermark(wm tuple.Time) {
 			}
 			j.buffers[k] = keep
 		}
+	}
+	// Mirror evictions into the shared counter at watermark cadence, so
+	// the serving layer's memory guard reads live buffered state without a
+	// per-tuple atomic on the join path.
+	if d := j.evicted - j.published; d > 0 {
+		j.published = j.evicted
+		j.e.stats.Evicted.Add(d)
 	}
 }
 

@@ -21,6 +21,7 @@ func FuzzWireDecode(f *testing.F) {
 	enc.WriteResult(Result{Seq: 1, TS: 300, Key: 9, Agg: 4.5, Matches: 3})
 	enc.WriteFlush()
 	enc.WriteError("boom")
+	enc.WriteNack(Nack{Seq: 11, Code: NackOverload})
 	enc.Flush()
 	f.Add(w.Bytes())
 	f.Add([]byte{})
@@ -49,6 +50,8 @@ func FuzzWireDecode(f *testing.F) {
 				w.WriteFlush()
 			case TagError:
 				w.WriteError(m.Err)
+			case TagNack:
+				w.WriteNack(m.Nack)
 			default:
 				t.Fatalf("decoded unknown kind 0x%02x", m.Kind)
 			}
@@ -81,6 +84,8 @@ func sameMessage(a, b Message) bool {
 			math.Float64bits(a.Result.Agg) == math.Float64bits(b.Result.Agg)
 	case TagError:
 		return a.Err == b.Err
+	case TagNack:
+		return a.Nack == b.Nack
 	}
 	return true
 }

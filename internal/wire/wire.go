@@ -11,11 +11,15 @@
 //	result: tag(1) seq(8) ts(8) key(8) agg(8) matches(8)        = 41 B
 //	flush : tag(1)                                              =  1 B
 //	error : tag(1) len(2) message(len)
+//	nack  : tag(1) seq(8) code(1)                               = 10 B
 //
 // A client streams probe/base frames; the server answers every base frame
 // with exactly one result frame (ordering between different base frames is
-// not guaranteed). flush asks the server to close all pending windows and
-// answer outstanding bases; it is also implied by closing the write side.
+// not guaranteed) — or, under overload control, with exactly one nack frame
+// carrying the same sequence number and a reason code, so a rejected
+// request fails fast instead of queueing. flush asks the server to close
+// all pending windows and answer outstanding bases; it is also implied by
+// closing the write side.
 package wire
 
 import (
@@ -35,6 +39,17 @@ const (
 	TagResult byte = 0x03
 	TagFlush  byte = 0x04
 	TagError  byte = 0x05
+	TagNack   byte = 0x06
+)
+
+// Nack reason codes.
+const (
+	// NackOverload: the request was rejected at admission because the
+	// server's ingest path is saturated (admission policy "reject").
+	NackOverload byte = 0x01
+	// NackDeadline: the request waited longer than the configured
+	// per-request deadline before reaching the engine.
+	NackDeadline byte = 0x02
 )
 
 // MaxErrorLen bounds error-frame messages.
@@ -57,12 +72,32 @@ type Result struct {
 	Matches int64
 }
 
+// Nack is a decoded nack frame: the server's typed rejection of the base
+// request carrying the same session-local sequence number.
+type Nack struct {
+	Seq  uint64
+	Code byte
+}
+
+// Reason renders the nack code for operators and error messages.
+func (n Nack) Reason() string {
+	switch n.Code {
+	case NackOverload:
+		return "overload"
+	case NackDeadline:
+		return "deadline"
+	default:
+		return fmt.Sprintf("code 0x%02x", n.Code)
+	}
+}
+
 // Message is a decoded frame: exactly one of the fields is meaningful,
 // selected by Kind.
 type Message struct {
-	Kind   byte // TagProbe, TagBase, TagResult, TagFlush or TagError
+	Kind   byte // TagProbe, TagBase, TagResult, TagFlush, TagError or TagNack
 	Tuple  Tuple
 	Result Result
+	Nack   Nack
 	Err    string
 }
 
@@ -109,6 +144,16 @@ func (w *Writer) WriteResult(r Result) error {
 // WriteFlush emits a flush frame.
 func (w *Writer) WriteFlush() error {
 	return w.w.WriteByte(TagFlush)
+}
+
+// WriteNack emits a nack frame.
+func (w *Writer) WriteNack(n Nack) error {
+	b := w.buf[:10]
+	b[0] = TagNack
+	binary.LittleEndian.PutUint64(b[1:], n.Seq)
+	b[9] = n.Code
+	_, err := w.w.Write(b)
+	return err
 }
 
 // WriteError emits an error frame (message truncated to MaxErrorLen).
@@ -174,6 +219,15 @@ func (r *Reader) Read() (Message, error) {
 		}}, nil
 	case TagFlush:
 		return Message{Kind: TagFlush}, nil
+	case TagNack:
+		b := r.buf[:9]
+		if _, err := io.ReadFull(r.r, b); err != nil {
+			return Message{}, eofToUnexpected(err)
+		}
+		return Message{Kind: TagNack, Nack: Nack{
+			Seq:  binary.LittleEndian.Uint64(b[0:]),
+			Code: b[8],
+		}}, nil
 	case TagError:
 		b := r.buf[:2]
 		if _, err := io.ReadFull(r.r, b); err != nil {

@@ -78,6 +78,29 @@ func TestFlushAndErrorFrames(t *testing.T) {
 	}
 }
 
+func TestNackRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	want := Nack{Seq: 77, Code: NackDeadline}
+	if err := w.WriteNack(want); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	m, err := NewReader(&buf).Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != TagNack || m.Nack != want {
+		t.Fatalf("got %+v", m.Nack)
+	}
+	if m.Nack.Reason() != "deadline" {
+		t.Fatalf("reason = %q", m.Nack.Reason())
+	}
+	if (Nack{Code: NackOverload}).Reason() != "overload" {
+		t.Fatal("overload reason")
+	}
+}
+
 func TestErrorTruncation(t *testing.T) {
 	var buf bytes.Buffer
 	w := NewWriter(&buf)

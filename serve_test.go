@@ -48,6 +48,91 @@ func TestListenAndServeRoundTrip(t *testing.T) {
 	}
 }
 
+// TestServerOptionsPassthrough pins every ServerOptions knob to the running
+// server: the overload and WAL settings must show up on Statusz, and the
+// window's Lateness must actually gate emission (OnWatermark results are
+// withheld until the watermark — maxTS − Lateness — passes the request).
+func TestServerOptionsPassthrough(t *testing.T) {
+	srv, addr, err := ListenAndServe(ServerOptions{
+		Window:            Window{Pre: 10 * time.Second, Lateness: 500 * time.Millisecond},
+		Agg:               Count,
+		Parallel:          2,
+		Mode:              OnWatermark,
+		WALPath:           t.TempDir() + "/serve.wal",
+		WALSync:           "always",
+		Admission:         AdmissionShedProbes,
+		RequestDeadline:   30 * time.Second,
+		MemCapProbes:      1 << 20,
+		SlowConsumerGrace: 2 * time.Second,
+	}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+
+	st := srv.Statusz()
+	if st.Overload.Admission != AdmissionShedProbes {
+		t.Errorf("admission = %q", st.Overload.Admission)
+	}
+	if st.Overload.RequestDeadlineMs != 30_000 {
+		t.Errorf("request deadline = %vms", st.Overload.RequestDeadlineMs)
+	}
+	if st.Overload.MemCapProbes != 1<<20 {
+		t.Errorf("mem cap = %d", st.Overload.MemCapProbes)
+	}
+	if st.Overload.SlowGraceMs != 2000 {
+		t.Errorf("slow grace = %vms", st.Overload.SlowGraceMs)
+	}
+	if st.WALSync != "always" {
+		t.Errorf("wal sync = %q", st.WALSync)
+	}
+
+	c, err := DialServer(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	t0 := time.Unix(1_700_000_000, 0)
+	k := HashString("k")
+	if err := c.SendProbe(k, t0.UnixMicro(), 1); err != nil {
+		t.Fatal(err)
+	}
+	base := t0.Add(time.Second)
+	seq, err := c.SendBase(k, base.UnixMicro(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// maxTS reaches base+400ms: the watermark sits at base−100ms, so the
+	// request must stay open. Were Lateness dropped on the way to the
+	// engine, the watermark would already have passed the base and the
+	// answer (plus the flush ack) would arrive immediately.
+	if err := c.SendProbe(k+1, base.Add(400*time.Millisecond).UnixMicro(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if rs, err := c.RecvResults(400 * time.Millisecond); err == nil {
+		t.Fatalf("request answered before lateness bound: %+v", rs)
+	}
+	// maxTS reaches base+600ms: the watermark passes the base and the
+	// held answer is released.
+	if err := c.SendProbe(k+1, base.Add(600*time.Millisecond).UnixMicro(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := c.RecvResults(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].Seq != seq || rs[0].Matches != 1 {
+		t.Fatalf("results = %+v", rs)
+	}
+}
+
 func TestListenAndServeValidation(t *testing.T) {
 	if _, _, err := ListenAndServe(ServerOptions{}, "127.0.0.1:0"); err == nil {
 		t.Fatal("empty window accepted")
