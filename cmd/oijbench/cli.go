@@ -21,7 +21,8 @@ var usageText = `Usage:
   oijbench sweep    [-spec name|file.json] [-tag t] [-out BENCH_t.json] [-n N] [-repeats R] [-q]
   oijbench baseline [-spec name|file.json] [-out BENCH_seed.json] ...
   oijbench gate     -baseline BENCH_seed.json [-spec name|file.json] [-threshold 0.10]
-                    [-p99-threshold 0.25] [-no-normalize] [-out BENCH_fresh.json] [-n N] [-repeats R] [-q]
+                    [-p99-threshold 0.25] [-no-normalize] [-flight-recorder]
+                    [-out BENCH_fresh.json] [-n N] [-repeats R] [-q]
   oijbench specs
   oijbench -exp <id>|all [-n N] [-threads 1,2,4] ...   (paper figure mode; -list for IDs)
 
@@ -128,6 +129,7 @@ func runGate(args []string, stdout, stderr io.Writer) int {
 	n := fs.Int("n", 0, "override tuples per workload")
 	repeats := fs.Int("repeats", 0, "override per-cell repeats")
 	quiet := fs.Bool("q", false, "suppress per-sample progress")
+	flightRec := fs.Bool("flight-recorder", false, "attach an always-on flight recorder to the fresh run, gating the recorder's overhead against the recorder-free baseline")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -155,6 +157,7 @@ func runGate(args []string, stdout, stderr io.Writer) int {
 	}
 	fresh, err := perf.RunSpec(spec, perf.RunOptions{
 		Tag: "gate", GitSHA: gitSHA(), N: *n, Repeats: *repeats, Progress: progress,
+		FlightRecorder: *flightRec,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "oijbench gate: %v\n", err)

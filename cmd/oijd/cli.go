@@ -50,6 +50,13 @@ func parseArgs(args []string, w io.Writer) (*options, error) {
 			"buffered-probe cap: above it the server sheds oldest-window probes first (0 disables)")
 		slowGrace = fs.Duration("slow-grace", 0,
 			"slow-consumer grace before a non-draining session is evicted (0 keeps the server default, negative disables eviction)")
+
+		traceSample = fs.Int("trace-sample", 0,
+			"trace every Nth feature request through the pipeline stages, scrapeable at /tracez (0 disables sampling; the flight recorder stays on regardless)")
+		traceRing = fs.Int("trace-ring", 0,
+			"completed trace spans retained for /tracez (0 keeps the server default)")
+		flightDump = fs.String("flight-dump", "",
+			"file the flight recorder auto-dumps to on evictions, stalls, and memory-pressure transitions (empty disables auto-dump; /debug/flightrecorder always works)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -69,6 +76,9 @@ func parseArgs(args []string, w io.Writer) (*options, error) {
 			RequestDeadline:   *deadline,
 			MemCapProbes:      *memCap,
 			SlowConsumerGrace: *slowGrace,
+			TraceSampleN:      *traceSample,
+			TraceRing:         *traceRing,
+			FlightDumpPath:    *flightDump,
 		},
 	}
 	if *sqlText != "" {

@@ -65,7 +65,10 @@ func main() {
 	fmt.Printf("oijd: overload: admission=%s deadline=%s mem-cap=%d\n",
 		o.cfg.Admission, o.cfg.RequestDeadline, o.cfg.MemCapProbes)
 	if a := srv.AdminAddr(); a != nil {
-		fmt.Printf("oijd: observability on http://%s (/metrics /statusz /debug/pprof)\n", a)
+		fmt.Printf("oijd: observability on http://%s (/metrics /statusz /tracez /debug/flightrecorder /debug/pprof)\n", a)
+	}
+	if o.cfg.TraceSampleN > 0 {
+		fmt.Printf("oijd: tracing every %d. request (see /tracez)\n", o.cfg.TraceSampleN)
 	}
 
 	stop := make(chan os.Signal, 1)

@@ -63,6 +63,34 @@ func TestParseOverloadFlags(t *testing.T) {
 	}
 }
 
+func TestParseTraceFlags(t *testing.T) {
+	o, err := parseArgs([]string{
+		"-trace-sample", "16",
+		"-trace-ring", "128",
+		"-flight-dump", "/tmp/oij-flight.json",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.cfg.TraceSampleN != 16 {
+		t.Errorf("trace-sample = %d", o.cfg.TraceSampleN)
+	}
+	if o.cfg.TraceRing != 128 {
+		t.Errorf("trace-ring = %d", o.cfg.TraceRing)
+	}
+	if o.cfg.FlightDumpPath != "/tmp/oij-flight.json" {
+		t.Errorf("flight-dump = %q", o.cfg.FlightDumpPath)
+	}
+	// Tracing off by default: sampling must not silently turn itself on.
+	d, err := parseArgs(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.cfg.TraceSampleN != 0 || d.cfg.FlightDumpPath != "" {
+		t.Errorf("tracing enabled by default: %+v", d.cfg)
+	}
+}
+
 func TestParseBadAdmissionRejectedByServer(t *testing.T) {
 	o, err := parseArgs([]string{"-admission", "panic-wildly"}, io.Discard)
 	if err != nil {

@@ -17,6 +17,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"time"
 
 	"oij/internal/csvsrc"
 	"oij/internal/server"
@@ -47,6 +48,7 @@ func main() {
 		bKey    = flag.String("base-key", "key", "base key column")
 		bTime   = flag.String("base-time", "ts", "base timestamp column")
 		tFormat = flag.String("time-format", "unixus", "timestamp format: unixus|unixms|unixs|rfc3339")
+		latency = flag.Bool("latency", false, "append a latency_ms column: client-observed send-to-result time per request, matched by the request ID each frame carries")
 	)
 	flag.Parse()
 	if *probeF == "" && *baseF == "" {
@@ -102,6 +104,15 @@ func main() {
 	}
 	defer c.Close()
 
+	// Send times by request ID, for -latency. Entries are stored *before*
+	// the request hits the wire (request IDs are assigned sequentially, so
+	// the next one is predictable), which keeps the lock off the blocking
+	// send path and guarantees the receiver never sees a result whose send
+	// time is missing.
+	sendTimes := make(map[uint64]time.Time)
+	var sendMu sync.Mutex
+	var nextSeq uint64
+
 	// Drain results concurrently with sending so neither side stalls.
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -109,7 +120,11 @@ func main() {
 	var nacked int
 	go func() {
 		defer wg.Done()
-		fmt.Println("seq,ts,key,agg,matches")
+		if *latency {
+			fmt.Println("seq,ts,key,agg,matches,latency_ms")
+		} else {
+			fmt.Println("seq,ts,key,agg,matches")
+		}
 		for {
 			m, err := c.Recv()
 			if err != nil {
@@ -119,7 +134,19 @@ func main() {
 			switch m.Kind {
 			case wire.TagResult:
 				r := m.Result
-				fmt.Printf("%d,%d,%d,%g,%d\n", r.Seq, r.TS, r.Key, r.Agg, r.Matches)
+				if *latency {
+					sendMu.Lock()
+					t0, ok := sendTimes[r.Seq]
+					delete(sendTimes, r.Seq)
+					sendMu.Unlock()
+					ms := -1.0
+					if ok {
+						ms = float64(time.Since(t0).Microseconds()) / 1000
+					}
+					fmt.Printf("%d,%d,%d,%g,%d,%.3f\n", r.Seq, r.TS, r.Key, r.Agg, r.Matches, ms)
+				} else {
+					fmt.Printf("%d,%d,%d,%g,%d\n", r.Seq, r.TS, r.Key, r.Agg, r.Matches)
+				}
 			case wire.TagNack:
 				n := server.NackError{Seq: m.Nack.Seq, Code: m.Nack.Code}
 				fmt.Fprintf(os.Stderr, "oijsend: %v\n", &n)
@@ -134,6 +161,12 @@ func main() {
 	for _, e := range evs {
 		var err error
 		if e.base {
+			if *latency {
+				sendMu.Lock()
+				sendTimes[nextSeq] = time.Now()
+				sendMu.Unlock()
+			}
+			nextSeq++
 			_, err = c.SendBase(tuple.Key(e.rec.Key), e.rec.TS, e.rec.Val)
 		} else {
 			err = c.SendProbe(tuple.Key(e.rec.Key), e.rec.TS, e.rec.Val)

@@ -7,6 +7,8 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -18,6 +20,7 @@ import (
 	"oij/internal/chaos"
 	"oij/internal/engine"
 	"oij/internal/server"
+	"oij/internal/trace"
 	"oij/internal/window"
 )
 
@@ -63,13 +66,22 @@ func TestSoakOverloadAndRecovery(t *testing.T) {
 		clients, warmRounds, faultRounds, recoverRounds = 4, 4, 10, 6
 	}
 
+	// MemCapProbes is set low enough that the warmup fleet alone crosses
+	// both pressure rungs, so the flight recorder is guaranteed to hold
+	// mem_level transitions with sequence numbers before the fault-phase
+	// slow-consumer eviction. The flight ring is sized so the post-fault
+	// traffic cannot wash those events out before the final assertions.
+	flightDump := filepath.Join(t.TempDir(), "flight-incident.json")
 	cfg := server.Config{
 		Admission:         server.AdmissionShedProbes,
 		RequestDeadline:   5 * time.Second,
-		MemCapProbes:      1 << 20,
+		MemCapProbes:      300,
 		SlowConsumerGrace: 300 * time.Millisecond,
 		ResultBuffer:      32,
 		AdminAddr:         "127.0.0.1:0",
+		TraceSampleN:      8,
+		FlightRing:        2048,
+		FlightDumpPath:    flightDump,
 		Engine: engine.Config{
 			Joiners: 2,
 			Window:  window.Spec{Pre: 10_000_000, Lateness: 10_000},
@@ -161,10 +173,43 @@ func TestSoakOverloadAndRecovery(t *testing.T) {
 	// Phase 1: clean warmup — everything must succeed.
 	runPhase("warmup", warmRounds, true)
 
-	// Phase 2: degrade the network and add a never-reading consumer.
+	// Phase 2: degrade the network and add a never-reading consumer. While
+	// the faults run, hammer every observability endpoint concurrently —
+	// the scrape paths must stay readable (and race-clean) exactly when
+	// someone would be debugging the incident.
 	proxy.SetLatency(2*time.Millisecond, 3*time.Millisecond)
 	proxy.SetChunk(7)
 	proxy.SetStall(64, 10*time.Millisecond)
+
+	adminBase := fmt.Sprintf("http://%s", s.AdminAddr())
+	scrapeStop := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	var scrapes atomic.Int64
+	for _, url := range []string{
+		adminBase + "/metrics",
+		adminBase + "/statusz",
+		adminBase + "/tracez",
+		adminBase + "/debug/flightrecorder",
+	} {
+		scrapeWG.Add(1)
+		go func(u string) {
+			defer scrapeWG.Done()
+			for {
+				select {
+				case <-scrapeStop:
+					return
+				default:
+				}
+				resp, err := http.Get(u)
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					scrapes.Add(1)
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}(url)
+	}
 
 	slowDone := make(chan struct{})
 	go func() {
@@ -223,6 +268,11 @@ func TestSoakOverloadAndRecovery(t *testing.T) {
 	})
 	nacksBefore := atomic.LoadInt64(&stats.nacks)
 	runPhase("recovery", recoverRounds, true)
+	close(scrapeStop)
+	scrapeWG.Wait()
+	if scrapes.Load() == 0 {
+		t.Error("observability endpoints unreadable during the soak")
+	}
 	if d := atomic.LoadInt64(&stats.nacks) - nacksBefore; d != 0 {
 		t.Errorf("recovery phase saw %d NACKs, want 0", d)
 	}
@@ -281,8 +331,105 @@ func TestSoakOverloadAndRecovery(t *testing.T) {
 			statusz.Overload.SlowSessionsEvicted, st.Overload.SlowSessionsEvicted)
 	}
 
-	t.Logf("soak: %d admitted rounds (p99 %v), %d NACKs, %d disconnects, %d failed fault-phase rounds, overload=%+v",
-		len(stats.latencies), stats.p99(), stats.nacks, stats.disconnects, stats.failed, st.Overload)
+	// The trace layer must have survived the soak: sampled spans from the
+	// healthy fleet completed, and the slow consumer's abandoned requests
+	// are accounted as drops, not leaks.
+	tracezBody := httpGet(t, adminBase+"/tracez")
+	var tz trace.TracezDoc
+	if err := json.Unmarshal([]byte(tracezBody), &tz); err != nil {
+		t.Fatalf("tracez decode: %v", err)
+	}
+	if tz.SampleEvery != 8 {
+		t.Errorf("tracez sample_every = %d", tz.SampleEvery)
+	}
+	completeSpans := 0
+	for _, sp := range tz.Spans {
+		if sp.Complete {
+			completeSpans++
+		}
+	}
+	if completeSpans == 0 {
+		t.Errorf("no complete spans on /tracez after the soak (completed=%d dropped=%d)", tz.Completed, tz.Dropped)
+	}
+
+	// Every eviction and detected stall must have left a flight event, and
+	// the control-plane story must read in causal (sequence) order: memory
+	// pressure rose before the slow consumer was finally evicted.
+	flightBody := httpGet(t, adminBase+"/debug/flightrecorder")
+	var fd trace.FlightDoc
+	if err := json.Unmarshal([]byte(flightBody), &fd); err != nil {
+		t.Fatalf("flight recorder decode: %v", err)
+	}
+	var evictions, memLevels, stalls int64
+	var firstPressureSeq, evictionSeq uint64
+	for i, ev := range fd.Events {
+		if i > 0 && fd.Events[i-1].Seq >= ev.Seq {
+			t.Fatalf("flight events out of sequence order at %d: %d >= %d", i, fd.Events[i-1].Seq, ev.Seq)
+		}
+		switch ev.Kind {
+		case "slow_eviction":
+			evictions++
+			evictionSeq = ev.Seq
+		case "mem_level":
+			memLevels++
+			if ev.A > 0 && firstPressureSeq == 0 {
+				firstPressureSeq = ev.Seq
+			}
+		case "stall_detected":
+			stalls++
+		}
+	}
+	if evictions != st.Overload.SlowSessionsEvicted {
+		t.Errorf("flight recorder holds %d slow_eviction events, server evicted %d", evictions, st.Overload.SlowSessionsEvicted)
+	}
+	if memLevels == 0 {
+		t.Error("no mem_level transitions in the flight recorder (MemCapProbes should have tripped during warmup)")
+	}
+	if firstPressureSeq == 0 || evictionSeq == 0 || firstPressureSeq >= evictionSeq {
+		t.Errorf("pressure-before-eviction ordering violated: first mem pressure seq %d, eviction seq %d",
+			firstPressureSeq, evictionSeq)
+	}
+
+	// The eviction (and the mem-pressure escalations before it) must have
+	// produced an incident dump on disk.
+	waitFor(t, 5*time.Second, "flight incident dump", func() bool {
+		_, err := os.Stat(flightDump)
+		return err == nil
+	})
+	dumpBytes, err := os.ReadFile(flightDump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump trace.FlightDoc
+	if err := json.Unmarshal(dumpBytes, &dump); err != nil {
+		t.Fatalf("flight dump decode: %v", err)
+	}
+	if dump.Reason == "" || len(dump.Events) == 0 {
+		t.Errorf("flight dump empty: reason=%q events=%d", dump.Reason, len(dump.Events))
+	}
+	if fd.Dumps < 1 {
+		t.Errorf("flight recorder dump counter = %d", fd.Dumps)
+	}
+
+	// When CI points OIJ_SOAK_ARTIFACT_DIR at a directory, leave the trace
+	// ring and the flight timeline behind for the workflow to upload.
+	if dir := os.Getenv("OIJ_SOAK_ARTIFACT_DIR"); dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, body := range map[string]string{
+			"soak-tracez.json":        tracezBody,
+			"soak-flight.json":        flightBody,
+			"soak-incident-dump.json": string(dumpBytes),
+		} {
+			if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	t.Logf("soak: %d admitted rounds (p99 %v), %d NACKs, %d disconnects, %d failed fault-phase rounds, %d scrapes, overload=%+v, flight: %d mem / %d stall / %d evict events",
+		len(stats.latencies), stats.p99(), stats.nacks, stats.disconnects, stats.failed, scrapes.Load(), st.Overload, memLevels, stalls, evictions)
 }
 
 func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {

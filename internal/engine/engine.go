@@ -18,6 +18,7 @@ import (
 	"oij/internal/agg"
 	"oij/internal/metrics"
 	"oij/internal/queue"
+	"oij/internal/trace"
 	"oij/internal/tuple"
 	"oij/internal/watermark"
 	"oij/internal/window"
@@ -86,6 +87,10 @@ type Config struct {
 	// AdaptiveQuantile is the tardiness quantile the estimate covers
 	// (default 0.999).
 	AdaptiveQuantile float64
+	// Flight, when set, receives watermark-advance events from the
+	// transport (nil disables; trace.Flight methods are nil-safe so the
+	// hot path pays only the advance check).
+	Flight *trace.Flight
 }
 
 // WithDefaults fills unset fields.
@@ -115,6 +120,15 @@ func (c Config) Validate() error {
 // per-joiner sharded sinks need no locking.
 type Sink interface {
 	Emit(joiner int, r tuple.Result)
+}
+
+// StageRecorder is implemented by sinks that attach per-request trace
+// spans (the serving path's sampled tracing). Engines assert their sink
+// for it at construction, like LatencyRecorder; SpanFor returns nil for
+// unsampled requests, and every trace.Span method is nil-safe, so joiners
+// stamp unconditionally. Safe from any joiner goroutine.
+type StageRecorder interface {
+	SpanFor(baseSeq uint64) *trace.Span
 }
 
 // Engine is the driver-facing lifecycle every implementation provides.
@@ -314,6 +328,11 @@ type watermarkAssigner struct {
 	maxTS tuple.Time
 	seen  bool
 	count int
+	total int64
+	// lastWM is the newest watermark recorded to the flight recorder, so
+	// a heartbeat rebroadcast of an unchanged watermark is not an event.
+	lastWM     tuple.Time
+	lastWMSeen bool
 }
 
 // NewTransport builds rings for cfg.Joiners joiners.
@@ -395,11 +414,28 @@ func (t *Transport) Observe(ts tuple.Time) {
 		wm = a.maxTS - t.Cfg.Window.Lateness
 	}
 	a.count++
+	a.total++
 	if a.count >= t.Cfg.WatermarkEvery {
 		a.count = 0
 		t.pubWM.Store(int64(wm))
+		t.recordWM(wm)
 		t.Broadcast(WatermarkTuple(wm))
 	}
+}
+
+// recordWM logs a watermark advance to the flight recorder (driver-side
+// only; no-op when the watermark did not move or no recorder is set).
+func (t *Transport) recordWM(wm tuple.Time) {
+	if t.Cfg.Flight == nil {
+		return
+	}
+	a := t.assign
+	if a.lastWMSeen && wm <= a.lastWM {
+		return
+	}
+	a.lastWM = wm
+	a.lastWMSeen = true
+	t.Cfg.Flight.Record(trace.CompWatermark, trace.EvWatermarkAdvance, uint64(wm), uint64(a.total))
 }
 
 // Heartbeat re-broadcasts the current watermark (a no-op before any tuple
@@ -413,6 +449,7 @@ func (t *Transport) Heartbeat() {
 		wm = t.adaptive.Current()
 	}
 	t.pubWM.Store(int64(wm))
+	t.recordWM(wm)
 	t.Broadcast(WatermarkTuple(wm))
 }
 

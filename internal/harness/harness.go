@@ -15,6 +15,7 @@ import (
 	"oij/internal/mldb"
 	"oij/internal/scaleoij"
 	"oij/internal/splitjoin"
+	"oij/internal/trace"
 	"oij/internal/tuple"
 	"oij/internal/workload"
 )
@@ -101,6 +102,10 @@ type RunConfig struct {
 	// UtilEpoch, when > 0, samples per-joiner utilization at this epoch
 	// (Fig. 14).
 	UtilEpoch time.Duration
+	// Flight, when non-nil, receives the engine's flight-recorder events
+	// (watermark advances etc.). Benchmarks pass one to measure the
+	// recorder's overhead under load.
+	Flight *trace.Flight
 }
 
 // RunResult carries everything a figure needs.
@@ -138,6 +143,7 @@ func Run(rc RunConfig) (RunResult, error) {
 		Mode:       rc.Mode,
 		Instrument: rc.Instrument,
 		TrackBusy:  rc.UtilEpoch > 0,
+		Flight:     rc.Flight,
 	}
 	var sink engine.Sink
 	var lat *engine.LatencySink

@@ -23,6 +23,7 @@ import (
 
 	"oij/internal/agg"
 	"oij/internal/engine"
+	"oij/internal/trace"
 	"oij/internal/tuple"
 	"oij/internal/watermark"
 )
@@ -33,6 +34,7 @@ type Engine struct {
 	tr    *engine.Transport
 	sink  engine.Sink
 	lrec  engine.LatencyRecorder // non-nil if sink records latencies
+	srec  engine.StageRecorder   // non-nil if sink hands out trace spans
 	stats *engine.Stats
 	js    []*joiner
 }
@@ -47,6 +49,7 @@ func New(cfg engine.Config, sink engine.Sink) *Engine {
 	}
 	e := &Engine{cfg: cfg, tr: engine.NewTransport(cfg), sink: sink, stats: engine.NewStats(cfg.Joiners)}
 	e.lrec, _ = sink.(engine.LatencyRecorder)
+	e.srec, _ = sink.(engine.StageRecorder)
 	e.js = make([]*joiner, cfg.Joiners)
 	for i := range e.js {
 		e.js[i] = newJoiner(e, i)
@@ -219,10 +222,18 @@ func (j *joiner) join(base tuple.Tuple) {
 	buf := j.buffers[base.Key]
 	st := agg.NewState(j.e.cfg.Agg)
 
-	if j.e.cfg.Instrument {
+	var sp *trace.Span
+	if j.e.srec != nil {
+		sp = j.e.srec.SpanFor(base.Seq)
+	}
+	sp.StampDispatched(j.id)
+
+	if j.e.cfg.Instrument || sp != nil {
 		// Two-pass so lookup (filtering the full buffer) and match
 		// (folding in-window values) are timed separately, mirroring
-		// the paper's Fig. 6 categories.
+		// the paper's Fig. 6 categories. Sampled spans take the same
+		// path so probe and aggregate stages get distinct timings, but
+		// only instrumented runs write the shared breakdown stats.
 		t0 := time.Now()
 		j.scratch = j.scratch[:0]
 		keep := buf[:0]
@@ -242,10 +253,14 @@ func (j *joiner) join(base tuple.Tuple) {
 			st.AddAt(p.TS, p.Val)
 		}
 		t2 := time.Now()
-		bd := &j.e.stats.Breakdown[j.id]
-		bd.Lookup += t1.Sub(t0)
-		bd.Match += t2.Sub(t1)
-		j.e.stats.Effect[j.id].Observe(int64(len(j.scratch)), int64(len(buf)))
+		if j.e.cfg.Instrument {
+			bd := &j.e.stats.Breakdown[j.id]
+			bd.Lookup += t1.Sub(t0)
+			bd.Match += t2.Sub(t1)
+			j.e.stats.Effect[j.id].Observe(int64(len(j.scratch)), int64(len(buf)))
+		}
+		sp.Add(trace.StageProbe, t1.Sub(t0))
+		sp.Add(trace.StageAggregate, t2.Sub(t1))
 	} else {
 		keep := buf[:0]
 		for _, t := range buf {
@@ -261,10 +276,11 @@ func (j *joiner) join(base tuple.Tuple) {
 		j.buffers[base.Key] = keep
 	}
 
-	j.emit(base, st)
+	j.emit(base, st, sp)
 }
 
-func (j *joiner) emit(base tuple.Tuple, st agg.State) {
+func (j *joiner) emit(base tuple.Tuple, st agg.State, sp *trace.Span) {
+	sp.StampJoined()
 	j.e.stats.Results.Add(1)
 	j.e.sink.Emit(j.id, tuple.Result{
 		BaseTS:  base.TS,

@@ -20,6 +20,7 @@ import (
 	"oij/internal/agg"
 	"oij/internal/engine"
 	"oij/internal/timetravel"
+	"oij/internal/trace"
 	"oij/internal/tuple"
 	"oij/internal/watermark"
 )
@@ -32,6 +33,7 @@ type Engine struct {
 	tr    *engine.Transport
 	sink  engine.Sink
 	lrec  engine.LatencyRecorder
+	srec  engine.StageRecorder
 	stats *engine.Stats
 
 	// mu guards table: one writer at a time, readers share. The paper's
@@ -66,6 +68,7 @@ func New(cfg engine.Config, sink engine.Sink) *Engine {
 		e.wms[i] = watermark.MinTime
 	}
 	e.lrec, _ = sink.(engine.LatencyRecorder)
+	e.srec, _ = sink.(engine.StageRecorder)
 	return e
 }
 
@@ -141,10 +144,16 @@ func (e *Engine) join(id int, base tuple.Tuple) {
 	lo, hi := e.cfg.Window.Bounds(base.TS)
 	st := agg.NewState(e.cfg.Agg)
 
+	var sp *trace.Span
+	if e.srec != nil {
+		sp = e.srec.SpanFor(base.Seq)
+	}
+	sp.StampDispatched(id)
+
 	w0 := time.Now()
 	e.mu.RLock()
 	waited := time.Since(w0)
-	if e.cfg.Instrument {
+	if e.cfg.Instrument || sp != nil {
 		t0 := time.Now()
 		scratch := make([]engine.TSVal, 0, 64)
 		visited := e.table.ScanWindow(base.Key, lo, hi, func(ts tuple.Time, val float64) bool {
@@ -157,10 +166,14 @@ func (e *Engine) join(id int, base tuple.Tuple) {
 			st.AddAt(p.TS, p.Val)
 		}
 		t2 := time.Now()
-		bd := &e.stats.Breakdown[id]
-		bd.Lookup += t1.Sub(t0)
-		bd.Match += t2.Sub(t1)
-		e.stats.Effect[id].Observe(int64(len(scratch)), int64(visited))
+		if e.cfg.Instrument {
+			bd := &e.stats.Breakdown[id]
+			bd.Lookup += t1.Sub(t0)
+			bd.Match += t2.Sub(t1)
+			e.stats.Effect[id].Observe(int64(len(scratch)), int64(visited))
+		}
+		sp.Add(trace.StageProbe, t1.Sub(t0))
+		sp.Add(trace.StageAggregate, t2.Sub(t1))
 	} else {
 		e.table.ScanWindow(base.Key, lo, hi, func(ts tuple.Time, val float64) bool {
 			st.AddAt(ts, val)
@@ -170,6 +183,7 @@ func (e *Engine) join(id int, base tuple.Tuple) {
 	}
 	e.lockWait.Add(int64(waited))
 
+	sp.StampJoined()
 	e.stats.Results.Add(1)
 	e.sink.Emit(id, tuple.Result{
 		BaseTS:  base.TS,

@@ -14,18 +14,25 @@ import (
 //	/statusz       JSON snapshot produced by the status callback
 //	/debug/pprof/  the standard Go profiling handlers
 //
-// on its own mux (never http.DefaultServeMux, so importing this package
-// cannot leak pprof onto an application server).
+// plus any extra endpoints the caller registers (the server adds /tracez
+// and /debug/flightrecorder), on its own mux (never http.DefaultServeMux,
+// so importing this package cannot leak pprof onto an application server).
 type Admin struct {
 	srv *http.Server
 	ln  net.Listener
+}
+
+// Endpoint is an extra admin route registered at ServeAdmin time.
+type Endpoint struct {
+	Path    string
+	Handler http.HandlerFunc
 }
 
 // ServeAdmin binds addr (use ":0" for an ephemeral port) and serves the
 // admin endpoints in a background goroutine. status is invoked per
 // /statusz request and must be safe from any goroutine; nil disables the
 // endpoint.
-func ServeAdmin(addr string, reg *Registry, status func() any) (*Admin, error) {
+func ServeAdmin(addr string, reg *Registry, status func() any, extra ...Endpoint) (*Admin, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -42,6 +49,9 @@ func ServeAdmin(addr string, reg *Registry, status func() any) (*Admin, error) {
 			enc.SetIndent("", "  ")
 			enc.Encode(status())
 		})
+	}
+	for _, e := range extra {
+		mux.HandleFunc(e.Path, e.Handler)
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

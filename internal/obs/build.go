@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Build reports the running binary's identity: the VCS revision the module
+// was built from ("unknown" outside a stamped build, "-dirty" appended when
+// the tree was modified), the Go toolchain version, and GOMAXPROCS. It
+// feeds the oij_build_info metric and the /statusz build section, so BENCH
+// reports and trace dumps are attributable to an exact build.
+func Build() (revision, goVersion string, gomaxprocs int) {
+	buildOnce.Do(func() {
+		buildRev = "unknown"
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			var rev, dirty string
+			for _, s := range bi.Settings {
+				switch s.Key {
+				case "vcs.revision":
+					rev = s.Value
+				case "vcs.modified":
+					if s.Value == "true" {
+						dirty = "-dirty"
+					}
+				}
+			}
+			if rev != "" {
+				if len(rev) > 12 {
+					rev = rev[:12]
+				}
+				buildRev = rev + dirty
+			}
+		}
+	})
+	return buildRev, runtime.Version(), runtime.GOMAXPROCS(0)
+}
+
+var (
+	buildOnce sync.Once
+	buildRev  string
+)

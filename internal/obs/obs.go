@@ -15,6 +15,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -117,6 +118,14 @@ func (v *HistogramVec) Snapshot() *HistSnapshot {
 	return s
 }
 
+// infoMetric is the Prometheus info idiom: a constant gauge of 1 whose
+// labels carry build/identity strings (git revision, Go version), so
+// scrape artifacts are attributable to the exact binary that produced them.
+type infoMetric struct {
+	name, help string
+	labels     [][2]string
+}
+
 // gaugeFunc reads its value at scrape time — for state that already lives
 // in engine atomics (queue depths, watermarks) and needs no second copy.
 type gaugeFunc struct {
@@ -139,6 +148,7 @@ type Registry struct {
 	gfns     []*gaugeFunc
 	gvfns    []*gaugeVecFunc
 	hists    []*HistogramVec
+	infos    []*infoMetric
 }
 
 // NewRegistry creates an empty registry.
@@ -187,6 +197,14 @@ func (r *Registry) NewGaugeVecFunc(name, help string, fn func() []float64) {
 	r.mu.Unlock()
 }
 
+// NewInfo registers an info metric: a constant 1 carrying identity labels
+// (the Prometheus <name>_info idiom). Label values are escaped on output.
+func (r *Registry) NewInfo(name, help string, labels [][2]string) {
+	r.mu.Lock()
+	r.infos = append(r.infos, &infoMetric{name: name, help: help, labels: labels})
+	r.mu.Unlock()
+}
+
 // NewHistogramVec registers a histogram family. scale divides recorded
 // values on output (0 means 1); quantiles nil means DefaultQuantiles.
 func (r *Registry) NewHistogramVec(name, help string, shards int, scale float64, quantiles []float64) *HistogramVec {
@@ -213,7 +231,17 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	gfns := append([]*gaugeFunc(nil), r.gfns...)
 	gvfns := append([]*gaugeVecFunc(nil), r.gvfns...)
 	hists := append([]*HistogramVec(nil), r.hists...)
+	infos := append([]*infoMetric(nil), r.infos...)
 	r.mu.Unlock()
+
+	for _, m := range infos {
+		if err := writeHeader(w, m.name, m.help, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s%s 1\n", m.name, renderLabels(m.labels)); err != nil {
+			return err
+		}
+	}
 
 	for _, v := range counters {
 		if err := writeHeader(w, v.name, v.help, "counter"); err != nil {
@@ -282,6 +310,26 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// renderLabels formats a label set as {k="v",...}, escaping values per the
+// exposition format ("" for an empty set).
+func renderLabels(labels [][2]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, kv := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		// %q escapes backslash, quote, and newline exactly as the
+		// exposition format requires.
+		fmt.Fprintf(&b, "%s=%q", kv[0], kv[1])
+	}
+	b.WriteByte('}')
+	return b.String()
 }
 
 func writeHeader(w io.Writer, name, help, typ string) error {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"oij/internal/harness"
+	"oij/internal/trace"
 	"oij/internal/tuple"
 )
 
@@ -24,6 +25,10 @@ type RunOptions struct {
 	// Env overrides the captured environment fingerprint (tests skip the
 	// calibration microbenchmark this way).
 	Env *Env
+	// FlightRecorder attaches an always-on flight recorder to every
+	// measured engine, so the regression gate proves the recorder's cost
+	// under full load is within the noise floor.
+	FlightRecorder bool
 }
 
 // RunSpec executes every cell of the spec and assembles the report.
@@ -47,9 +52,13 @@ func RunSpec(spec Spec, o RunOptions) (*Report, error) {
 	}
 
 	gen := map[string][]tuple.Tuple{}
+	var fr *trace.Flight
+	if o.FlightRecorder {
+		fr = trace.NewFlight(512, "")
+	}
 	for rep := 0; rep < spec.Repeats; rep++ {
 		for i := range cells {
-			sample, err := runCell(&cells[i], spec, rep, gen)
+			sample, err := runCell(&cells[i], spec, rep, gen, fr)
 			if err != nil {
 				return nil, fmt.Errorf("perf: cell %s (repeat %d): %w", cells[i].ID, rep+1, err)
 			}
@@ -77,7 +86,7 @@ func RunSpec(spec Spec, o RunOptions) (*Report, error) {
 }
 
 // runCell measures one repeat of one cell.
-func runCell(c *Cell, spec Spec, rep int, gen map[string][]tuple.Tuple) (Sample, error) {
+func runCell(c *Cell, spec Spec, rep int, gen map[string][]tuple.Tuple, fr *trace.Flight) (Sample, error) {
 	wl, err := c.workloadConfig()
 	if err != nil {
 		return Sample{}, err
@@ -106,6 +115,7 @@ func runCell(c *Cell, spec Spec, rep int, gen map[string][]tuple.Tuple) (Sample,
 		MaxLatencySamples: maxSamples,
 		LatencySeed:       uint64(spec.Seed)*1_000_003 + uint64(rep),
 		Instrument:        c.Instrumented,
+		Flight:            fr,
 	}
 	res, err := harness.Run(rc)
 	if err != nil {

@@ -25,6 +25,7 @@ import (
 	"oij/internal/engine"
 	"oij/internal/sched"
 	"oij/internal/timetravel"
+	"oij/internal/trace"
 	"oij/internal/tuple"
 	"oij/internal/watermark"
 )
@@ -77,6 +78,7 @@ type Engine struct {
 	tr    *engine.Transport
 	sink  engine.Sink
 	lrec  engine.LatencyRecorder
+	srec  engine.StageRecorder
 	stats *engine.Stats
 	js    []*joiner
 
@@ -125,6 +127,7 @@ func New(cfg engine.Config, opt Options, sink engine.Sink) *Engine {
 		finalized: watermark.NewTracker(cfg.Joiners),
 	}
 	e.lrec, _ = sink.(engine.LatencyRecorder)
+	e.srec, _ = sink.(engine.StageRecorder)
 	for i := range e.lastWrite {
 		e.lastWrite[i] = make([]tuple.Time, cfg.Joiners)
 		e.masks[i].Store(1 << uint(i%cfg.Joiners))
@@ -486,22 +489,35 @@ func (j *joiner) join(base tuple.Tuple) {
 	lo, hi := j.e.cfg.Window.Bounds(base.TS)
 	mask := j.readMask(base.Key)
 
+	var sp *trace.Span
+	if j.e.srec != nil {
+		sp = j.e.srec.SpanFor(base.Seq)
+	}
+	sp.StampDispatched(j.id)
+
 	var st agg.State
 	switch {
+	case sp != nil:
+		// Traced bases take the full-scan two-pass path so probe and
+		// aggregate get distinct timings. The incremental cache is left
+		// untouched: entries self-validate against their stored bounds
+		// and mask, so the next untraced base simply slides from the
+		// cached window as if this one had never happened.
+		st = j.joinFull(base.Key, mask, lo, hi, sp)
 	case j.e.opt.Incremental && j.e.cfg.Agg.Invertible():
 		st = j.joinIncremental(base, mask, lo, hi)
 	case j.e.opt.Incremental:
 		st = j.joinSliding(base, mask, lo, hi)
 	default:
-		st = j.joinFull(base.Key, mask, lo, hi)
+		st = j.joinFull(base.Key, mask, lo, hi, nil)
 	}
-	j.emit(base, st)
+	j.emit(base, st, sp)
 }
 
 // joinFull recomputes the aggregate from scratch over the window.
-func (j *joiner) joinFull(k tuple.Key, mask uint64, lo, hi tuple.Time) agg.State {
+func (j *joiner) joinFull(k tuple.Key, mask uint64, lo, hi tuple.Time, sp *trace.Span) agg.State {
 	st := agg.NewState(j.e.cfg.Agg)
-	if j.e.cfg.Instrument {
+	if j.e.cfg.Instrument || sp != nil {
 		t0 := time.Now()
 		j.scratch = j.scratch[:0]
 		visited := j.scanTeam(mask, k, lo, hi, func(ts tuple.Time, val float64) bool {
@@ -513,10 +529,14 @@ func (j *joiner) joinFull(k tuple.Key, mask uint64, lo, hi tuple.Time) agg.State
 			st.AddAt(p.ts, p.val)
 		}
 		t2 := time.Now()
-		bd := &j.e.stats.Breakdown[j.id]
-		bd.Lookup += t1.Sub(t0)
-		bd.Match += t2.Sub(t1)
-		j.e.stats.Effect[j.id].Observe(int64(len(j.scratch)), int64(visited))
+		if j.e.cfg.Instrument {
+			bd := &j.e.stats.Breakdown[j.id]
+			bd.Lookup += t1.Sub(t0)
+			bd.Match += t2.Sub(t1)
+			j.e.stats.Effect[j.id].Observe(int64(len(j.scratch)), int64(visited))
+		}
+		sp.Add(trace.StageProbe, t1.Sub(t0))
+		sp.Add(trace.StageAggregate, t2.Sub(t1))
 		return st
 	}
 	j.scanTeam(mask, k, lo, hi, func(ts tuple.Time, val float64) bool {
@@ -538,7 +558,7 @@ func (j *joiner) joinIncremental(base tuple.Tuple, mask uint64, lo, hi tuple.Tim
 		entry.lo >= j.evictBound(j.evictWM()) // subtraction range still physically readable
 
 	if !usable {
-		st := j.joinFull(base.Key, mask, lo, hi)
+		st := j.joinFull(base.Key, mask, lo, hi, nil)
 		if entry == nil {
 			entry = &incEntry{}
 			j.inc[base.Key] = entry
@@ -661,7 +681,8 @@ func (j *joiner) pushSorted(s *agg.Sliding, mask uint64, k tuple.Key, lo, hi tup
 	}
 }
 
-func (j *joiner) emit(base tuple.Tuple, st agg.State) {
+func (j *joiner) emit(base tuple.Tuple, st agg.State, sp *trace.Span) {
+	sp.StampJoined()
 	j.e.stats.Results.Add(1)
 	j.e.sink.Emit(j.id, tuple.Result{
 		BaseTS:  base.TS,

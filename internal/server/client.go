@@ -115,11 +115,13 @@ func (c *Client) SendProbe(key tuple.Key, ts tuple.Time, val float64) error {
 }
 
 // SendBase streams one feature request and returns its session-local
-// sequence number, which the matching result frame will carry.
+// sequence number, which the matching result frame will carry. The sequence
+// number travels on the wire (an identified-base frame), so server-side
+// traces of this request are scrapeable under the same ID the client logs.
 func (c *Client) SendBase(key tuple.Key, ts tuple.Time, val float64) (uint64, error) {
 	seq := c.seq
 	c.seq++
-	return seq, wrapDisconnect("send request", c.w.WriteTuple(wire.Tuple{Base: true, TS: ts, Key: key, Val: val}))
+	return seq, wrapDisconnect("send request", c.w.WriteBaseID(wire.Tuple{Base: true, TS: ts, Key: key, Val: val, ID: seq}))
 }
 
 // Flush pushes buffered frames to the wire.

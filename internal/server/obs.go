@@ -8,11 +8,13 @@
 package server
 
 import (
+	"fmt"
 	"time"
 
 	"oij/internal/engine"
 	"oij/internal/metrics"
 	"oij/internal/obs"
+	"oij/internal/trace"
 	"oij/internal/watermark"
 )
 
@@ -172,6 +174,24 @@ func newServerObs(s *Server, joiners int) *serverObs {
 			return float64(r.Reschedules())
 		})
 	}
+	rev, goVer, procs := obs.Build()
+	reg.NewInfo("oij_build_info", "Build identity; constant 1.", [][2]string{
+		{"revision", rev},
+		{"go_version", goVer},
+		{"gomaxprocs", fmt.Sprintf("%d", procs)},
+	})
+	reg.NewGaugeFunc("oij_trace_sample_every", "Per-request trace sampling rate (1-in-N; 0 = disabled).", func() float64 {
+		return float64(s.tracer.SampleN())
+	})
+	reg.NewGaugeFunc("oij_trace_completed_spans", "Sampled request spans completed since startup.", func() float64 {
+		return float64(s.tracer.Completed())
+	})
+	reg.NewGaugeFunc("oij_flight_events_total", "Flight-recorder events recorded since startup.", func() float64 {
+		return float64(s.flight.Seq())
+	})
+	reg.NewGaugeFunc("oij_flight_dumps_total", "Flight-recorder incident dumps written since startup.", func() float64 {
+		return float64(s.flight.Dumps())
+	})
 	return o
 }
 
@@ -192,12 +212,17 @@ func (s *Server) sampleUtilization(prevBusy []int64, epoch time.Duration) {
 }
 
 // samplerLoop runs until Shutdown, closing a utilization epoch per tick.
+// Each epoch also lands in the flight recorder, and the tick doubles as
+// the stall watchdog's edge detector: the first epoch that sees wedged
+// joiners records stall-detected (and triggers an incident dump), the
+// first clean one after it records stall-cleared.
 func (s *Server) samplerLoop() {
 	defer s.wg.Done()
 	tick := time.NewTicker(s.cfg.UtilEpoch)
 	defer tick.Stop()
 	prev := make([]int64, s.cfg.Engine.Joiners)
 	last := time.Now()
+	var epoch uint64
 	for {
 		select {
 		case <-s.stopSampler:
@@ -205,7 +230,36 @@ func (s *Server) samplerLoop() {
 		case now := <-tick.C:
 			s.sampleUtilization(prev, now.Sub(last))
 			last = now
+			epoch++
+			_, _, lag := s.watermarkLag()
+			s.flight.Record(trace.CompEpoch, trace.EvEpoch, epoch, uint64(lag))
+			s.watchStalls()
 		}
+	}
+}
+
+// watchStalls records stall watchdog edges to the flight recorder.
+func (s *Server) watchStalls() {
+	in := s.introspect()
+	if in == nil {
+		return
+	}
+	st := in.Stalls()
+	wedged := st.Wedged(s.cfg.StallThreshold)
+	if len(wedged) > 0 {
+		var maxBlock time.Duration
+		for _, d := range st.BlockedFor {
+			if d > maxBlock {
+				maxBlock = d
+			}
+		}
+		if !s.stallActive.Swap(true) {
+			s.flight.Record(trace.CompStall, trace.EvStallDetected,
+				uint64(len(wedged)), uint64(maxBlock))
+			s.flight.AutoDump("stall-watchdog")
+		}
+	} else if s.stallActive.Swap(false) {
+		s.flight.Record(trace.CompStall, trace.EvStallCleared, 0, 0)
 	}
 }
 
@@ -249,9 +303,28 @@ type OverloadStatus struct {
 	StalledJoiners      []int   `json:"stalled_joiners,omitempty"`
 }
 
+// BuildStatus identifies the running build on /statusz (mirrors the
+// oij_build_info labels on /metrics).
+type BuildStatus struct {
+	Revision   string `json:"revision"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// TraceStatus is the tracing subsystem's live state on /statusz.
+type TraceStatus struct {
+	SampleEvery    int    `json:"sample_every"`
+	ActiveSpans    int64  `json:"active_spans"`
+	CompletedSpans uint64 `json:"completed_spans"`
+	DroppedSpans   uint64 `json:"dropped_spans"`
+	FlightEvents   uint64 `json:"flight_events"`
+	FlightDumps    uint64 `json:"flight_dumps"`
+}
+
 // Status is the /statusz document: the paper's post-run metrics (§III-B,
 // Eq. 1, Eq. 2, Fig. 14) read live off a serving daemon.
 type Status struct {
+	Build            BuildStatus    `json:"build"`
 	Algorithm        string         `json:"algorithm"`
 	Mode             string         `json:"mode"`
 	Joiners          int            `json:"joiners"`
@@ -274,6 +347,7 @@ type Status struct {
 	Unbalancedness   float64        `json:"unbalancedness"`
 	Reschedules      *int64         `json:"reschedules,omitempty"`
 	Overload         OverloadStatus `json:"overload"`
+	Trace            TraceStatus    `json:"trace"`
 	Latency          LatencyStatus  `json:"latency"`
 	PerJoiner        []JoinerStatus `json:"per_joiner"`
 }
@@ -348,6 +422,16 @@ func (s *Server) Statusz() Status {
 		out.Overload.StallParks = stalls.Parks
 		out.Overload.StalledJoiners = stalls.Wedged(s.cfg.StallThreshold)
 	}
+	rev, goVer, procs := obs.Build()
+	out.Build = BuildStatus{Revision: rev, GoVersion: goVer, GOMAXPROCS: procs}
+	out.Trace = TraceStatus{
+		SampleEvery:    s.tracer.SampleN(),
+		ActiveSpans:    s.tracer.Active(),
+		CompletedSpans: s.tracer.Completed(),
+		DroppedSpans:   s.tracer.Dropped(),
+		FlightEvents:   s.flight.Seq(),
+		FlightDumps:    s.flight.Dumps(),
+	}
 	h := s.o.latency.Snapshot()
 	msOf := func(ns int64) float64 { return float64(ns) / float64(time.Millisecond) }
 	out.Latency = LatencyStatus{
@@ -382,6 +466,9 @@ func (k serverSink) Record(joiner int, d time.Duration) {
 	k.s.o.latency.Shard(joiner).Observe(int64(d))
 }
 
-// compile-time check: the server sink accepts latency samples from
-// engines.
-var _ engine.LatencyRecorder = serverSink{}
+// compile-time checks: the server sink accepts latency samples and hands
+// out trace spans to engines.
+var (
+	_ engine.LatencyRecorder = serverSink{}
+	_ engine.StageRecorder   = serverSink{}
+)

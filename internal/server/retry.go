@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"oij/internal/trace"
 )
 
 // Backoff computes jittered exponential delays: attempt n sleeps a uniform
@@ -61,6 +63,11 @@ var ErrBreakerOpen = errors.New("circuit breaker open")
 type Breaker struct {
 	Threshold int           // consecutive failures to open (default 5)
 	Cooldown  time.Duration // open duration before a trial (default 1s)
+	// OnTransition, when set, is called with the old and new state after
+	// every state change ("closed"/"open"/"half-open"). Invoked outside
+	// the breaker's lock, so the callback may call State or record to a
+	// flight recorder without deadlocking.
+	OnTransition func(from, to string)
 
 	mu       sync.Mutex
 	failures int
@@ -90,50 +97,8 @@ func (b *Breaker) cooldown() time.Duration {
 	return b.Cooldown
 }
 
-// Allow reports whether a call may proceed, transitioning open → half-open
-// after the cooldown. In half-open exactly one caller is admitted until its
-// Success or Failure settles the state.
-func (b *Breaker) Allow() bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.failures < b.threshold() {
-		return true
-	}
-	if b.halfOpen {
-		return false // a trial is already in flight
-	}
-	if b.clock().Sub(b.openedAt) >= b.cooldown() {
-		b.halfOpen = true
-		return true
-	}
-	return false
-}
-
-// Success records a successful call and closes the circuit.
-func (b *Breaker) Success() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.failures = 0
-	b.halfOpen = false
-}
-
-// Failure records a failed call; at the threshold the circuit opens (and a
-// failed half-open trial re-opens it).
-func (b *Breaker) Failure() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.failures++
-	b.halfOpen = false
-	if b.failures >= b.threshold() {
-		b.openedAt = b.clock()
-	}
-}
-
-// State reports "closed", "open", or "half-open" (for statusz-style
-// introspection and tests).
-func (b *Breaker) State() string {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+// stateLocked computes the state name; callers hold b.mu.
+func (b *Breaker) stateLocked() string {
 	switch {
 	case b.failures < b.threshold():
 		return "closed"
@@ -142,6 +107,66 @@ func (b *Breaker) State() string {
 	default:
 		return "open"
 	}
+}
+
+// notify fires OnTransition outside the lock when the state changed.
+func (b *Breaker) notify(from, to string) {
+	if from != to && b.OnTransition != nil {
+		b.OnTransition(from, to)
+	}
+}
+
+// Allow reports whether a call may proceed, transitioning open → half-open
+// after the cooldown. In half-open exactly one caller is admitted until its
+// Success or Failure settles the state.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	from := b.stateLocked()
+	allowed := false
+	if b.failures < b.threshold() {
+		allowed = true
+	} else if !b.halfOpen && b.clock().Sub(b.openedAt) >= b.cooldown() {
+		b.halfOpen = true
+		allowed = true
+	}
+	to := b.stateLocked()
+	b.mu.Unlock()
+	b.notify(from, to)
+	return allowed
+}
+
+// Success records a successful call and closes the circuit.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	from := b.stateLocked()
+	b.failures = 0
+	b.halfOpen = false
+	to := b.stateLocked()
+	b.mu.Unlock()
+	b.notify(from, to)
+}
+
+// Failure records a failed call; at the threshold the circuit opens (and a
+// failed half-open trial re-opens it).
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	from := b.stateLocked()
+	b.failures++
+	b.halfOpen = false
+	if b.failures >= b.threshold() {
+		b.openedAt = b.clock()
+	}
+	to := b.stateLocked()
+	b.mu.Unlock()
+	b.notify(from, to)
+}
+
+// State reports "closed", "open", or "half-open" (for statusz-style
+// introspection and tests).
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stateLocked()
 }
 
 // RetryClient wraps Client with automatic reconnection, jittered
@@ -226,6 +251,26 @@ func (rc *RetryClient) Do(fn func(*Client) error) error {
 		rc.Breaker.Failure()
 	}
 	return fmt.Errorf("giving up after %d attempts: %w", rc.attempts(), lastErr)
+}
+
+// RecordBreaker routes the client's circuit-breaker state changes into a
+// flight-recorder timeline (a=consecutive failures at the transition), so
+// client-side fail-fast episodes line up with the server's eviction and
+// shed events when both run in one process (tests, embedded deployments).
+func (rc *RetryClient) RecordBreaker(fr *trace.Flight) {
+	rc.Breaker.OnTransition = func(_, to string) {
+		k := trace.EvBreakerClosed
+		switch to {
+		case "open":
+			k = trace.EvBreakerOpen
+		case "half-open":
+			k = trace.EvBreakerHalfOpen
+		}
+		rc.Breaker.mu.Lock()
+		failures := rc.Breaker.failures
+		rc.Breaker.mu.Unlock()
+		fr.Record(trace.CompBreaker, k, uint64(failures), 0)
+	}
 }
 
 // Close releases the current connection, if any.

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -28,6 +29,7 @@ import (
 	"oij/internal/faultfs"
 	"oij/internal/harness"
 	"oij/internal/obs"
+	"oij/internal/trace"
 	"oij/internal/tuple"
 	"oij/internal/wire"
 )
@@ -91,6 +93,24 @@ type Config struct {
 	AdminAddr string
 	// UtilEpoch is the live utilization sampling epoch (default 1s).
 	UtilEpoch time.Duration
+	// TraceSampleN enables per-request stage tracing: every Nth admitted
+	// base request carries a span through all eight pipeline stages
+	// (ingest → queue wait → dispatch → probe → aggregate → emit → WAL
+	// append → TCP write), scrapeable at /tracez. Sampling is
+	// deterministic (a shared counter, no PRNG); 0 disables, 1 traces
+	// every request.
+	TraceSampleN int
+	// TraceRing bounds the completed-span ring behind /tracez (default
+	// 256).
+	TraceRing int
+	// FlightRing is the per-component flight-recorder ring size (default
+	// 512). The recorder itself is always on — it is a few atomic stores
+	// per control-plane event, nothing on the data hot path.
+	FlightRing int
+	// FlightDumpPath, when set, receives an automatic flight-recorder
+	// dump (JSON, rate-limited to one per second) whenever an eviction,
+	// stall detection, or memory-pressure escalation fires.
+	FlightDumpPath string
 }
 
 func (c Config) withDefaults() Config {
@@ -121,6 +141,12 @@ func (c Config) withDefaults() Config {
 	if c.StallThreshold <= 0 {
 		c.StallThreshold = time.Second
 	}
+	if c.TraceRing <= 0 {
+		c.TraceRing = 256
+	}
+	if c.FlightRing <= 0 {
+		c.FlightRing = 512
+	}
 	// Busy-time tracking feeds the live utilization gauges; its cost is
 	// two clock reads per joiner batch, not per tuple.
 	c.Engine.TrackBusy = true
@@ -149,6 +175,7 @@ func parseAdmission(s string) (string, error) {
 type pendingBase struct {
 	sess     *session
 	localSeq uint64
+	sp       *trace.Span // nil unless the request was sampled
 }
 
 // ingestReq is one unit of work for the ingest goroutine: a probe
@@ -160,6 +187,7 @@ type ingestReq struct {
 	localSeq uint64    // session-local sequence, assigned by the reader
 	enq      time.Time // when the request entered the funnel
 	flush    bool
+	sp       *trace.Span // nil unless the request was sampled
 }
 
 // Server is a running join service.
@@ -196,6 +224,16 @@ type Server struct {
 	walTruncated atomic.Int64
 	started      bool
 
+	// tracer samples per-request spans; flight is the always-on event
+	// recorder. lastWALNS is the duration of the most recent probe WAL
+	// append the ingest loop observed (written only when tracing is
+	// enabled) — a sampled request reports it as its wal_append stage, the
+	// durability cost sitting in the pipeline when the request crossed it.
+	tracer      *trace.Tracer
+	flight      *trace.Flight
+	lastWALNS   atomic.Int64
+	stallActive atomic.Bool
+
 	o           *serverObs
 	admin       *obs.Admin
 	stopSampler chan struct{}
@@ -216,7 +254,12 @@ func New(cfg Config) (*Server, error) {
 		pending:     map[uint64]pendingBase{},
 		sessions:    map[*session]struct{}{},
 		stopSampler: make(chan struct{}),
+		tracer:      trace.NewTracer(cfg.TraceSampleN, cfg.TraceRing),
+		flight:      trace.NewFlight(cfg.FlightRing, cfg.FlightDumpPath),
 	}
+	// The engine's transport feeds watermark advances into the recorder.
+	cfg.Engine.Flight = s.flight
+	s.cfg.Engine.Flight = s.flight
 	eng, err := harness.Build(cfg.Algorithm, cfg.Engine, serverSink{s})
 	if err != nil {
 		return nil, err
@@ -239,9 +282,18 @@ func New(cfg Config) (*Server, error) {
 		// tails, unsalvageable v1 suffixes) count as truncated even if
 		// Recover is never called.
 		s.walTruncated.Add(s.wal.sanitized)
+		s.wal.fr = s.flight
+		if s.wal.sanitized > 0 {
+			s.flight.Record(trace.CompWAL, trace.EvWALSalvage, uint64(s.wal.sanitized), 0)
+		}
 	}
 	return s, nil
 }
+
+// FlightRecorder exposes the server's always-on event recorder so embedding
+// processes can route their own components (e.g. a client-side circuit
+// breaker in tests) into the same timeline.
+func (s *Server) FlightRecorder() *trace.Flight { return s.flight }
 
 // startEngine starts the engine exactly once.
 func (s *Server) startEngine() {
@@ -269,6 +321,7 @@ func (s *Server) Recover() (int, error) {
 	s.walRecovered.Add(st.recovered)
 	s.walSkipped.Add(st.skipped)
 	s.walTruncated.Add(st.truncated)
+	s.flight.Record(trace.CompWAL, trace.EvWALRecovered, uint64(st.recovered), uint64(st.skipped))
 	if newest > s.wal.maxTS {
 		s.wal.maxTS = newest
 	}
@@ -277,6 +330,13 @@ func (s *Server) Recover() (int, error) {
 
 // serverSink routes engine results back to the issuing session.
 type serverSink struct{ s *Server }
+
+// SpanFor implements engine.StageRecorder: joiners look up the sampled
+// span for the base request they are processing (nil for the unsampled
+// overwhelming majority — with tracing off this is a single branch).
+func (k serverSink) SpanFor(baseSeq uint64) *trace.Span {
+	return k.s.tracer.Lookup(baseSeq)
+}
 
 // Emit implements engine.Sink.
 func (k serverSink) Emit(joiner int, r tuple.Result) {
@@ -296,7 +356,7 @@ func (k serverSink) Emit(joiner int, r tuple.Result) {
 		Key:     r.Key,
 		Agg:     r.Agg,
 		Matches: r.Matches,
-	})
+	}, p.sp)
 }
 
 // Listen starts serving on addr and returns the bound address (useful with
@@ -318,7 +378,10 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.ln = ln
 	s.startEngine()
 	if s.cfg.AdminAddr != "" {
-		admin, err := obs.ServeAdmin(s.cfg.AdminAddr, s.o.reg, func() any { return s.Statusz() })
+		admin, err := obs.ServeAdmin(s.cfg.AdminAddr, s.o.reg, func() any { return s.Statusz() },
+			obs.Endpoint{Path: "/tracez", Handler: s.serveTracez},
+			obs.Endpoint{Path: "/debug/flightrecorder", Handler: s.serveFlightRecorder},
+		)
 		if err != nil {
 			ln.Close()
 			return fmt.Errorf("server: admin endpoint: %w", err)
@@ -330,6 +393,25 @@ func (s *Server) Serve(ln net.Listener) error {
 	go s.acceptLoop()
 	go s.samplerLoop()
 	return nil
+}
+
+// serveTracez renders the completed-span ring: JSON by default, the Chrome
+// trace-event format with ?format=chrome (load into speedscope/Perfetto).
+func (s *Server) serveTracez(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		s.tracer.WriteChromeTrace(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	s.tracer.WriteTracez(w)
+}
+
+// serveFlightRecorder renders the flight recorder's event timeline on
+// demand (the same document the incident auto-dump writes to disk).
+func (s *Server) serveFlightRecorder(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.flight.WriteJSON(w, "on-demand")
 }
 
 // AdminAddr returns the bound admin address, or nil when no admin endpoint
@@ -409,7 +491,10 @@ func (s *Server) ingestLoop() {
 				// answer with a deadline NACK instead of queueing
 				// work whose answer nobody is waiting for.
 				s.o.deadlineRejected.Inc()
+				s.flight.Record(trace.CompAdmission, trace.EvDeadlineNack,
+					req.localSeq, uint64(time.Since(req.enq)))
 				req.sess.sendNackNonblock(req.localSeq, wire.NackDeadline)
+				s.tracer.Abandon(req.sp)
 				continue
 			}
 			t.Side = tuple.Base
@@ -417,10 +502,19 @@ func (s *Server) ingestLoop() {
 			t.Arrival = time.Now()
 			s.nextGlobal++
 			s.mu.Lock()
-			s.pending[t.Seq] = pendingBase{sess: req.sess, localSeq: req.localSeq}
+			s.pending[t.Seq] = pendingBase{sess: req.sess, localSeq: req.localSeq, sp: req.sp}
 			s.mu.Unlock()
 			req.sess.outstanding.Add(1)
 			s.o.bases.Inc()
+			if sp := req.sp; sp != nil {
+				sp.Add(trace.StageQueueWait, time.Since(req.enq))
+				// The request's durability cost is the WAL append most
+				// recently in its path (base frames are not logged).
+				sp.Add(trace.StageWALAppend, time.Duration(s.lastWALNS.Load()))
+				sp.Seq = t.Seq
+				s.tracer.Register(sp)
+				sp.StampPushed()
+			}
 		} else {
 			t.Side = tuple.Probe
 			if s.memGuardSheds(req.t.TS) {
@@ -429,12 +523,21 @@ func (s *Server) ingestLoop() {
 			s.o.probes.Inc()
 			s.probesIngested.Add(1)
 			if s.wal != nil {
+				var t0 time.Time
+				traced := s.tracer.Enabled()
+				if traced {
+					t0 = time.Now()
+				}
 				if err := s.wal.append(req.t); err != nil {
 					// Durability degraded, availability kept:
 					// log once per incident via the error frame
 					// path is overkill here; the counter lets
 					// operators alert on it.
 					s.walErrs.Add(1)
+					s.flight.Record(trace.CompWAL, trace.EvWALError, uint64(s.walErrs.Load()), 0)
+				}
+				if traced {
+					s.lastWALNS.Store(int64(time.Since(t0)))
 				}
 			}
 		}
@@ -464,11 +567,11 @@ func (s *Server) memGuardSheds(ts tuple.Time) bool {
 	buffered := s.bufferedProbes()
 	switch {
 	case buffered >= memCap:
-		s.memLevel.Store(2)
+		s.setMemLevel(2, buffered)
 		s.o.memShedProbes.Inc()
 		return true
 	case buffered >= memCap-memCap/4:
-		s.memLevel.Store(1)
+		s.setMemLevel(1, buffered)
 		if in := s.introspect(); in != nil && s.retention > 0 {
 			if maxTS := in.MaxEventTS(); ts <= maxTS-s.retention/2 {
 				s.o.memShedProbes.Inc()
@@ -477,8 +580,22 @@ func (s *Server) memGuardSheds(ts tuple.Time) bool {
 		}
 		return false
 	default:
-		s.memLevel.Store(0)
+		s.setMemLevel(0, buffered)
 		return false
+	}
+}
+
+// setMemLevel publishes the memory-pressure rung and, on a transition,
+// records it to the flight recorder (escalations also trigger an incident
+// dump). Ingest-loop only, so the load/store pair does not race.
+func (s *Server) setMemLevel(level int32, buffered int64) {
+	if s.memLevel.Load() == level {
+		return
+	}
+	s.memLevel.Store(level)
+	s.flight.Record(trace.CompMemory, trace.EvMemLevel, uint64(level), uint64(buffered))
+	if level > 0 {
+		s.flight.AutoDump("mem-pressure")
 	}
 }
 
@@ -540,11 +657,19 @@ func (s *Server) Served() int64 { return s.served.Load() }
 // Stats exposes the underlying engine statistics.
 func (s *Server) Stats() *engine.Stats { return s.eng.Stats() }
 
+// outMsg is one queued outgoing frame; sp (only ever set on results)
+// carries the request's sampled span to the writer so the emit and
+// tcp_write stages are stamped where they happen.
+type outMsg struct {
+	m  wire.Message
+	sp *trace.Span
+}
+
 // session is one client connection.
 type session struct {
 	s    *Server
 	conn net.Conn
-	out  chan wire.Message
+	out  chan outMsg
 
 	// nextLocal is owned by the session's reader goroutine: local
 	// sequences are assigned in frame-arrival order before admission, so
@@ -562,7 +687,7 @@ func newSession(s *Server, conn net.Conn) *session {
 	return &session{
 		s:    s,
 		conn: conn,
-		out:  make(chan wire.Message, s.cfg.ResultBuffer),
+		out:  make(chan outMsg, s.cfg.ResultBuffer),
 		done: make(chan struct{}),
 	}
 }
@@ -576,14 +701,15 @@ func newSession(s *Server, conn net.Conn) *session {
 // so one stuck client stalls delivery for at most one grace period instead
 // of wedging the engine behind it (grace < 0 restores the legacy blocking
 // behavior).
-func (se *session) deliver(r wire.Result) {
+func (se *session) deliver(r wire.Result, sp *trace.Span) {
 	defer se.outstanding.Add(-1)
-	m := wire.Message{Kind: wire.TagResult, Result: r}
+	m := outMsg{m: wire.Message{Kind: wire.TagResult, Result: r}, sp: sp}
 	grace := se.s.cfg.SlowConsumerGrace
 	if grace < 0 {
 		select {
 		case se.out <- m:
 		case <-se.done:
+			se.s.tracer.Abandon(sp)
 		}
 		return
 	}
@@ -591,6 +717,7 @@ func (se *session) deliver(r wire.Result) {
 	case se.out <- m:
 		return
 	case <-se.done:
+		se.s.tracer.Abandon(sp)
 		return
 	default:
 	}
@@ -599,8 +726,10 @@ func (se *session) deliver(r wire.Result) {
 	select {
 	case se.out <- m:
 	case <-se.done:
+		se.s.tracer.Abandon(sp)
 	case <-timer.C:
 		se.evictSlow()
+		se.s.tracer.Abandon(sp)
 	}
 }
 
@@ -611,6 +740,10 @@ func (se *session) deliver(r wire.Result) {
 func (se *session) evictSlow() {
 	if se.evicted.CompareAndSwap(false, true) {
 		se.s.o.slowEvicted.Inc()
+		s := se.s
+		s.flight.Record(trace.CompSession, trace.EvSlowEviction,
+			uint64(s.o.slowEvicted.Load()), 0)
+		s.flight.AutoDump("slow-consumer-eviction")
 	}
 	se.close()
 	se.conn.Close()
@@ -642,6 +775,15 @@ func (se *session) run() {
 			localSeq := se.nextLocal
 			se.nextLocal++
 			se.admitBase(m.Tuple, localSeq)
+		case wire.TagBaseID:
+			// The client chose the request id; the session-local counter
+			// tracks past it so plain base frames interleaved on the same
+			// session never collide with an explicit id.
+			localSeq := m.Tuple.ID
+			if localSeq >= se.nextLocal {
+				se.nextLocal = localSeq + 1
+			}
+			se.admitBase(m.Tuple, localSeq)
 		case wire.TagFlush:
 			se.s.ingest <- ingestReq{sess: se, flush: true}
 		default:
@@ -665,6 +807,8 @@ func (se *session) admitProbe(t wire.Tuple) {
 	case se.s.ingest <- req:
 	default:
 		se.s.o.shedProbes.Inc()
+		se.s.flight.Record(trace.CompAdmission, trace.EvAdmissionShed,
+			uint64(se.s.o.shedProbes.Load()), 0)
 	}
 }
 
@@ -674,15 +818,28 @@ func (se *session) admitProbe(t wire.Tuple) {
 // let the request wait (requests are the product, probes are the fuel).
 func (se *session) admitBase(t wire.Tuple, localSeq uint64) {
 	req := ingestReq{t: t, sess: se, localSeq: localSeq, enq: time.Now()}
+	var t0 time.Time
+	if se.s.tracer.Sample() {
+		// Tagged at admission: the span rides the request through every
+		// stage from here. The ingest stage is this goroutine's own work
+		// — admission plus the funnel enqueue.
+		req.sp = trace.NewSpan(localSeq, uint64(t.Key), int64(t.TS))
+		t0 = time.Now()
+	}
 	if se.s.cfg.Admission != AdmissionReject {
 		se.s.ingest <- req
+		req.sp.Add(trace.StageIngest, time.Since(t0))
 		return
 	}
 	select {
 	case se.s.ingest <- req:
+		req.sp.Add(trace.StageIngest, time.Since(t0))
 	default:
 		se.s.o.rejected.Inc()
+		se.s.flight.Record(trace.CompAdmission, trace.EvAdmissionReject,
+			uint64(se.s.o.rejected.Load()), 0)
 		se.sendNack(localSeq, wire.NackOverload)
+		se.s.tracer.Abandon(req.sp)
 	}
 }
 
@@ -690,7 +847,7 @@ func (se *session) admitBase(t wire.Tuple, localSeq uint64) {
 // outgoing buffer backpressures the reader like any other frame.
 func (se *session) sendNack(seq uint64, code byte) {
 	select {
-	case se.out <- wire.Message{Kind: wire.TagNack, Nack: wire.Nack{Seq: seq, Code: code}}:
+	case se.out <- outMsg{m: wire.Message{Kind: wire.TagNack, Nack: wire.Nack{Seq: seq, Code: code}}}:
 	case <-se.done:
 	}
 }
@@ -701,7 +858,7 @@ func (se *session) sendNack(seq uint64, code byte) {
 // headed for eviction anyway, and clients recover via read timeouts.
 func (se *session) sendNackNonblock(seq uint64, code byte) {
 	select {
-	case se.out <- wire.Message{Kind: wire.TagNack, Nack: wire.Nack{Seq: seq, Code: code}}:
+	case se.out <- outMsg{m: wire.Message{Kind: wire.TagNack, Nack: wire.Nack{Seq: seq, Code: code}}}:
 	default:
 		se.s.o.nacksDropped.Inc()
 	}
@@ -718,14 +875,14 @@ func (se *session) ackFlush() {
 		}
 	}
 	select {
-	case se.out <- wire.Message{Kind: wire.TagFlush}:
+	case se.out <- outMsg{m: wire.Message{Kind: wire.TagFlush}}:
 	case <-se.done:
 	}
 }
 
 func (se *session) sendError(msg string) {
 	select {
-	case se.out <- wire.Message{Kind: wire.TagError, Err: msg}:
+	case se.out <- outMsg{m: wire.Message{Kind: wire.TagError, Err: msg}}:
 	case <-se.done:
 	}
 }
@@ -765,26 +922,43 @@ func (se *session) writeLoop(done chan struct{}) {
 		se.conn.Close()
 	}
 	w := wire.NewWriter(se.conn)
+	// write encodes one frame, stamping a sampled result's last two stages
+	// around it: emit (join end → this pickup) before, tcp_write after,
+	// then the span is complete and retires to the /tracez ring.
+	write := func(om outMsg) error {
+		om.sp.StampWriterPickup()
+		var t0 time.Time
+		if om.sp != nil {
+			t0 = time.Now()
+		}
+		err := se.writeMsg(w, om.m)
+		if err == nil && len(se.out) == 0 {
+			err = w.Flush()
+		}
+		if om.sp != nil {
+			om.sp.Add(trace.StageTCPWrite, time.Since(t0))
+			if err == nil {
+				se.s.tracer.Complete(om.sp)
+			} else {
+				se.s.tracer.Abandon(om.sp)
+			}
+		}
+		return err
+	}
 	for {
 		select {
-		case m := <-se.out:
-			if err := se.writeMsg(w, m); err != nil {
+		case om := <-se.out:
+			if err := write(om); err != nil {
 				fail(err)
 				return
-			}
-			if len(se.out) == 0 {
-				if err := w.Flush(); err != nil {
-					fail(err)
-					return
-				}
 			}
 		case <-se.done:
 			// Drain anything already queued (results, flush acks,
 			// protocol errors), then stop.
 			for {
 				select {
-				case m := <-se.out:
-					if err := se.writeMsg(w, m); err != nil {
+				case om := <-se.out:
+					if err := write(om); err != nil {
 						return
 					}
 				default:

@@ -1,0 +1,392 @@
+package server
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"oij/internal/trace"
+	"oij/internal/wire"
+)
+
+// TestTraceEndToEnd is the tracing acceptance test: with sampling on, a
+// request served over real TCP leaves a complete span on /tracez carrying
+// all eight stage deltas, correlated to the client's request ID, and the
+// Chrome export renders the same spans.
+func TestTraceEndToEnd(t *testing.T) {
+	cfg, _ := walCfg(t)
+	cfg.AdminAddr = "127.0.0.1:0"
+	cfg.TraceSampleN = 1
+	srv, addr := startServer(t, cfg)
+	base := "http://" + srv.AdminAddr().String()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const requests = 40
+	var seqs []uint64
+	for i := 0; i < requests; i++ {
+		for p := 0; p < 4; p++ {
+			c.SendProbe(uint64(i%5), int64(1000+i*10+p), 1)
+		}
+		seq, err := c.SendBase(uint64(i%5), int64(1000+i*10), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs = append(seqs, seq)
+	}
+	if err := c.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RecvResults(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc trace.TracezDoc
+	if err := json.Unmarshal([]byte(scrape(t, base+"/tracez")), &doc); err != nil {
+		t.Fatalf("tracez JSON: %v", err)
+	}
+	if doc.SampleEvery != 1 {
+		t.Fatalf("sample_every = %d", doc.SampleEvery)
+	}
+	if doc.Completed != requests {
+		t.Fatalf("completed = %d, want %d", doc.Completed, requests)
+	}
+	if doc.ActiveSpans != 0 {
+		t.Fatalf("active spans leaked: %d", doc.ActiveSpans)
+	}
+	if len(doc.Spans) != requests {
+		t.Fatalf("ring holds %d spans, want %d", len(doc.Spans), requests)
+	}
+
+	known := map[uint64]bool{}
+	for _, s := range seqs {
+		known[s] = true
+	}
+	stages := []string{"ingest", "queue_wait", "dispatch", "probe", "aggregate", "emit", "wal_append", "tcp_write"}
+	complete := 0
+	for _, sp := range doc.Spans {
+		if !sp.Complete {
+			continue
+		}
+		complete++
+		if !known[sp.ReqID] {
+			t.Fatalf("span req_id %d does not match any client-issued request ID", sp.ReqID)
+		}
+		if sp.Joiner < 0 {
+			t.Fatalf("complete span never dispatched: %+v", sp)
+		}
+		if len(sp.Stages) != len(stages) {
+			t.Fatalf("span has %d stages, want %d: %+v", len(sp.Stages), len(stages), sp.Stages)
+		}
+		for _, name := range stages {
+			if _, ok := sp.Stages[name]; !ok {
+				t.Fatalf("span missing stage %q: %+v", name, sp.Stages)
+			}
+		}
+		// Stages that cross a goroutine hand-off or a syscall cannot be
+		// zero; wal_append reflects the probe appends that preceded the
+		// request through the ingest loop.
+		for _, name := range []string{"queue_wait", "emit", "tcp_write", "wal_append"} {
+			if sp.Stages[name] <= 0 {
+				t.Fatalf("stage %q not measured: %+v", name, sp.Stages)
+			}
+		}
+		if sp.TotalNS <= 0 {
+			t.Fatalf("empty span total: %+v", sp)
+		}
+	}
+	if complete == 0 {
+		t.Fatal("no complete spans on /tracez")
+	}
+
+	// The same ring in Chrome trace-event form: 8 "X" events per span.
+	var chrome struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TID  uint64  `json:"tid"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(scrape(t, base+"/tracez?format=chrome")), &chrome); err != nil {
+		t.Fatalf("chrome trace JSON: %v", err)
+	}
+	if want := len(doc.Spans) * len(stages); len(chrome.TraceEvents) != want {
+		t.Fatalf("chrome trace has %d events, want %d", len(chrome.TraceEvents), want)
+	}
+	for _, ev := range chrome.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("chrome event phase %q", ev.Ph)
+		}
+		if !known[ev.TID] {
+			t.Fatalf("chrome event tid %d unknown", ev.TID)
+		}
+	}
+}
+
+// TestTraceSamplingEveryNth verifies the deterministic 1-in-N sampler
+// end-to-end: exactly every Nth request leaves a span, independent of
+// timing.
+func TestTraceSamplingEveryNth(t *testing.T) {
+	cfg := baseCfg()
+	cfg.TraceSampleN = 4
+	srv, addr := startServer(t, cfg)
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 100; i++ {
+		c.SendProbe(1, int64(1000+i), 1)
+		if _, err := c.SendBase(1, int64(1000+i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RecvResults(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.tracer.Completed(); got != 25 {
+		t.Fatalf("completed spans = %d, want exactly 25 (100 requests, 1-in-4)", got)
+	}
+	if srv.tracer.Dropped() != 0 {
+		t.Fatalf("dropped spans = %d", srv.tracer.Dropped())
+	}
+}
+
+// TestTraceDisabledFlightOn: with sampling off (the default), /tracez is
+// empty and cheap — but the flight recorder still runs, so the control-plane
+// timeline exists before anyone turns tracing on.
+func TestTraceDisabledFlightOn(t *testing.T) {
+	cfg := baseCfg()
+	cfg.AdminAddr = "127.0.0.1:0"
+	srv, addr := startServer(t, cfg)
+	base := "http://" + srv.AdminAddr().String()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 50; i++ {
+		c.SendProbe(1, int64(1000+i*100), 1)
+	}
+	c.SendBase(1, 6000, 0)
+	if err := c.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RecvResults(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc trace.TracezDoc
+	if err := json.Unmarshal([]byte(scrape(t, base+"/tracez")), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.SampleEvery != 0 || len(doc.Spans) != 0 || doc.Completed != 0 {
+		t.Fatalf("tracing not off by default: %+v", doc)
+	}
+
+	var fd trace.FlightDoc
+	if err := json.Unmarshal([]byte(scrape(t, base+"/debug/flightrecorder")), &fd); err != nil {
+		t.Fatal(err)
+	}
+	if len(fd.Events) == 0 || fd.TotalSeq == 0 {
+		t.Fatal("flight recorder recorded nothing (watermark advances expected)")
+	}
+	sawWM := false
+	for i, ev := range fd.Events {
+		if ev.Kind == "watermark_advance" {
+			sawWM = true
+		}
+		if i > 0 && fd.Events[i-1].Seq >= ev.Seq {
+			t.Fatalf("flight events out of sequence order at %d: %d >= %d", i, fd.Events[i-1].Seq, ev.Seq)
+		}
+	}
+	if !sawWM {
+		t.Fatalf("no watermark_advance events in %d flight events", len(fd.Events))
+	}
+	if srv.FlightRecorder().Seq() == 0 {
+		t.Fatal("FlightRecorder accessor disagrees")
+	}
+}
+
+// TestWALCountersConsistentAcrossEndpoints is the /metrics-vs-/statusz
+// consistency check for the WAL salvage counters: after recovering a log
+// with a corrupt frame, both endpoints must report the same recovered /
+// skipped / truncated / error numbers, and the recovery must land in the
+// flight recorder.
+func TestWALCountersConsistentAcrossEndpoints(t *testing.T) {
+	cfg, path := walCfg(t)
+	cfg.WALSync = "always"
+
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s1.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		c1.SendProbe(7, int64(1000+i), 1)
+	}
+	c1.Barrier()
+	if _, err := c1.RecvResults(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+	s1.Shutdown()
+
+	// Flip a byte inside frame 4's payload.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[wire.WALHeaderBytes+4*wire.WALFrameBytes+20] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.AdminAddr = "127.0.0.1:0"
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Shutdown()
+	if _, err := s2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + s2.AdminAddr().String()
+
+	m := scrape(t, base+"/metrics")
+	var st Status
+	if err := json.Unmarshal([]byte(scrape(t, base+"/statusz")), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.WALRecovered != 9 || st.WALSkipped != 1 {
+		t.Fatalf("statusz salvage counters: %+v", st)
+	}
+	for _, cmp := range []struct {
+		metric  string
+		statusz int64
+	}{
+		{"oij_wal_recovered_frames", st.WALRecovered},
+		{"oij_wal_skipped_frames", st.WALSkipped},
+		{"oij_wal_truncated_bytes", st.WALTruncated},
+		{"oij_wal_errors", st.WALErrors},
+	} {
+		if got := int64(metricValue(t, m, cmp.metric)); got != cmp.statusz {
+			t.Fatalf("%s: /metrics=%d /statusz=%d", cmp.metric, got, cmp.statusz)
+		}
+	}
+
+	var fd trace.FlightDoc
+	if err := json.Unmarshal([]byte(scrape(t, base+"/debug/flightrecorder")), &fd); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ev := range fd.Events {
+		if ev.Kind == "wal_recovered" && ev.A == 9 && ev.B == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no wal_recovered(9,1) flight event in %+v", fd.Events)
+	}
+}
+
+// TestBuildInfoOnBothEndpoints covers the build-identity satellite: the
+// oij_build_info constant gauge on /metrics and the matching build block on
+// /statusz.
+func TestBuildInfoOnBothEndpoints(t *testing.T) {
+	cfg := baseCfg()
+	cfg.AdminAddr = "127.0.0.1:0"
+	srv, _ := startServer(t, cfg)
+	base := "http://" + srv.AdminAddr().String()
+
+	m := scrape(t, base+"/metrics")
+	if v := metricValue(t, m, "oij_build_info"); v != 1 {
+		t.Fatalf("oij_build_info = %g, want constant 1", v)
+	}
+	var st Status
+	if err := json.Unmarshal([]byte(scrape(t, base+"/statusz")), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Build.GoVersion == "" || st.Build.GOMAXPROCS < 1 || st.Build.Revision == "" {
+		t.Fatalf("statusz build block: %+v", st.Build)
+	}
+}
+
+// TestConcurrentScrapes hammers every observability endpoint from several
+// goroutines while traffic flows — the race-detector coverage for the
+// scrape paths against the hot-path atomics.
+func TestConcurrentScrapes(t *testing.T) {
+	cfg := baseCfg()
+	cfg.AdminAddr = "127.0.0.1:0"
+	cfg.TraceSampleN = 2
+	cfg.UtilEpoch = 5 * time.Millisecond
+	srv, addr := startServer(t, cfg)
+	base := "http://" + srv.AdminAddr().String()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, url := range []string{base + "/metrics", base + "/tracez", base + "/tracez?format=chrome", base + "/statusz", base + "/debug/flightrecorder"} {
+		wg.Add(1)
+		go func(u string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					scrape(t, u)
+				}
+			}
+		}(url)
+	}
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 50; i++ {
+			c.SendProbe(uint64(i%11), int64(1000+round*1000+i), 1)
+		}
+		for i := 0; i < 10; i++ {
+			if _, err := c.SendBase(uint64(i%11), int64(1000+round*1000+i*5), 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := c.Barrier(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.RecvResults(10 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if srv.tracer.Completed() == 0 {
+		t.Fatal("no spans completed under concurrent scraping")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"io/fs"
 
 	"oij/internal/faultfs"
+	"oij/internal/trace"
 	"oij/internal/tuple"
 	"oij/internal/wire"
 )
@@ -121,6 +122,9 @@ type walWriter struct {
 	// sanitized counts tail bytes cut while opening existing segments
 	// (torn v2 tails, unsalvageable v1 suffixes dropped by migration).
 	sanitized int64
+	// fr, when set by the owning server, receives rotation events (nil is
+	// a valid no-op recorder).
+	fr *trace.Flight
 }
 
 func newWALWriter(fsys faultfs.FS, path string, maxBytes int64, retention tuple.Time, sync walSyncMode) (*walWriter, error) {
@@ -285,6 +289,7 @@ func (w *walWriter) maybeRotate() error {
 	}
 	w.prevNewest = w.maxTS
 	w.hasPrev = true
+	w.fr.Record(trace.CompWAL, trace.EvWALRotate, uint64(w.size), 0)
 	return w.openSegment()
 }
 

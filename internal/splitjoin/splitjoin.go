@@ -26,6 +26,7 @@ import (
 	"oij/internal/agg"
 	"oij/internal/engine"
 	"oij/internal/queue"
+	"oij/internal/trace"
 	"oij/internal/tuple"
 	"oij/internal/watermark"
 )
@@ -45,6 +46,7 @@ type Engine struct {
 	tr    *engine.Transport
 	sink  engine.Sink
 	lrec  engine.LatencyRecorder
+	srec  engine.StageRecorder
 	stats *engine.Stats
 	js    []*joiner
 
@@ -61,6 +63,7 @@ func New(cfg engine.Config, sink engine.Sink) *Engine {
 	}
 	e := &Engine{cfg: cfg, tr: engine.NewTransport(cfg), sink: sink, stats: engine.NewStats(cfg.Joiners)}
 	e.lrec, _ = sink.(engine.LatencyRecorder)
+	e.srec, _ = sink.(engine.StageRecorder)
 	e.partials = make([]*queue.SPSC[partial], cfg.Joiners)
 	for i := range e.partials {
 		e.partials[i] = queue.NewSPSC[partial](cfg.QueueCap)
@@ -163,6 +166,13 @@ func (e *Engine) mergeLoop() {
 				slot.got++
 				if slot.got == e.cfg.Joiners {
 					delete(slots, p.baseSeq)
+					if e.srec != nil {
+						// The merge completing is the moment the
+						// result exists; stages accumulated by the
+						// team (probe/aggregate) are summed across
+						// joiners by Span.Add's atomics.
+						e.srec.SpanFor(p.baseSeq).StampJoined()
+					}
 					e.stats.Results.Add(1)
 					e.sink.Emit(0, tuple.Result{
 						BaseTS:  slot.baseTS,
@@ -287,7 +297,16 @@ func (j *joiner) join(base tuple.Tuple) {
 	buf := j.buffers[base.Key]
 	st := agg.NewState(j.e.cfg.Agg)
 
-	if j.e.cfg.Instrument {
+	var sp *trace.Span
+	if j.e.srec != nil {
+		sp = j.e.srec.SpanFor(base.Seq)
+	}
+	// Every joiner processes every base; the dispatch stamp's CAS keeps
+	// the first joiner to arrive, and each member's probe/aggregate time
+	// accumulates into the span (team-summed work, not wall time).
+	sp.StampDispatched(j.id)
+
+	if j.e.cfg.Instrument || sp != nil {
 		t0 := time.Now()
 		j.scratch = j.scratch[:0]
 		for _, t := range buf {
@@ -300,10 +319,14 @@ func (j *joiner) join(base tuple.Tuple) {
 			st.AddAt(p.TS, p.Val)
 		}
 		t2 := time.Now()
-		bd := &j.e.stats.Breakdown[j.id]
-		bd.Lookup += t1.Sub(t0)
-		bd.Match += t2.Sub(t1)
-		j.e.stats.Effect[j.id].Observe(int64(len(j.scratch)), int64(len(buf)))
+		if j.e.cfg.Instrument {
+			bd := &j.e.stats.Breakdown[j.id]
+			bd.Lookup += t1.Sub(t0)
+			bd.Match += t2.Sub(t1)
+			j.e.stats.Effect[j.id].Observe(int64(len(j.scratch)), int64(len(buf)))
+		}
+		sp.Add(trace.StageProbe, t1.Sub(t0))
+		sp.Add(trace.StageAggregate, t2.Sub(t1))
 	} else {
 		for _, t := range buf {
 			if t.TS >= lo && t.TS <= hi {

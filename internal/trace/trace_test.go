@@ -1,0 +1,240 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSamplingDeterministic(t *testing.T) {
+	for _, tc := range []struct {
+		n    int
+		want []bool // decisions for the first 6 requests
+	}{
+		{1, []bool{true, true, true, true, true, true}},
+		{2, []bool{true, false, true, false, true, false}},
+		{3, []bool{true, false, false, true, false, false}},
+	} {
+		tr := NewTracer(tc.n, 8)
+		for i, want := range tc.want {
+			if got := tr.Sample(); got != want {
+				t.Errorf("N=%d request %d: sampled=%v, want %v", tc.n, i, got, want)
+			}
+		}
+	}
+}
+
+func TestSamplingDisabled(t *testing.T) {
+	for _, tr := range []*Tracer{nil, NewTracer(0, 8), NewTracer(-1, 8)} {
+		if tr.Enabled() {
+			t.Fatal("disabled tracer reports enabled")
+		}
+		if tr != nil && tr.Sample() {
+			t.Fatal("disabled tracer sampled a request")
+		}
+		if tr.Lookup(0) != nil {
+			t.Fatal("disabled tracer returned a span")
+		}
+	}
+}
+
+func TestSpanLifecycle(t *testing.T) {
+	tr := NewTracer(1, 8)
+	sp := NewSpan(7, 42, 1000)
+	sp.Add(StageIngest, 5*time.Microsecond)
+	sp.Add(StageQueueWait, 3*time.Microsecond)
+	sp.Seq = 0 // engine-global sequences start at 0
+	tr.Register(sp)
+	if tr.Lookup(0) != sp {
+		t.Fatal("Lookup missed the registered span")
+	}
+	sp.StampPushed()
+	sp.StampDispatched(1)
+	sp.Add(StageProbe, time.Microsecond)
+	sp.Add(StageAggregate, time.Microsecond)
+	sp.StampJoined()
+	sp.StampWriterPickup()
+	sp.Add(StageWALAppend, 0)
+	sp.Add(StageTCPWrite, 2*time.Microsecond)
+	tr.Complete(sp)
+	if tr.Lookup(0) != nil {
+		t.Fatal("completed span still active")
+	}
+	doc := tr.Doc()
+	if doc.Completed != 1 || doc.Dropped != 0 || doc.ActiveSpans != 0 {
+		t.Fatalf("doc counters = %+v", doc)
+	}
+	if len(doc.Spans) != 1 {
+		t.Fatalf("spans = %d, want 1", len(doc.Spans))
+	}
+	s := doc.Spans[0]
+	if !s.Complete || s.Joiner != 1 || s.ReqID != 7 || s.Key != 42 {
+		t.Fatalf("span snap = %+v", s)
+	}
+	if len(s.Stages) != int(NumStages) {
+		t.Fatalf("stage keys = %d, want %d", len(s.Stages), NumStages)
+	}
+	for _, name := range []string{"ingest", "queue_wait", "dispatch", "probe", "aggregate", "emit", "wal_append", "tcp_write"} {
+		if _, ok := s.Stages[name]; !ok {
+			t.Errorf("stage %q missing from snapshot", name)
+		}
+	}
+	if s.Stages["ingest"] != int64(5*time.Microsecond) {
+		t.Errorf("ingest = %d", s.Stages["ingest"])
+	}
+}
+
+// TestAbandonUnregistered covers the zero-seq collision: an unregistered
+// span's Seq is 0, and so is the first real request's engine sequence —
+// abandoning the former must not delete the latter from the active map.
+func TestAbandonUnregistered(t *testing.T) {
+	tr := NewTracer(1, 8)
+	real := NewSpan(1, 1, 1)
+	real.Seq = 0
+	tr.Register(real)
+
+	rejected := NewSpan(2, 2, 2) // never got a sequence, never registered
+	tr.Abandon(rejected)
+
+	if tr.Lookup(0) != real {
+		t.Fatal("abandoning an unregistered span evicted an active one")
+	}
+	doc := tr.Doc()
+	if doc.Dropped != 1 || doc.ActiveSpans != 1 {
+		t.Fatalf("doc = %+v", doc)
+	}
+}
+
+func TestDispatchStampOnce(t *testing.T) {
+	sp := NewSpan(1, 1, 1)
+	sp.StampPushed()
+	sp.StampDispatched(3)
+	first := sp.stages[StageDispatch].Load()
+	time.Sleep(time.Millisecond)
+	sp.StampDispatched(5) // broadcast engine: second joiner must not win
+	if sp.Joiner() != 3 {
+		t.Fatalf("joiner = %d, want 3", sp.Joiner())
+	}
+	if got := sp.stages[StageDispatch].Load(); got != first {
+		t.Fatalf("dispatch restamped: %d -> %d", first, got)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := NewTracer(1, 4)
+	for i := uint64(0); i < 10; i++ {
+		sp := NewSpan(i, i, int64(i))
+		sp.Seq = i
+		tr.Register(sp)
+		tr.Complete(sp)
+	}
+	snaps := tr.Snapshot()
+	if len(snaps) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(snaps))
+	}
+	for i, s := range snaps {
+		if want := uint64(6 + i); s.ReqID != want {
+			t.Errorf("ring[%d].ReqID = %d, want %d (oldest-first)", i, s.ReqID, want)
+		}
+	}
+}
+
+func TestNilSpanSafe(t *testing.T) {
+	var sp *Span
+	sp.Add(StageProbe, time.Second)
+	sp.StampPushed()
+	sp.StampDispatched(0)
+	sp.StampJoined()
+	sp.StampWriterPickup()
+	var tr *Tracer
+	tr.Complete(nil)
+	tr.Abandon(nil)
+	if tr.Snapshot() != nil {
+		t.Fatal("nil tracer snapshot not nil")
+	}
+}
+
+func TestWriteTracezAndChrome(t *testing.T) {
+	tr := NewTracer(2, 8)
+	sp := NewSpan(9, 5, 500)
+	sp.Seq = 3
+	sp.Add(StageProbe, 10*time.Microsecond)
+	tr.Register(sp)
+	tr.Complete(sp)
+
+	var buf bytes.Buffer
+	if err := tr.WriteTracez(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc TracezDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("tracez not valid JSON: %v", err)
+	}
+	if doc.SampleEvery != 2 || len(doc.Spans) != 1 {
+		t.Fatalf("doc = %+v", doc)
+	}
+
+	buf.Reset()
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TID  uint64  `json:"tid"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &chrome); err != nil {
+		t.Fatalf("chrome trace not valid JSON: %v", err)
+	}
+	if len(chrome.TraceEvents) != int(NumStages) {
+		t.Fatalf("events = %d, want %d", len(chrome.TraceEvents), NumStages)
+	}
+	for _, ev := range chrome.TraceEvents {
+		if ev.Ph != "X" || ev.TID != 9 {
+			t.Fatalf("event = %+v", ev)
+		}
+	}
+}
+
+func TestConcurrentSpanStamps(t *testing.T) {
+	// Broadcast-engine shape: many joiners hammer one span while a reader
+	// snapshots. Run under -race.
+	tr := NewTracer(1, 16)
+	sp := NewSpan(1, 1, 1)
+	sp.Seq = 0
+	tr.Register(sp)
+	sp.StampPushed()
+	var wg sync.WaitGroup
+	for j := 0; j < 8; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			sp.StampDispatched(j)
+			sp.Add(StageProbe, time.Microsecond)
+			sp.Add(StageAggregate, time.Microsecond)
+			sp.StampJoined()
+		}(j)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			tr.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	tr.Complete(sp)
+	s := tr.Snapshot()[0]
+	if s.Stages["probe"] != int64(8*time.Microsecond) {
+		t.Fatalf("probe accumulation = %d, want %d", s.Stages["probe"], 8*time.Microsecond)
+	}
+	if s.Joiner < 0 || s.Joiner > 7 {
+		t.Fatalf("joiner = %d", s.Joiner)
+	}
+}

@@ -6,20 +6,24 @@
 // Every frame starts with a one-byte type tag. Data frames have fixed
 // layouts, so encode/decode is allocation-free:
 //
-//	probe : tag(1) ts(8) key(8) val(8)                          = 25 B
-//	base  : tag(1) ts(8) key(8) val(8)                          = 25 B
-//	result: tag(1) seq(8) ts(8) key(8) agg(8) matches(8)        = 41 B
-//	flush : tag(1)                                              =  1 B
-//	error : tag(1) len(2) message(len)
-//	nack  : tag(1) seq(8) code(1)                               = 10 B
+//	probe  : tag(1) ts(8) key(8) val(8)                          = 25 B
+//	base   : tag(1) ts(8) key(8) val(8)                          = 25 B
+//	baseid : tag(1) ts(8) key(8) val(8) id(8)                    = 33 B
+//	result : tag(1) seq(8) ts(8) key(8) agg(8) matches(8)        = 41 B
+//	flush  : tag(1)                                              =  1 B
+//	error  : tag(1) len(2) message(len)
+//	nack   : tag(1) seq(8) code(1)                               = 10 B
 //
 // A client streams probe/base frames; the server answers every base frame
 // with exactly one result frame (ordering between different base frames is
 // not guaranteed) — or, under overload control, with exactly one nack frame
 // carrying the same sequence number and a reason code, so a rejected
-// request fails fast instead of queueing. flush asks the server to close
-// all pending windows and answer outstanding bases; it is also implied by
-// closing the write side.
+// request fails fast instead of queueing. baseid is a base frame that also
+// carries the client's request id explicitly, so the client-observed
+// latency for a request can be correlated with the server's /tracez span
+// for the same id; the server answers it with the same id as the result's
+// seq. flush asks the server to close all pending windows and answer
+// outstanding bases; it is also implied by closing the write side.
 package wire
 
 import (
@@ -40,6 +44,7 @@ const (
 	TagFlush  byte = 0x04
 	TagError  byte = 0x05
 	TagNack   byte = 0x06
+	TagBaseID byte = 0x07
 )
 
 // Nack reason codes.
@@ -61,6 +66,10 @@ type Tuple struct {
 	TS   tuple.Time
 	Key  tuple.Key
 	Val  float64
+	// ID is the client-chosen request id carried by baseid frames (0 for
+	// probe and plain base frames, where the server assigns sequence
+	// numbers in arrival order instead).
+	ID uint64
 }
 
 // Result is a decoded result frame.
@@ -124,6 +133,18 @@ func (w *Writer) WriteTuple(t Tuple) error {
 	binary.LittleEndian.PutUint64(b[1:], uint64(t.TS))
 	binary.LittleEndian.PutUint64(b[9:], uint64(t.Key))
 	binary.LittleEndian.PutUint64(b[17:], math.Float64bits(t.Val))
+	_, err := w.w.Write(b)
+	return err
+}
+
+// WriteBaseID emits a base frame carrying an explicit request id.
+func (w *Writer) WriteBaseID(t Tuple) error {
+	b := w.buf[:33]
+	b[0] = TagBaseID
+	binary.LittleEndian.PutUint64(b[1:], uint64(t.TS))
+	binary.LittleEndian.PutUint64(b[9:], uint64(t.Key))
+	binary.LittleEndian.PutUint64(b[17:], math.Float64bits(t.Val))
+	binary.LittleEndian.PutUint64(b[25:], t.ID)
 	_, err := w.w.Write(b)
 	return err
 }
@@ -204,6 +225,18 @@ func (r *Reader) Read() (Message, error) {
 			TS:   tuple.Time(binary.LittleEndian.Uint64(b[0:])),
 			Key:  tuple.Key(binary.LittleEndian.Uint64(b[8:])),
 			Val:  math.Float64frombits(binary.LittleEndian.Uint64(b[16:])),
+		}}, nil
+	case TagBaseID:
+		b := r.buf[:32]
+		if _, err := io.ReadFull(r.r, b); err != nil {
+			return Message{}, eofToUnexpected(err)
+		}
+		return Message{Kind: tag, Tuple: Tuple{
+			Base: true,
+			TS:   tuple.Time(binary.LittleEndian.Uint64(b[0:])),
+			Key:  tuple.Key(binary.LittleEndian.Uint64(b[8:])),
+			Val:  math.Float64frombits(binary.LittleEndian.Uint64(b[16:])),
+			ID:   binary.LittleEndian.Uint64(b[24:]),
 		}}, nil
 	case TagResult:
 		b := r.buf[:40]

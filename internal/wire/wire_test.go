@@ -44,6 +44,43 @@ func TestTupleRoundTrip(t *testing.T) {
 	}
 }
 
+func TestBaseIDRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	in := []Tuple{
+		{Base: true, TS: 123, Key: 7, Val: 3.5, ID: 42},
+		{Base: true, TS: -9, Key: 1<<64 - 1, Val: math.Inf(1), ID: 1<<64 - 1},
+		{Base: true, TS: 0, Key: 0, Val: 0, ID: 0},
+	}
+	for _, tp := range in {
+		if err := w.WriteBaseID(tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	for i, want := range in {
+		m, err := r.Read()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if m.Kind != TagBaseID || m.Tuple != want {
+			t.Fatalf("frame %d: got %+v want %+v", i, m.Tuple, want)
+		}
+	}
+	// A truncated baseid frame must fail like the other fixed frames.
+	buf.Reset()
+	w = NewWriter(&buf)
+	w.WriteBaseID(Tuple{Base: true, TS: 1, Key: 2, Val: 3, ID: 4})
+	w.Flush()
+	short := buf.Bytes()[:20]
+	if _, err := NewReader(bytes.NewReader(short)).Read(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("want ErrUnexpectedEOF, got %v", err)
+	}
+}
+
 func TestResultRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	w := NewWriter(&buf)
