@@ -21,7 +21,7 @@ var usageText = `Usage:
   oijbench sweep    [-spec name|file.json] [-tag t] [-out BENCH_t.json] [-n N] [-repeats R] [-q]
   oijbench baseline [-spec name|file.json] [-out BENCH_seed.json] ...
   oijbench gate     -baseline BENCH_seed.json [-spec name|file.json] [-threshold 0.10]
-                    [-p99-threshold 0.25] [-no-normalize] [-flight-recorder]
+                    [-p99-threshold 0.25] [-no-normalize] [-flight-recorder] [-telemetry]
                     [-out BENCH_fresh.json] [-n N] [-repeats R] [-q]
   oijbench specs
   oijbench -exp <id>|all [-n N] [-threads 1,2,4] ...   (paper figure mode; -list for IDs)
@@ -130,6 +130,7 @@ func runGate(args []string, stdout, stderr io.Writer) int {
 	repeats := fs.Int("repeats", 0, "override per-cell repeats")
 	quiet := fs.Bool("q", false, "suppress per-sample progress")
 	flightRec := fs.Bool("flight-recorder", false, "attach an always-on flight recorder to the fresh run, gating the recorder's overhead against the recorder-free baseline")
+	telemetry := fs.Bool("telemetry", false, "attach the oijd telemetry layer (per-tuple hot-key sketch + background timeline sampler) to the fresh run, gating its overhead against the telemetry-free baseline")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -157,7 +158,7 @@ func runGate(args []string, stdout, stderr io.Writer) int {
 	}
 	fresh, err := perf.RunSpec(spec, perf.RunOptions{
 		Tag: "gate", GitSHA: gitSHA(), N: *n, Repeats: *repeats, Progress: progress,
-		FlightRecorder: *flightRec,
+		FlightRecorder: *flightRec, Telemetry: *telemetry,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "oijbench gate: %v\n", err)

@@ -57,6 +57,19 @@ func parseArgs(args []string, w io.Writer) (*options, error) {
 			"completed trace spans retained for /tracez (0 keeps the server default)")
 		flightDump = fs.String("flight-dump", "",
 			"file the flight recorder auto-dumps to on evictions, stalls, and memory-pressure transitions (empty disables auto-dump; /debug/flightrecorder always works)")
+
+		hotKeys = fs.Int("hot-keys", 0,
+			"top-K hot keys tracked per joiner per stream with a SpaceSaving sketch, shown on /statusz and as /timeline skew series (0 keeps the server default of 16, negative disables)")
+		sloWindow = fs.Duration("slo-window", 0,
+			"trailing window the /healthz burn rates are computed over (0 keeps the server default of 30s)")
+		sloP99 = fs.Duration("slo-p99", 0,
+			"/healthz goes 503 while the window-averaged p99 request latency exceeds this (0 disables the dimension)")
+		sloShedRate = fs.Float64("slo-shed-rate", 0,
+			"/healthz goes 503 while shed+NACK events per second exceed this (0 disables)")
+		sloLag = fs.Duration("slo-lag", 0,
+			"/healthz goes 503 while the window-averaged watermark lag exceeds this (0 disables)")
+		sloMemLevel = fs.Int("slo-mem-level", 0,
+			"/healthz goes 503 while any sample in the window reaches this memory-pressure rung, 1 or 2 (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -79,7 +92,16 @@ func parseArgs(args []string, w io.Writer) (*options, error) {
 			TraceSampleN:      *traceSample,
 			TraceRing:         *traceRing,
 			FlightDumpPath:    *flightDump,
+			HotKeysK:          *hotKeys,
+			SLOWindow:         *sloWindow,
+			SLOP99:            *sloP99,
+			SLOShedRate:       *sloShedRate,
+			SLOWatermarkLag:   *sloLag,
+			SLOMemLevel:       *sloMemLevel,
 		},
+	}
+	if *sloMemLevel < 0 || *sloMemLevel > 2 {
+		return nil, fmt.Errorf("-slo-mem-level must be 0, 1 or 2 (got %d)", *sloMemLevel)
 	}
 	if *sqlText != "" {
 		q, err := sql.Parse(*sqlText)

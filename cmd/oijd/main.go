@@ -65,10 +65,14 @@ func main() {
 	fmt.Printf("oijd: overload: admission=%s deadline=%s mem-cap=%d\n",
 		o.cfg.Admission, o.cfg.RequestDeadline, o.cfg.MemCapProbes)
 	if a := srv.AdminAddr(); a != nil {
-		fmt.Printf("oijd: observability on http://%s (/metrics /statusz /tracez /debug/flightrecorder /debug/pprof)\n", a)
+		fmt.Printf("oijd: observability on http://%s (/metrics /statusz /tracez /timeline /healthz /debug/flightrecorder /debug/pprof)\n", a)
 	}
 	if o.cfg.TraceSampleN > 0 {
 		fmt.Printf("oijd: tracing every %d. request (see /tracez)\n", o.cfg.TraceSampleN)
+	}
+	if o.cfg.SLOP99 > 0 || o.cfg.SLOShedRate > 0 || o.cfg.SLOWatermarkLag > 0 || o.cfg.SLOMemLevel > 0 {
+		fmt.Printf("oijd: slo: window=%s p99=%s shed-rate=%g lag=%s mem-level=%d\n",
+			o.cfg.SLOWindow, o.cfg.SLOP99, o.cfg.SLOShedRate, o.cfg.SLOWatermarkLag, o.cfg.SLOMemLevel)
 	}
 
 	stop := make(chan os.Signal, 1)

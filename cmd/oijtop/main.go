@@ -1,0 +1,106 @@
+// Command oijtop is a live terminal dashboard for a running oijd: it polls
+// the daemon's admin endpoint (/statusz, /timeline, /healthz) and renders
+// throughput, latency, watermark lag, queue depths, memory pressure, and
+// the hottest keys as sparkline rows — `top` for an interval-join server.
+//
+//	oijtop -admin 127.0.0.1:7782
+//
+// The dashboard is read-only and zero-dependency: plain ANSI escapes, no
+// terminal library, so it runs anywhere a Go binary does. -once renders a
+// single frame without clearing the screen (useful in scripts and tests).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// options is the resolved oijtop configuration; parseArgs builds one from
+// an argument slice so tests drive the exact path main dispatches to.
+type options struct {
+	admin    string
+	interval time.Duration
+	once     bool
+	noColor  bool
+	keys     int
+	width    int
+}
+
+func parseArgs(args []string, w io.Writer) (*options, error) {
+	fs := flag.NewFlagSet("oijtop", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var (
+		admin    = fs.String("admin", "127.0.0.1:7782", "oijd admin address (host:port of -admin)")
+		interval = fs.Duration("interval", time.Second, "refresh interval")
+		once     = fs.Bool("once", false, "render one frame and exit (no screen clearing)")
+		noColor  = fs.Bool("no-color", false, "disable ANSI colors")
+		keys     = fs.Int("keys", 5, "hot keys shown per stream")
+		width    = fs.Int("width", 60, "sparkline width in columns")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	if *interval < 100*time.Millisecond {
+		return nil, fmt.Errorf("-interval %s too small (min 100ms)", *interval)
+	}
+	if *width < 10 {
+		return nil, fmt.Errorf("-width %d too small (min 10)", *width)
+	}
+	return &options{
+		admin:    *admin,
+		interval: *interval,
+		once:     *once,
+		noColor:  *noColor,
+		keys:     *keys,
+		width:    *width,
+	}, nil
+}
+
+func main() {
+	o, err := parseArgs(os.Args[1:], os.Stderr)
+	if err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "oijtop: %v\n", err)
+		os.Exit(2)
+	}
+	d := newDashboard(o)
+
+	if o.once {
+		if err := d.renderOnce(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "oijtop: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	tick := time.NewTicker(o.interval)
+	defer tick.Stop()
+	// Hide the cursor while live; restore it on the way out.
+	fmt.Print("\x1b[?25l")
+	defer fmt.Print("\x1b[?25h\n")
+	for {
+		frame, err := d.frame()
+		if err != nil {
+			frame = fmt.Sprintf("oijtop: %s unreachable: %v (retrying every %s)\n", o.admin, err, o.interval)
+		}
+		// Home + clear-to-end redraw: no flicker, no full-screen erase.
+		fmt.Print("\x1b[H\x1b[2J" + frame)
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"oij/internal/agg"
+	"oij/internal/engine"
+	"oij/internal/obs/timeline"
+	"oij/internal/server"
+	"oij/internal/tuple"
+	"oij/internal/window"
+)
+
+func TestParseArgs(t *testing.T) {
+	o, err := parseArgs([]string{"-admin", "10.0.0.1:9999", "-interval", "250ms", "-once", "-keys", "3"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.admin != "10.0.0.1:9999" || o.interval != 250*time.Millisecond || !o.once || o.keys != 3 {
+		t.Fatalf("parsed %+v", o)
+	}
+	for _, bad := range [][]string{
+		{"extra"},
+		{"-interval", "1ms"},
+		{"-width", "2"},
+	} {
+		if _, err := parseArgs(bad, io.Discard); err == nil {
+			t.Fatalf("args %v accepted", bad)
+		}
+	}
+}
+
+func TestSpark(t *testing.T) {
+	if s, _, _ := spark(nil, 10); s != "" {
+		t.Fatalf("empty spark = %q", s)
+	}
+	// A ramp uses the whole rune range and reports last/max.
+	pts := []timeline.Point{{Avg: 0, Max: 0}, {Avg: 5, Max: 5}, {Avg: 10, Max: 10}}
+	s, last, max := spark(pts, 10)
+	if last != 10 || max != 10 {
+		t.Fatalf("spark stats last=%g max=%g", last, max)
+	}
+	runes := []rune(s)
+	if len(runes) != 3 || runes[0] != '▁' || runes[2] != '█' {
+		t.Fatalf("ramp spark = %q", s)
+	}
+	// Width clamps to the trailing points.
+	long := make([]timeline.Point, 100)
+	for i := range long {
+		long[i] = timeline.Point{Avg: float64(i), Max: float64(i)}
+	}
+	if s, _, _ := spark(long, 20); len([]rune(s)) != 20 {
+		t.Fatalf("width clamp: %d runes", len([]rune(s)))
+	}
+}
+
+// TestDashboardEndToEnd boots a real oijd (in process), streams a skewed
+// workload through it, and renders a dashboard frame against the live
+// admin endpoint — the acceptance test that oijtop works against the
+// daemon it ships with.
+func TestDashboardEndToEnd(t *testing.T) {
+	cfg := server.Config{
+		Engine: engine.Config{
+			Joiners: 2,
+			Window:  window.Spec{Pre: 10_000_000, Lateness: 1000},
+			Agg:     agg.Sum,
+		},
+		AdminAddr: "127.0.0.1:0",
+		UtilEpoch: 20 * time.Millisecond,
+		SLOP99:    time.Second, // enable the SLO evaluator so the frame shows dimensions
+		SLOWindow: 5 * time.Second,
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+
+	c, err := server.Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 500; i++ {
+		key := tuple.Key(100 + i%10)
+		if i%2 == 0 {
+			key = 7 // hot key: half the probe stream
+		}
+		c.SendProbe(key, tuple.Time(1000+i*5), 1)
+	}
+	c.SendBase(7, 3000, 0)
+	if err := c.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RecvResults(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Let the sampler land a few timeline ticks.
+	time.Sleep(120 * time.Millisecond)
+
+	d := newDashboard(&options{admin: srv.AdminAddr().String(), keys: 3, width: 30, noColor: true})
+	var out strings.Builder
+	if err := d.renderOnce(&out); err != nil {
+		t.Fatal(err)
+	}
+	frame := out.String()
+
+	for _, want := range []string{
+		"oijd @",
+		"2 joiners",
+		"HEALTHY",
+		"p99_latency", // SLO dimension line
+		"probes/s",    // sparkline rows
+		"wm lag",
+		"mem lvl",
+		"joiners: [0]",
+		"hot probe keys: 7 (", // the hot key leads the analytics line
+		"overload: level=0",
+		"flight:",
+	} {
+		if !strings.Contains(frame, want) {
+			t.Fatalf("frame missing %q:\n%s", want, frame)
+		}
+	}
+	if strings.Contains(frame, "\x1b[") {
+		t.Fatalf("-no-color frame contains ANSI escapes:\n%q", frame)
+	}
+	t.Logf("frame:\n%s", frame)
+}

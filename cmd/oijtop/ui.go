@@ -1,0 +1,249 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"oij/internal/obs"
+	"oij/internal/obs/timeline"
+	"oij/internal/server"
+)
+
+// sparkRunes are the eight-level bar glyphs; index 0 renders the smallest
+// non-absent value, so any activity is visible above a true gap.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// sparkSeries are the timeline series the dashboard graphs, in row order.
+var sparkSeries = []struct {
+	name  string
+	label string
+	unit  string
+	scale float64 // display = value * scale
+}{
+	{"oij_probes_total:rate", "probes/s", "t/s", 1},
+	{"oij_requests_total:rate", "requests", "req/s", 1},
+	{"oij_request_latency_seconds:p99", "p99 lat", "ms", 1e3},
+	{"oij_watermark_lag_us", "wm lag", "ms", 1e-3},
+	{"oij_ingest_queue_depth", "ingest q", "", 1},
+	{"oij_mem_pressure_level", "mem lvl", "", 1},
+}
+
+// dashboard polls one oijd admin endpoint and renders frames.
+type dashboard struct {
+	o      *options
+	base   string
+	client *http.Client
+}
+
+func newDashboard(o *options) *dashboard {
+	return &dashboard{
+		o:      o,
+		base:   "http://" + o.admin,
+		client: &http.Client{Timeout: 5 * time.Second},
+	}
+}
+
+// snapshot is one poll of the daemon.
+type snapshot struct {
+	st      server.Status
+	tl      timeline.Doc
+	health  server.HealthStatus
+	healthy bool // the /healthz status code, the LB's view
+}
+
+func (d *dashboard) getJSON(path string, into any) (int, error) {
+	resp, err := d.client.Get(d.base + path)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		return resp.StatusCode, fmt.Errorf("%s: %w", path, err)
+	}
+	return resp.StatusCode, nil
+}
+
+func (d *dashboard) fetch() (*snapshot, error) {
+	var snap snapshot
+	if code, err := d.getJSON("/statusz", &snap.st); err != nil {
+		return nil, err
+	} else if code != http.StatusOK {
+		return nil, fmt.Errorf("/statusz: status %d", code)
+	}
+	names := make([]string, len(sparkSeries))
+	for i, s := range sparkSeries {
+		names[i] = s.name
+	}
+	q := "/timeline?res=1s&series=" + strings.Join(names, ",")
+	if code, err := d.getJSON(q, &snap.tl); err != nil {
+		return nil, err
+	} else if code != http.StatusOK {
+		return nil, fmt.Errorf("/timeline: status %d", code)
+	}
+	code, err := d.getJSON("/healthz", &snap.health)
+	if err != nil {
+		return nil, err
+	}
+	snap.healthy = code == http.StatusOK
+	return &snap, nil
+}
+
+// frame fetches and renders one screen.
+func (d *dashboard) frame() (string, error) {
+	snap, err := d.fetch()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	d.render(&b, snap)
+	return b.String(), nil
+}
+
+// renderOnce writes a single frame without screen control sequences.
+func (d *dashboard) renderOnce(w interface{ Write([]byte) (int, error) }) error {
+	frame, err := d.frame()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write([]byte(frame))
+	return err
+}
+
+// color wraps s in an SGR sequence unless colors are disabled.
+func (d *dashboard) color(code, s string) string {
+	if d.o.noColor {
+		return s
+	}
+	return "\x1b[" + code + "m" + s + "\x1b[0m"
+}
+
+// spark renders the last width points of a series as an eight-level bar
+// chart, scaled to the window's own maximum (each row auto-ranges).
+func spark(points []timeline.Point, width int) (string, float64, float64) {
+	if len(points) > width {
+		points = points[len(points)-width:]
+	}
+	var max, last float64
+	for _, p := range points {
+		if p.Max > max {
+			max = p.Max
+		}
+	}
+	var b strings.Builder
+	for _, p := range points {
+		idx := 0
+		if max > 0 {
+			idx = int(p.Avg / max * float64(len(sparkRunes)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(sparkRunes) {
+				idx = len(sparkRunes) - 1
+			}
+		}
+		b.WriteRune(sparkRunes[idx])
+		last = p.Avg
+	}
+	return b.String(), last, max
+}
+
+// fmtVal renders a value compactly (1234567 → 1.23M).
+func fmtVal(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e4:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	case v >= 10 || v == 0:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func fmtUptime(sec float64) string {
+	dur := time.Duration(sec * float64(time.Second)).Round(time.Second)
+	return dur.String()
+}
+
+func (d *dashboard) render(b *strings.Builder, snap *snapshot) {
+	st := &snap.st
+
+	verdict := d.color("32;1", "HEALTHY")
+	if !snap.healthy {
+		verdict = d.color("31;1", "UNHEALTHY")
+	}
+	fmt.Fprintf(b, "%s @ %s · %s/%s · %d joiners · up %s · %s\n",
+		d.color("1", "oijd"), d.o.admin, st.Algorithm, st.Mode, st.Joiners,
+		fmtUptime(st.UptimeSeconds), verdict)
+
+	if len(snap.health.Dimensions) > 0 {
+		parts := make([]string, 0, len(snap.health.Dimensions))
+		for _, dim := range snap.health.Dimensions {
+			s := fmt.Sprintf("%s %s/%s%s", dim.Name, fmtVal(dim.Value), fmtVal(dim.Threshold), dim.Unit)
+			if dim.Breached {
+				s = d.color("31", s+" !")
+			}
+			parts = append(parts, s)
+		}
+		fmt.Fprintf(b, "slo(%gs): %s\n", snap.health.WindowSeconds, strings.Join(parts, " · "))
+	}
+	b.WriteByte('\n')
+
+	series := map[string][]timeline.Point{}
+	for _, s := range snap.tl.Series {
+		series[s.Name] = s.Points
+	}
+	for _, row := range sparkSeries {
+		graph, last, max := spark(series[row.name], d.o.width)
+		fmt.Fprintf(b, "%-9s %-*s %8s %s (peak %s)\n",
+			row.label, d.o.width, graph, fmtVal(last*row.scale), row.unit, fmtVal(max*row.scale))
+	}
+	b.WriteByte('\n')
+
+	fmt.Fprintf(b, "joiners: ")
+	for i, js := range st.PerJoiner {
+		fmt.Fprintf(b, "[%d] %3.0f%% q=%-4d ", i, js.Utilization*100, js.QueueDepth)
+		if (i+1)%6 == 0 && i+1 < len(st.PerJoiner) {
+			fmt.Fprintf(b, "\n         ")
+		}
+	}
+	b.WriteByte('\n')
+
+	if hk := st.HotKeys; hk != nil {
+		fmt.Fprintf(b, "hot probe keys: %s\n", hotLine(hk.Probes, d.o.keys))
+		fmt.Fprintf(b, "hot base keys:  %s\n", hotLine(hk.Bases, d.o.keys))
+	}
+
+	ov := &st.Overload
+	fmt.Fprintf(b, "overload: level=%d shed=%d rejected=%d deadline=%d mem-shed=%d evicted=%d buffered=%s\n",
+		ov.MemPressureLevel, ov.ShedProbes, ov.Rejected, ov.DeadlineRejected,
+		ov.MemShedProbes, ov.SlowSessionsEvicted, fmtVal(float64(ov.BufferedProbes)))
+	fmt.Fprintf(b, "flight: %d events, %d dumps · spans: %d done · pending: %d · sessions: %d\n",
+		st.Trace.FlightEvents, st.Trace.FlightDumps, st.Trace.CompletedSpans,
+		st.PendingRequests, ov.SessionsActive)
+}
+
+// hotLine renders the top entries of a merged sketch snapshot with their
+// stream shares (SpaceSaving counts are upper bounds, so shares are too).
+func hotLine(s obs.TopKSnapshot, n int) string {
+	if len(s.Entries) == 0 || s.Total == 0 {
+		return "(none)"
+	}
+	entries := s.Entries
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].Count > entries[j].Count })
+	if len(entries) > n {
+		entries = entries[:n]
+	}
+	parts := make([]string, len(entries))
+	for i, e := range entries {
+		parts[i] = fmt.Sprintf("%d (%.1f%%)", e.Key, float64(e.Count)/float64(s.Total)*100)
+	}
+	return strings.Join(parts, "  ")
+}

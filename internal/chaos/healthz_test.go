@@ -1,0 +1,180 @@
+package chaos_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"oij/internal/agg"
+	"oij/internal/engine"
+	"oij/internal/server"
+	"oij/internal/trace"
+	"oij/internal/window"
+)
+
+// healthzBody is the JSON shape /healthz serves (a subset of
+// server.HealthStatus — decoded independently so this test also pins the
+// wire contract a load balancer would script against).
+type healthzBody struct {
+	Healthy     bool  `json:"healthy"`
+	Transitions int64 `json:"transitions"`
+	Dimensions  []struct {
+		Name     string `json:"name"`
+		Breached bool   `json:"breached"`
+	} `json:"dimensions"`
+}
+
+func getHealthz(t *testing.T, url string) (int, healthzBody) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var body healthzBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("healthz decode: %v", err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestHealthzFlipsUnderMemoryPressure drives the full load-balancer
+// contract end to end over HTTP: a clean server reports 200, a probe flood
+// past MemCapProbes trips the memory-pressure SLO to 503, and draining the
+// buffered state (watermark advance → eviction) returns 200 once the
+// trailing SLO window is clean again. The transition pair must also land
+// in the flight recorder, so the 503 interval is reconstructable after the
+// fact.
+func TestHealthzFlipsUnderMemoryPressure(t *testing.T) {
+	cfg := server.Config{
+		MemCapProbes: 200,
+		AdminAddr:    "127.0.0.1:0",
+		UtilEpoch:    20 * time.Millisecond, // fast sampler → fast SLO evaluation
+		SLOMemLevel:  1,
+		SLOWindow:    time.Second,
+		Engine: engine.Config{
+			Joiners: 2,
+			Window:  window.Spec{Pre: 10_000_000, Lateness: 1000},
+			Agg:     agg.Sum,
+		},
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown()
+	healthURL := "http://" + s.AdminAddr().String() + "/healthz"
+
+	c, err := server.Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Phase 1: light traffic, healthy. The evaluator starts healthy, so
+	// this pins the 200 side of the contract before anything breaks.
+	for i := int64(0); i < 10; i++ {
+		c.SendProbe(1, 1000+i, 1)
+	}
+	if _, err := c.SendBase(1, 2000, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RecvResults(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	code, body := getHealthz(t, healthURL)
+	if code != http.StatusOK || !body.Healthy {
+		t.Fatalf("clean server: healthz = %d %+v", code, body)
+	}
+
+	// Phase 2: flood probes with no watermark progress. Buffered state
+	// crosses MemCapProbes, the ingest loop raises the pressure rung, and
+	// the next SLO evaluation must flip /healthz to 503.
+	for i := int64(0); i < 3*cfg.MemCapProbes; i++ {
+		c.SendProbe(2, 10_000+i, 1)
+	}
+	if err := c.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	var unhealthy healthzBody
+	waitFor(t, 10*time.Second, "healthz to report 503", func() bool {
+		code, b := getHealthz(t, healthURL)
+		if code == http.StatusServiceUnavailable {
+			unhealthy = b
+			return true
+		}
+		return false
+	})
+	if unhealthy.Healthy {
+		t.Errorf("503 body claims healthy: %+v", unhealthy)
+	}
+	breached := false
+	for _, d := range unhealthy.Dimensions {
+		if d.Name == "mem_pressure" && d.Breached {
+			breached = true
+		}
+	}
+	if !breached {
+		t.Errorf("503 body does not flag mem_pressure: %+v", unhealthy)
+	}
+
+	// Phase 3: recover. Bases far ahead advance the watermark past the
+	// flooded probes' retention horizon, eviction reclaims the buffered
+	// state, and a trickle of fresh probes keeps the ingest loop
+	// re-sampling the (now clear) pressure rung. Once the breach ages out
+	// of the trailing SLO window, /healthz must return to 200.
+	deadline := time.Now().Add(20 * time.Second)
+	ts := int64(50_000_000)
+	recovered := false
+	for time.Now().Before(deadline) {
+		if _, err := c.SendBase(3, ts, 0); err != nil {
+			t.Fatal(err)
+		}
+		c.SendProbe(3, ts, 1)
+		if err := c.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		ts += 1_000_000
+		if code, _ := getHealthz(t, healthURL); code == http.StatusOK {
+			recovered = true
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !recovered {
+		t.Fatal("healthz never returned to 200 after the flood drained")
+	}
+
+	// The full arc is accounted: one unhealthy→healthy round trip (or
+	// more, if pressure flapped), currently healthy, and both transition
+	// kinds on the flight recorder for postmortem reconstruction.
+	st := s.Statusz()
+	if !st.SLO.Healthy || st.SLO.Transitions < 2 || st.SLO.Transitions%2 != 0 {
+		t.Errorf("final SLO state %+v, want healthy with an even transition count >= 2", st.SLO)
+	}
+	var fd trace.FlightDoc
+	if err := json.Unmarshal([]byte(httpGet(t, "http://"+s.AdminAddr().String()+"/debug/flightrecorder")), &fd); err != nil {
+		t.Fatal(err)
+	}
+	var sawUnhealthy, sawRecovered bool
+	for _, ev := range fd.Events {
+		switch ev.Kind {
+		case "slo_unhealthy":
+			sawUnhealthy = true
+		case "slo_recovered":
+			sawRecovered = true
+		}
+	}
+	if !sawUnhealthy || !sawRecovered {
+		t.Errorf("flight recorder missing SLO transitions: unhealthy=%v recovered=%v", sawUnhealthy, sawRecovered)
+	}
+	t.Logf("healthz arc complete: transitions=%d", st.SLO.Transitions)
+}

@@ -71,6 +71,10 @@ func TestSoakOverloadAndRecovery(t *testing.T) {
 	// mem_level transitions with sequence numbers before the fault-phase
 	// slow-consumer eviction. The flight ring is sized so the post-fault
 	// traffic cannot wash those events out before the final assertions.
+	// The SLO thresholds arm the /healthz verdict: MemCapProbes=300 means
+	// the warmup fleet alone crosses pressure rung 1, so the soak is
+	// guaranteed at least one healthy→unhealthy SLO transition with the
+	// flight-recorder evidence trail behind it.
 	flightDump := filepath.Join(t.TempDir(), "flight-incident.json")
 	cfg := server.Config{
 		Admission:         server.AdmissionShedProbes,
@@ -82,6 +86,9 @@ func TestSoakOverloadAndRecovery(t *testing.T) {
 		TraceSampleN:      8,
 		FlightRing:        2048,
 		FlightDumpPath:    flightDump,
+		UtilEpoch:         50 * time.Millisecond,
+		SLOWindow:         time.Second,
+		SLOMemLevel:       1,
 		Engine: engine.Config{
 			Joiners: 2,
 			Window:  window.Spec{Pre: 10_000_000, Lateness: 10_000},
@@ -190,6 +197,8 @@ func TestSoakOverloadAndRecovery(t *testing.T) {
 		adminBase + "/statusz",
 		adminBase + "/tracez",
 		adminBase + "/debug/flightrecorder",
+		adminBase + "/timeline",
+		adminBase + "/healthz",
 	} {
 		scrapeWG.Add(1)
 		go func(u string) {
@@ -331,6 +340,31 @@ func TestSoakOverloadAndRecovery(t *testing.T) {
 			statusz.Overload.SlowSessionsEvicted, st.Overload.SlowSessionsEvicted)
 	}
 
+	// The SLO evaluator must have witnessed the warmup pressure spike: at
+	// least one healthy→unhealthy transition, scored over the timeline.
+	if st.SLO.Transitions < 1 {
+		t.Errorf("SLO transitions = %d, want >= 1 (MemCapProbes crossing should trip SLOMemLevel=1)", st.SLO.Transitions)
+	}
+
+	// Hot-key analytics: the never-reading consumer pushed ~256k bases of
+	// key 99 — orders of magnitude more than the fleet's bases — so the
+	// merged SpaceSaving sketch must rank it first.
+	if st.HotKeys == nil {
+		t.Fatal("hot-key analytics absent from /statusz")
+	} else if es := st.HotKeys.Bases.Entries; len(es) == 0 || es[0].Key != 99 {
+		t.Errorf("merged hot base keys = %+v, want key 99 first", es)
+	}
+
+	// The timeline must be live (ticking, all three resolutions) and its
+	// memory bound honoured: series x slots x slot size, O(100KB), not
+	// growing with soak length.
+	if st.Timeline.Ticks == 0 || len(st.Timeline.Resolutions) != 3 {
+		t.Errorf("timeline not live: %+v", st.Timeline)
+	}
+	if st.Timeline.MemoryBytes > 8<<20 {
+		t.Errorf("timeline memory %d bytes exceeds its fixed budget", st.Timeline.MemoryBytes)
+	}
+
 	// The trace layer must have survived the soak: sampled spans from the
 	// healthy fleet completed, and the slow consumer's abandoned requests
 	// are accounted as drops, not leaks.
@@ -360,7 +394,7 @@ func TestSoakOverloadAndRecovery(t *testing.T) {
 	if err := json.Unmarshal([]byte(flightBody), &fd); err != nil {
 		t.Fatalf("flight recorder decode: %v", err)
 	}
-	var evictions, memLevels, stalls int64
+	var evictions, memLevels, stalls, sloFlips int64
 	var firstPressureSeq, evictionSeq uint64
 	for i, ev := range fd.Events {
 		if i > 0 && fd.Events[i-1].Seq >= ev.Seq {
@@ -377,6 +411,8 @@ func TestSoakOverloadAndRecovery(t *testing.T) {
 			}
 		case "stall_detected":
 			stalls++
+		case "slo_unhealthy", "slo_recovered":
+			sloFlips++
 		}
 	}
 	if evictions != st.Overload.SlowSessionsEvicted {
@@ -384,6 +420,9 @@ func TestSoakOverloadAndRecovery(t *testing.T) {
 	}
 	if memLevels == 0 {
 		t.Error("no mem_level transitions in the flight recorder (MemCapProbes should have tripped during warmup)")
+	}
+	if sloFlips == 0 {
+		t.Error("no slo_unhealthy/slo_recovered events in the flight recorder (SLOMemLevel=1 should have tripped with the pressure rung)")
 	}
 	if firstPressureSeq == 0 || evictionSeq == 0 || firstPressureSeq >= evictionSeq {
 		t.Errorf("pressure-before-eviction ordering violated: first mem pressure seq %d, eviction seq %d",
@@ -412,7 +451,8 @@ func TestSoakOverloadAndRecovery(t *testing.T) {
 	}
 
 	// When CI points OIJ_SOAK_ARTIFACT_DIR at a directory, leave the trace
-	// ring and the flight timeline behind for the workflow to upload.
+	// ring, the flight timeline, and the telemetry timeline behind for the
+	// workflow to upload.
 	if dir := os.Getenv("OIJ_SOAK_ARTIFACT_DIR"); dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			t.Fatal(err)
@@ -421,6 +461,7 @@ func TestSoakOverloadAndRecovery(t *testing.T) {
 			"soak-tracez.json":        tracezBody,
 			"soak-flight.json":        flightBody,
 			"soak-incident-dump.json": string(dumpBytes),
+			"soak-timeline.json":      httpGet(t, adminBase+"/timeline"),
 		} {
 			if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
 				t.Fatal(err)

@@ -13,6 +13,7 @@ import (
 	"oij/internal/keyoij"
 	"oij/internal/metrics"
 	"oij/internal/mldb"
+	"oij/internal/obs"
 	"oij/internal/scaleoij"
 	"oij/internal/splitjoin"
 	"oij/internal/trace"
@@ -106,6 +107,11 @@ type RunConfig struct {
 	// (watermark advances etc.). Benchmarks pass one to measure the
 	// recorder's overhead under load.
 	Flight *trace.Flight
+	// HotKeys, when non-nil, receives every ingested tuple's key — the
+	// same per-tuple SpaceSaving observation oijd performs on its ingest
+	// path. Benchmarks pass one to measure the sketch's overhead under
+	// load (oijbench gate -telemetry).
+	HotKeys *obs.HotKeys
 }
 
 // RunResult carries everything a figure needs.
@@ -197,15 +203,24 @@ func Run(rc RunConfig) (RunResult, error) {
 	}
 
 	eng.Start()
+	hk := rc.HotKeys
 	start := time.Now()
 	if rc.Paced && rc.Workload.ArrivalRate > 0 {
-		pace(eng, tuples, rc.Workload.ArrivalRate, rc.MeasureLatency)
+		pace(eng, tuples, rc.Workload.ArrivalRate, rc.MeasureLatency, hk)
 	} else {
 		if rc.MeasureLatency {
 			for i := range tuples {
 				if tuples[i].Side == tuple.Base {
 					tuples[i].Arrival = time.Now()
 				}
+				if hk != nil {
+					hk.Observe(uint64(tuples[i].Key))
+				}
+				eng.Ingest(tuples[i])
+			}
+		} else if hk != nil {
+			for i := range tuples {
+				hk.Observe(uint64(tuples[i].Key))
 				eng.Ingest(tuples[i])
 			}
 		} else {
@@ -246,7 +261,7 @@ func Run(rc RunConfig) (RunResult, error) {
 // second), stamping base arrivals when latency is measured. Pacing is
 // checked every batch of 64 tuples to keep clock reads off the per-tuple
 // path.
-func pace(eng engine.Engine, tuples []tuple.Tuple, rate float64, stamp bool) {
+func pace(eng engine.Engine, tuples []tuple.Tuple, rate float64, stamp bool, hk *obs.HotKeys) {
 	const batch = 64
 	interval := time.Duration(float64(batch) / rate * float64(time.Second))
 	next := time.Now()
@@ -259,6 +274,9 @@ func pace(eng engine.Engine, tuples []tuple.Tuple, rate float64, stamp bool) {
 		}
 		if stamp && tuples[i].Side == tuple.Base {
 			tuples[i].Arrival = time.Now()
+		}
+		if hk != nil {
+			hk.Observe(uint64(tuples[i].Key))
 		}
 		eng.Ingest(tuples[i])
 	}

@@ -15,6 +15,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -123,7 +124,7 @@ func (v *HistogramVec) Snapshot() *HistSnapshot {
 // scrape artifacts are attributable to the exact binary that produced them.
 type infoMetric struct {
 	name, help string
-	labels     [][2]string
+	labels     string // pre-rendered {k="v",...} — constant, so escaped once
 }
 
 // gaugeFunc reads its value at scrape time — for state that already lives
@@ -201,12 +202,13 @@ func (r *Registry) NewGaugeVecFunc(name, help string, fn func() []float64) {
 // (the Prometheus <name>_info idiom). Label values are escaped on output.
 func (r *Registry) NewInfo(name, help string, labels [][2]string) {
 	r.mu.Lock()
-	r.infos = append(r.infos, &infoMetric{name: name, help: help, labels: labels})
+	r.infos = append(r.infos, &infoMetric{name: name, help: help, labels: renderLabels(labels)})
 	r.mu.Unlock()
 }
 
 // NewHistogramVec registers a histogram family. scale divides recorded
 // values on output (0 means 1); quantiles nil means DefaultQuantiles.
+// Quantiles are sorted once here so the scrape path never re-sorts.
 func (r *Registry) NewHistogramVec(name, help string, shards int, scale float64, quantiles []float64) *HistogramVec {
 	if scale == 0 {
 		scale = 1
@@ -214,102 +216,150 @@ func (r *Registry) NewHistogramVec(name, help string, shards int, scale float64,
 	if quantiles == nil {
 		quantiles = DefaultQuantiles
 	}
-	v := &HistogramVec{name: name, help: help, scale: scale, quantiles: quantiles, shards: make([]Histogram, shards)}
+	qs := append([]float64(nil), quantiles...)
+	sort.Float64s(qs)
+	v := &HistogramVec{name: name, help: help, scale: scale, quantiles: qs, shards: make([]Histogram, shards)}
 	r.mu.Lock()
 	r.hists = append(r.hists, v)
 	r.mu.Unlock()
 	return v
 }
 
+// scrapeBuf is the reusable per-scrape working set: the output buffer and
+// a histogram merge scratch, pooled so a scrape costs no steady-state
+// allocations beyond what gauge-func callbacks themselves allocate (see
+// BenchmarkScrape for the measured allocs/op).
+type scrapeBuf struct {
+	b    []byte
+	hist HistSnapshot
+}
+
+var scrapePool = sync.Pool{New: func() any { return &scrapeBuf{b: make([]byte, 0, 4096)} }}
+
 // WritePrometheus renders every registered instrument in the Prometheus
 // text exposition format (version 0.0.4). Multi-shard families get a
-// {joiner="i"} label per shard; histograms render as summaries.
+// {joiner="i"} label per shard; histograms render as summaries. The
+// encoder builds the whole document in a pooled buffer and writes it once
+// — one syscall per scrape, no per-line formatting allocations. The
+// registry lock is held while encoding; registration is startup-only, so
+// this never contends with anything but another scrape.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	sb := scrapePool.Get().(*scrapeBuf)
+	b := sb.b[:0]
+
 	r.mu.Lock()
-	counters := append([]*CounterVec(nil), r.counters...)
-	gauges := append([]*GaugeVec(nil), r.gauges...)
-	gfns := append([]*gaugeFunc(nil), r.gfns...)
-	gvfns := append([]*gaugeVecFunc(nil), r.gvfns...)
-	hists := append([]*HistogramVec(nil), r.hists...)
-	infos := append([]*infoMetric(nil), r.infos...)
+	for _, m := range r.infos {
+		b = appendHeader(b, m.name, m.help, "gauge")
+		b = append(b, m.name...)
+		b = append(b, m.labels...)
+		b = append(b, " 1\n"...)
+	}
+	for _, v := range r.counters {
+		b = appendHeader(b, v.name, v.help, "counter")
+		if len(v.shards) == 1 {
+			b = append(b, v.name...)
+			b = append(b, ' ')
+			b = strconv.AppendInt(b, v.shards[0].Load(), 10)
+			b = append(b, '\n')
+			continue
+		}
+		for i := range v.shards {
+			b = appendShardLabel(b, v.name, i)
+			b = strconv.AppendInt(b, v.shards[i].Load(), 10)
+			b = append(b, '\n')
+		}
+	}
+	for _, v := range r.gauges {
+		b = appendHeader(b, v.name, v.help, "gauge")
+		if len(v.shards) == 1 {
+			b = append(b, v.name...)
+			b = append(b, ' ')
+			b = appendFloat(b, v.shards[0].Load())
+			b = append(b, '\n')
+			continue
+		}
+		for i := range v.shards {
+			b = appendShardLabel(b, v.name, i)
+			b = appendFloat(b, v.shards[i].Load())
+			b = append(b, '\n')
+		}
+	}
+	for _, g := range r.gfns {
+		b = appendHeader(b, g.name, g.help, "gauge")
+		b = append(b, g.name...)
+		b = append(b, ' ')
+		b = appendFloat(b, g.fn())
+		b = append(b, '\n')
+	}
+	for _, g := range r.gvfns {
+		b = appendHeader(b, g.name, g.help, "gauge")
+		for i, val := range g.fn() {
+			b = appendShardLabel(b, g.name, i)
+			b = appendFloat(b, val)
+			b = append(b, '\n')
+		}
+	}
+	for _, v := range r.hists {
+		b = appendHeader(b, v.name, v.help, "summary")
+		s := &sb.hist
+		*s = HistSnapshot{}
+		for i := range v.shards {
+			s.Merge(&v.shards[i])
+		}
+		for _, q := range v.quantiles {
+			b = append(b, v.name...)
+			b = append(b, `{quantile="`...)
+			b = appendFloat(b, q)
+			b = append(b, `"} `...)
+			b = appendFloat(b, float64(s.Quantile(q))/v.scale)
+			b = append(b, '\n')
+		}
+		b = append(b, v.name...)
+		b = append(b, "_sum "...)
+		b = appendFloat(b, float64(s.Sum)/v.scale)
+		b = append(b, '\n')
+		b = append(b, v.name...)
+		b = append(b, "_count "...)
+		b = strconv.AppendInt(b, s.N, 10)
+		b = append(b, '\n')
+	}
 	r.mu.Unlock()
 
-	for _, m := range infos {
-		if err := writeHeader(w, m.name, m.help, "gauge"); err != nil {
-			return err
-		}
-		if _, err := fmt.Fprintf(w, "%s%s 1\n", m.name, renderLabels(m.labels)); err != nil {
-			return err
-		}
-	}
+	_, err := w.Write(b)
+	sb.b = b
+	scrapePool.Put(sb)
+	return err
+}
 
-	for _, v := range counters {
-		if err := writeHeader(w, v.name, v.help, "counter"); err != nil {
-			return err
-		}
-		if len(v.shards) == 1 {
-			if _, err := fmt.Fprintf(w, "%s %d\n", v.name, v.shards[0].Load()); err != nil {
-				return err
-			}
-			continue
-		}
-		for i := range v.shards {
-			if _, err := fmt.Fprintf(w, "%s{joiner=\"%d\"} %d\n", v.name, i, v.shards[i].Load()); err != nil {
-				return err
-			}
-		}
+// appendFloat renders a float exactly as fmt's %g (shortest unique
+// representation) without the fmt allocation.
+func appendFloat(b []byte, v float64) []byte {
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// appendShardLabel appends `name{joiner="i"} `.
+func appendShardLabel(b []byte, name string, i int) []byte {
+	b = append(b, name...)
+	b = append(b, `{joiner="`...)
+	b = strconv.AppendInt(b, int64(i), 10)
+	b = append(b, `"} `...)
+	return b
+}
+
+func appendHeader(b []byte, name, help, typ string) []byte {
+	if help != "" {
+		b = append(b, "# HELP "...)
+		b = append(b, name...)
+		b = append(b, ' ')
+		b = append(b, help...)
+		b = append(b, '\n')
 	}
-	for _, v := range gauges {
-		if err := writeHeader(w, v.name, v.help, "gauge"); err != nil {
-			return err
-		}
-		if len(v.shards) == 1 {
-			if _, err := fmt.Fprintf(w, "%s %g\n", v.name, v.shards[0].Load()); err != nil {
-				return err
-			}
-			continue
-		}
-		for i := range v.shards {
-			if _, err := fmt.Fprintf(w, "%s{joiner=\"%d\"} %g\n", v.name, i, v.shards[i].Load()); err != nil {
-				return err
-			}
-		}
-	}
-	for _, g := range gfns {
-		if err := writeHeader(w, g.name, g.help, "gauge"); err != nil {
-			return err
-		}
-		if _, err := fmt.Fprintf(w, "%s %g\n", g.name, g.fn()); err != nil {
-			return err
-		}
-	}
-	for _, g := range gvfns {
-		if err := writeHeader(w, g.name, g.help, "gauge"); err != nil {
-			return err
-		}
-		for i, val := range g.fn() {
-			if _, err := fmt.Fprintf(w, "%s{joiner=\"%d\"} %g\n", g.name, i, val); err != nil {
-				return err
-			}
-		}
-	}
-	for _, v := range hists {
-		if err := writeHeader(w, v.name, v.help, "summary"); err != nil {
-			return err
-		}
-		s := v.Snapshot()
-		qs := append([]float64(nil), v.quantiles...)
-		sort.Float64s(qs)
-		for _, q := range qs {
-			if _, err := fmt.Fprintf(w, "%s{quantile=\"%g\"} %g\n", v.name, q, float64(s.Quantile(q))/v.scale); err != nil {
-				return err
-			}
-		}
-		if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", v.name, float64(s.Sum)/v.scale, v.name, s.N); err != nil {
-			return err
-		}
-	}
-	return nil
+	b = append(b, "# TYPE "...)
+	b = append(b, name...)
+	b = append(b, ' ')
+	b = append(b, typ...)
+	b = append(b, '\n')
+	return b
 }
 
 // renderLabels formats a label set as {k="v",...}, escaping values per the
@@ -330,14 +380,4 @@ func renderLabels(labels [][2]string) string {
 	}
 	b.WriteByte('}')
 	return b.String()
-}
-
-func writeHeader(w io.Writer, name, help, typ string) error {
-	if help != "" {
-		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
-			return err
-		}
-	}
-	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
-	return err
 }

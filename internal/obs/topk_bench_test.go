@@ -1,0 +1,40 @@
+package obs
+
+import "testing"
+
+// The uniform case is the sketch's worst case: every observation misses a
+// full sketch and takes the evict path. This is the per-tuple cost the
+// telemetry perf gate (oijbench gate -telemetry) holds against the
+// regression thresholds, so it must stay a couple of dozen nanoseconds.
+func BenchmarkTopKObserveUniform(b *testing.B) {
+	t := NewTopK(16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t.Observe(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+}
+
+// The hot case is a skewed stream where most observations hit a resident
+// key — the path a real hot-key incident exercises.
+func BenchmarkTopKObserveHot(b *testing.B) {
+	t := NewTopK(16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t.Observe(uint64(i & 7))
+	}
+}
+
+// The full serving-path shape: routing hash plus shard dispatch plus the
+// sketch update, as the ingest loop pays it per tuple.
+func BenchmarkHotKeysObserve1Shard(b *testing.B) {
+	h := NewHotKeys(1, 16, func(k uint64) uint64 {
+		k ^= k >> 30
+		k *= 0xbf58476d1ce4e5b9
+		k ^= k >> 27
+		return k
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+}

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestTopKExactBelowCapacity: with fewer distinct keys than slots the
+// sketch is an exact counter (zero error).
+func TestTopKExactBelowCapacity(t *testing.T) {
+	tk := NewTopK(8)
+	for k := uint64(0); k < 5; k++ {
+		for i := uint64(0); i <= k; i++ {
+			tk.Observe(k)
+		}
+	}
+	s := tk.Snapshot()
+	if s.Total != 1+2+3+4+5 {
+		t.Fatalf("total = %d", s.Total)
+	}
+	if len(s.Entries) != 5 {
+		t.Fatalf("entries = %d", len(s.Entries))
+	}
+	if s.Entries[0].Key != 4 || s.Entries[0].Count != 5 || s.Entries[0].Err != 0 {
+		t.Fatalf("hottest = %+v", s.Entries[0])
+	}
+	for _, e := range s.Entries {
+		if e.Err != 0 {
+			t.Fatalf("exact regime produced error bound: %+v", e)
+		}
+	}
+}
+
+// TestTopKBounds: counts always overestimate, and the overestimation is
+// bounded by the recorded per-entry error — the SpaceSaving invariant
+// count-err <= true <= count.
+func TestTopKBounds(t *testing.T) {
+	const k, n = 16, 20000
+	tk := NewTopK(k)
+	truth := map[uint64]uint64{}
+	draw := newZipf(42)
+	for i := 0; i < n; i++ {
+		key := draw()
+		truth[key]++
+		tk.Observe(key)
+	}
+	s := tk.Snapshot()
+	if s.Total != n {
+		t.Fatalf("total = %d", s.Total)
+	}
+	for _, e := range s.Entries {
+		f := truth[e.Key]
+		if f > e.Count {
+			t.Fatalf("count underestimates: key %d true %d count %d", e.Key, f, e.Count)
+		}
+		if e.Count-e.Err > f {
+			t.Fatalf("error bound violated: key %d true %d count %d err %d", e.Key, f, e.Count, e.Err)
+		}
+	}
+	// The classic guarantee: any key with true frequency > Total/k is
+	// resident in the sketch.
+	resident := map[uint64]bool{}
+	for _, e := range s.Entries {
+		resident[e.Key] = true
+	}
+	for key, f := range truth {
+		if f > n/k && !resident[key] {
+			t.Fatalf("key %d (freq %d > %d) not resident", key, f, n/k)
+		}
+	}
+}
+
+// TestMergeDeterministic: merging per-shard snapshots is independent of
+// shard order — the property that makes /statusz hot-key documents stable
+// across scrapes of an unchanged stream.
+func TestMergeDeterministic(t *testing.T) {
+	h := NewHotKeys(4, 8, nil)
+	draw := newZipf(7)
+	for i := 0; i < 50000; i++ {
+		h.Observe(draw())
+	}
+	snaps := make([]TopKSnapshot, h.Shards())
+	for i := range snaps {
+		snaps[i] = h.ShardSnapshot(i)
+	}
+	base := MergeTopK(8, snaps...)
+	if base.Total != h.Total() {
+		t.Fatalf("merged total %d, tracker total %d", base.Total, h.Total())
+	}
+	perms := [][]int{{3, 1, 0, 2}, {2, 3, 1, 0}, {1, 0, 3, 2}}
+	for _, p := range perms {
+		shuffled := make([]TopKSnapshot, len(p))
+		for i, j := range p {
+			shuffled[i] = snaps[j]
+		}
+		got := MergeTopK(8, shuffled...)
+		if !reflect.DeepEqual(got, base) {
+			t.Fatalf("merge not deterministic under permutation %v:\n%+v\nvs\n%+v", p, got, base)
+		}
+	}
+	// Identity-hash shards partition the key space: the merge is exact, so
+	// each merged entry equals the single shard entry it came from.
+	for _, e := range base.Entries {
+		shard := snaps[e.Key%4]
+		found := false
+		for _, se := range shard.Entries {
+			if se.Key == e.Key {
+				found = se == e
+			}
+		}
+		if !found {
+			t.Fatalf("merged entry %+v not byte-equal to its shard's entry", e)
+		}
+	}
+}
+
+// TestHotKeysShardRouting: keys land in the shard the hash assigns, so
+// per-joiner skew is attributed to the right joiner.
+func TestHotKeysShardRouting(t *testing.T) {
+	h := NewHotKeys(3, 4, nil)
+	for i := 0; i < 30; i++ {
+		h.Observe(5) // 5 % 3 == shard 2
+	}
+	for i, want := range []uint64{0, 0, 30} {
+		if got := h.ShardSnapshot(i).Total; got != want {
+			t.Fatalf("shard %d total = %d, want %d", i, got, want)
+		}
+	}
+	top1, topK := h.TopShare(4)
+	if top1 != 1 || topK != 1 {
+		t.Fatalf("single-key stream shares = %g, %g, want 1, 1", top1, topK)
+	}
+}
+
+// newZipf builds a deterministic skewed key source: Zipf(1.3) over 4096
+// distinct keys — a few hot keys over a long tail.
+func newZipf(seed int64) func() uint64 {
+	z := rand.NewZipf(rand.New(rand.NewSource(seed)), 1.3, 1, 1<<12)
+	return z.Uint64
+}
+
+// TestTopKScanAndMapPathsAgree: the key-lookup implementation switches
+// from a packed linear scan to a map above scanLimit. Two sketches with
+// the same effective capacity but different lookup paths must produce
+// identical snapshots for the same stream — the scan is an optimization,
+// never a semantic change.
+func TestTopKScanAndMapPathsAgree(t *testing.T) {
+	const k = scanLimit // scan path
+	scan := NewTopK(k)
+	mapped := NewTopK(scanLimit + 1) // map path, one extra slot
+	if scan.idx != nil || mapped.idx == nil {
+		t.Fatalf("lookup paths not as expected: scan.idx=%v mapped.idx=%v", scan.idx, mapped.idx)
+	}
+	rng := rand.New(rand.NewSource(7))
+	zipf := rand.NewZipf(rng, 1.2, 1, 1<<20)
+	for i := 0; i < 50000; i++ {
+		key := zipf.Uint64()
+		scan.Observe(key)
+		mapped.Observe(key)
+	}
+	a, b := scan.Snapshot(), mapped.Snapshot()
+	// The extra slot can only add one trailing entry; compare the common
+	// prefix where both sketches are defined.
+	if a.Total != b.Total {
+		t.Fatalf("totals diverge: %d vs %d", a.Total, b.Total)
+	}
+	// The hot head of the distribution must agree exactly: any key both
+	// sketches retain has path-independent count and error.
+	inB := map[uint64]TopKEntry{}
+	for _, e := range b.Entries {
+		inB[e.Key] = e
+	}
+	for i, e := range a.Entries[:8] {
+		be, ok := inB[e.Key]
+		if !ok {
+			t.Fatalf("scan entry %d (%+v) missing from map-path sketch", i, e)
+		}
+		if !reflect.DeepEqual(e, be) {
+			t.Fatalf("entry for key %d diverges: scan %+v map %+v", e.Key, e, be)
+		}
+	}
+}

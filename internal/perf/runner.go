@@ -5,7 +5,10 @@ import (
 	"io"
 	"time"
 
+	"oij/internal/engine"
 	"oij/internal/harness"
+	"oij/internal/obs"
+	"oij/internal/obs/timeline"
 	"oij/internal/trace"
 	"oij/internal/tuple"
 )
@@ -29,6 +32,12 @@ type RunOptions struct {
 	// measured engine, so the regression gate proves the recorder's cost
 	// under full load is within the noise floor.
 	FlightRecorder bool
+	// Telemetry attaches the oijd telemetry layer to every measured run:
+	// a per-joiner SpaceSaving hot-key sketch observed on the ingest path
+	// (the per-tuple cost) and a background timeline sampler ticking at
+	// the same per-second cadence oijd uses. The regression gate proves
+	// their combined cost under full load is within the noise floor.
+	Telemetry bool
 }
 
 // RunSpec executes every cell of the spec and assembles the report.
@@ -58,7 +67,7 @@ func RunSpec(spec Spec, o RunOptions) (*Report, error) {
 	}
 	for rep := 0; rep < spec.Repeats; rep++ {
 		for i := range cells {
-			sample, err := runCell(&cells[i], spec, rep, gen, fr)
+			sample, err := runCell(&cells[i], spec, rep, gen, fr, o.Telemetry)
 			if err != nil {
 				return nil, fmt.Errorf("perf: cell %s (repeat %d): %w", cells[i].ID, rep+1, err)
 			}
@@ -86,7 +95,7 @@ func RunSpec(spec Spec, o RunOptions) (*Report, error) {
 }
 
 // runCell measures one repeat of one cell.
-func runCell(c *Cell, spec Spec, rep int, gen map[string][]tuple.Tuple, fr *trace.Flight) (Sample, error) {
+func runCell(c *Cell, spec Spec, rep int, gen map[string][]tuple.Tuple, fr *trace.Flight, telemetry bool) (Sample, error) {
 	wl, err := c.workloadConfig()
 	if err != nil {
 		return Sample{}, err
@@ -116,6 +125,37 @@ func runCell(c *Cell, spec Spec, rep int, gen map[string][]tuple.Tuple, fr *trac
 		LatencySeed:       uint64(spec.Seed)*1_000_003 + uint64(rep),
 		Instrument:        c.Instrumented,
 		Flight:            fr,
+	}
+	if telemetry {
+		// Mirror oijd's telemetry layer: the sketch is observed per tuple
+		// on the ingest path, and a background sampler merges shards into
+		// timeline points while ingestion runs — the same scrape-vs-observe
+		// contention the serving path sees.
+		hk := obs.NewHotKeys(c.Threads, 16, func(h uint64) uint64 {
+			return engine.HashKey(tuple.Key(h))
+		})
+		rc.HotKeys = hk
+		tl := timeline.New([]string{"hotkey_top1", "hotkey_topk"}, nil)
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			tick := time.NewTicker(100 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case now := <-tick.C:
+					top1, topK := hk.TopShare(16)
+					tl.Record(now, []float64{top1, topK})
+				}
+			}
+		}()
+		defer func() {
+			close(stop)
+			<-done
+		}()
 	}
 	res, err := harness.Run(rc)
 	if err != nil {

@@ -149,6 +149,55 @@ func TestAdminEndToEnd(t *testing.T) {
 	}
 }
 
+// TestAdminRouteHeaders audits every admin route: each must answer with
+// the expected status code and an exact Content-Type, so scrapers,
+// dashboards, and load balancers never have to sniff bodies. New admin
+// endpoints belong in this table.
+func TestAdminRouteHeaders(t *testing.T) {
+	cfg := baseCfg()
+	cfg.AdminAddr = "127.0.0.1:0"
+	srv, _ := startServer(t, cfg)
+	base := fmt.Sprintf("http://%s", srv.AdminAddr())
+
+	routes := []struct {
+		path        string
+		wantStatus  int
+		wantType    string
+		bodyMustHit string // substring the body must contain (skip when empty)
+	}{
+		{"/metrics", http.StatusOK, "text/plain; version=0.0.4; charset=utf-8", "# TYPE oij_probes_total counter"},
+		{"/statusz", http.StatusOK, "application/json", `"per_joiner"`},
+		{"/tracez", http.StatusOK, "application/json", `"spans"`},
+		{"/tracez?format=chrome", http.StatusOK, "application/json", "traceEvents"},
+		{"/debug/flightrecorder", http.StatusOK, "application/json", `"events"`},
+		{"/timeline", http.StatusOK, "application/json", `"resolutions"`},
+		{"/timeline?res=bogus", http.StatusBadRequest, "application/json", `"error"`},
+		{"/healthz", http.StatusOK, "application/json", `"healthy"`},
+		{"/debug/pprof/", http.StatusOK, "text/html; charset=utf-8", "goroutine"},
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	for _, rt := range routes {
+		resp, err := client.Get(base + rt.path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", rt.path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("GET %s: %v", rt.path, err)
+		}
+		if resp.StatusCode != rt.wantStatus {
+			t.Errorf("%s: status %d, want %d", rt.path, resp.StatusCode, rt.wantStatus)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != rt.wantType {
+			t.Errorf("%s: content-type %q, want %q", rt.path, ct, rt.wantType)
+		}
+		if rt.bodyMustHit != "" && !strings.Contains(string(body), rt.bodyMustHit) {
+			t.Errorf("%s: body missing %q:\n%.400s", rt.path, rt.bodyMustHit, body)
+		}
+	}
+}
+
 // TestStatuszWithoutListen exercises the snapshot path on an idle,
 // never-listening server (no watermark yet, empty histogram).
 func TestStatuszWithoutListen(t *testing.T) {

@@ -14,7 +14,9 @@ import (
 	"oij/internal/engine"
 	"oij/internal/metrics"
 	"oij/internal/obs"
+	"oij/internal/obs/timeline"
 	"oij/internal/trace"
+	"oij/internal/tuple"
 	"oij/internal/watermark"
 )
 
@@ -42,6 +44,20 @@ type serverObs struct {
 	memShedProbes    *obs.Counter // probes shed by the memory watermark guard
 	slowEvicted      *obs.Counter // sessions evicted for not draining results
 	nacksDropped     *obs.Counter // NACKs dropped because the session buffer was full
+
+	// Hot-key analytics: one SpaceSaving sketch per joiner per stream,
+	// keys routed by the engines' own partition hash so skew is attributed
+	// to the joiner that actually absorbs it. Nil when disabled.
+	hotProbes *obs.HotKeys
+	hotBases  *obs.HotKeys
+
+	// Telemetry timeline: the collector flattens the registry into a
+	// series vector once per epoch and the multi-resolution ring retains
+	// it (≈5m at 1s, 1h at 10s, 24h at 1m) in fixed memory. vals is the
+	// sampler-owned scratch vector.
+	collector *obs.Collector
+	timeline  *timeline.Timeline
+	vals      []float64
 }
 
 // introspect returns the engine's live transport view, or nil when the
@@ -192,6 +208,38 @@ func newServerObs(s *Server, joiners int) *serverObs {
 	reg.NewGaugeFunc("oij_flight_dumps_total", "Flight-recorder incident dumps written since startup.", func() float64 {
 		return float64(s.flight.Dumps())
 	})
+	reg.NewGaugeFunc("oij_slo_healthy", "SLO verdict served on /healthz: 1 healthy, 0 unhealthy.", func() float64 {
+		if s.slo.healthy.Load() {
+			return 1
+		}
+		return 0
+	})
+	if k := s.cfg.HotKeysK; k > 0 {
+		hash := func(h uint64) uint64 { return engine.HashKey(tuple.Key(h)) }
+		o.hotProbes = obs.NewHotKeys(joiners, k, hash)
+		o.hotBases = obs.NewHotKeys(joiners, k, hash)
+		reg.NewGaugeFunc("oij_hotkey_probe_top1_share", "Stream share of the hottest probe key (SpaceSaving merge across joiners).", func() float64 {
+			top1, _ := o.hotProbes.TopShare(k)
+			return top1
+		})
+		reg.NewGaugeFunc("oij_hotkey_probe_topk_share", "Stream share of the merged probe top-K residency.", func() float64 {
+			_, topK := o.hotProbes.TopShare(k)
+			return topK
+		})
+		reg.NewGaugeFunc("oij_hotkey_base_top1_share", "Stream share of the hottest request key.", func() float64 {
+			top1, _ := o.hotBases.TopShare(k)
+			return top1
+		})
+		reg.NewGaugeFunc("oij_hotkey_base_topk_share", "Stream share of the merged request top-K residency.", func() float64 {
+			_, topK := o.hotBases.TopShare(k)
+			return topK
+		})
+	}
+	// The collector snapshots the instrument set, so every gauge above —
+	// including the SLO verdict and hot-key shares — becomes a timeline
+	// series; instruments must not be registered after this point.
+	o.collector = obs.NewCollector(reg)
+	o.timeline = timeline.New(o.collector.Names(), nil)
 	return o
 }
 
@@ -228,12 +276,19 @@ func (s *Server) samplerLoop() {
 		case <-s.stopSampler:
 			return
 		case now := <-tick.C:
-			s.sampleUtilization(prev, now.Sub(last))
+			elapsed := now.Sub(last)
+			s.sampleUtilization(prev, elapsed)
 			last = now
 			epoch++
 			_, _, lag := s.watermarkLag()
 			s.flight.Record(trace.CompEpoch, trace.EvEpoch, epoch, uint64(lag))
 			s.watchStalls()
+			// The same tick feeds the telemetry timeline and re-scores
+			// the SLO verdict, so /timeline, /healthz, and the flight
+			// recorder all advance on one clock.
+			s.o.vals = s.o.collector.Collect(elapsed, s.o.vals)
+			s.o.timeline.Record(now, s.o.vals)
+			s.slo.evaluate(now, epoch)
 		}
 	}
 }
@@ -321,6 +376,29 @@ type TraceStatus struct {
 	FlightDumps    uint64 `json:"flight_dumps"`
 }
 
+// HotKeysStatus is the hot-key analytics block on /statusz: the merged
+// cross-joiner top-K of each stream, plus the concentration shares. Every
+// Count overestimates the true frequency by at most its Err.
+type HotKeysStatus struct {
+	K           int              `json:"k"`
+	Probes      obs.TopKSnapshot `json:"probes"`
+	Bases       obs.TopKSnapshot `json:"bases"`
+	ProbesTop1  float64          `json:"probes_top1_share"`
+	ProbesTopK  float64          `json:"probes_topk_share"`
+	BasesTop1   float64          `json:"bases_top1_share"`
+	BasesTopK   float64          `json:"bases_topk_share"`
+	PerJoinerK  int              `json:"per_joiner_k"`
+	JoinerShard bool             `json:"joiner_sharded"`
+}
+
+// TimelineStatus summarises the telemetry timeline on /statusz.
+type TimelineStatus struct {
+	Series      int      `json:"series"`
+	Resolutions []string `json:"resolutions"`
+	Ticks       uint64   `json:"ticks"`
+	MemoryBytes int64    `json:"memory_bytes"`
+}
+
 // Status is the /statusz document: the paper's post-run metrics (§III-B,
 // Eq. 1, Eq. 2, Fig. 14) read live off a serving daemon.
 type Status struct {
@@ -348,6 +426,9 @@ type Status struct {
 	Reschedules      *int64         `json:"reschedules,omitempty"`
 	Overload         OverloadStatus `json:"overload"`
 	Trace            TraceStatus    `json:"trace"`
+	SLO              HealthStatus   `json:"slo"`
+	Timeline         TimelineStatus `json:"timeline"`
+	HotKeys          *HotKeysStatus `json:"hot_keys,omitempty"`
 	Latency          LatencyStatus  `json:"latency"`
 	PerJoiner        []JoinerStatus `json:"per_joiner"`
 }
@@ -431,6 +512,22 @@ func (s *Server) Statusz() Status {
 		DroppedSpans:   s.tracer.Dropped(),
 		FlightEvents:   s.flight.Seq(),
 		FlightDumps:    s.flight.Dumps(),
+	}
+	out.SLO = s.slo.Status()
+	out.Timeline = TimelineStatus{
+		Series:      len(s.o.timeline.Names()),
+		Resolutions: s.o.timeline.Resolutions(),
+		Ticks:       s.o.timeline.Ticks(),
+		MemoryBytes: s.o.timeline.MemoryBytes(),
+	}
+	if s.o.hotProbes != nil {
+		k := s.cfg.HotKeysK
+		hk := &HotKeysStatus{K: k, PerJoinerK: k, JoinerShard: true}
+		hk.Probes = s.o.hotProbes.Merged(k)
+		hk.Bases = s.o.hotBases.Merged(k)
+		hk.ProbesTop1, hk.ProbesTopK = s.o.hotProbes.TopShare(k)
+		hk.BasesTop1, hk.BasesTopK = s.o.hotBases.TopShare(k)
+		out.HotKeys = hk
 	}
 	h := s.o.latency.Snapshot()
 	msOf := func(ns int64) float64 { return float64(ns) / float64(time.Millisecond) }

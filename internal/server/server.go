@@ -16,11 +16,14 @@
 package server
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -111,6 +114,31 @@ type Config struct {
 	// dump (JSON, rate-limited to one per second) whenever an eviction,
 	// stall detection, or memory-pressure escalation fires.
 	FlightDumpPath string
+	// HotKeysK is the per-joiner slot count of the SpaceSaving hot-key
+	// sketches on the ingest path (default 16; negative disables hot-key
+	// analytics). Any key above a 1/K share of its joiner's stream is
+	// guaranteed resident; memory is K entries per joiner per stream.
+	HotKeysK int
+	// SLOWindow is the trailing window /healthz burn rates are computed
+	// over (default 30s). The window must fit the finest timeline tier
+	// (5 minutes at defaults).
+	SLOWindow time.Duration
+	// SLOP99 marks the server unhealthy while the window-averaged
+	// interval p99 request latency exceeds it. Zero disables the
+	// dimension; all-zero SLO thresholds make /healthz a plain liveness
+	// probe.
+	SLOP99 time.Duration
+	// SLOShedRate marks the server unhealthy while shed/NACK events per
+	// second (admission sheds + rejects + deadline NACKs + memory-guard
+	// sheds), window-averaged, exceed it. Zero disables.
+	SLOShedRate float64
+	// SLOWatermarkLag marks the server unhealthy while the
+	// window-averaged watermark lag exceeds it. Zero disables.
+	SLOWatermarkLag time.Duration
+	// SLOMemLevel marks the server unhealthy while any sample in the
+	// window sits at or above this memory-pressure rung (1 or 2). Zero
+	// disables.
+	SLOMemLevel int
 }
 
 func (c Config) withDefaults() Config {
@@ -146,6 +174,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FlightRing <= 0 {
 		c.FlightRing = 512
+	}
+	if c.HotKeysK == 0 {
+		c.HotKeysK = 16
+	}
+	if c.SLOWindow <= 0 {
+		c.SLOWindow = 30 * time.Second
 	}
 	// Busy-time tracking feeds the live utilization gauges; its cost is
 	// two clock reads per joiner batch, not per tuple.
@@ -235,6 +269,7 @@ type Server struct {
 	stallActive atomic.Bool
 
 	o           *serverObs
+	slo         *sloEvaluator
 	admin       *obs.Admin
 	stopSampler chan struct{}
 }
@@ -266,6 +301,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.eng = eng
 	s.retention = cfg.Engine.Window.Len() + cfg.Engine.Window.Lateness
+	s.slo = newSLOEvaluator(s)
 	s.o = newServerObs(s, cfg.Engine.Joiners)
 	if cfg.WALPath != "" {
 		mode, err := parseWALSync(cfg.WALSync)
@@ -381,6 +417,8 @@ func (s *Server) Serve(ln net.Listener) error {
 		admin, err := obs.ServeAdmin(s.cfg.AdminAddr, s.o.reg, func() any { return s.Statusz() },
 			obs.Endpoint{Path: "/tracez", Handler: s.serveTracez},
 			obs.Endpoint{Path: "/debug/flightrecorder", Handler: s.serveFlightRecorder},
+			obs.Endpoint{Path: "/timeline", Handler: s.serveTimeline},
+			obs.Endpoint{Path: "/healthz", Handler: s.serveHealthz},
 		)
 		if err != nil {
 			ln.Close()
@@ -412,6 +450,41 @@ func (s *Server) serveTracez(w http.ResponseWriter, r *http.Request) {
 func (s *Server) serveFlightRecorder(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	s.flight.WriteJSON(w, "on-demand")
+}
+
+// serveTimeline renders the telemetry timeline: every registered series at
+// the requested resolution. ?series=a,b selects series, ?res= selects a
+// retention tier (1s, 10s, 1m), ?since= drops points before a unix second.
+func (s *Server) serveTimeline(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var series []string
+	if v := q.Get("series"); v != "" {
+		series = strings.Split(v, ",")
+	}
+	var since int64
+	if v := q.Get("since"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			httpJSONError(w, fmt.Sprintf("bad since %q: %v", v, err), http.StatusBadRequest)
+			return
+		}
+		since = n
+	}
+	doc, err := s.o.timeline.Query(series, q.Get("res"), since)
+	if err != nil {
+		httpJSONError(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(doc)
+}
+
+// httpJSONError writes an error as a JSON document so /timeline consumers
+// (oijtop, scripts) never have to parse plain-text bodies.
+func httpJSONError(w http.ResponseWriter, msg string, code int) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
 }
 
 // AdminAddr returns the bound admin address, or nil when no admin endpoint
@@ -506,6 +579,9 @@ func (s *Server) ingestLoop() {
 			s.mu.Unlock()
 			req.sess.outstanding.Add(1)
 			s.o.bases.Inc()
+			if s.o.hotBases != nil {
+				s.o.hotBases.Observe(uint64(t.Key))
+			}
 			if sp := req.sp; sp != nil {
 				sp.Add(trace.StageQueueWait, time.Since(req.enq))
 				// The request's durability cost is the WAL append most
@@ -522,6 +598,9 @@ func (s *Server) ingestLoop() {
 			}
 			s.o.probes.Inc()
 			s.probesIngested.Add(1)
+			if s.o.hotProbes != nil {
+				s.o.hotProbes.Observe(uint64(t.Key))
+			}
 			if s.wal != nil {
 				var t0 time.Time
 				traced := s.tracer.Enabled()

@@ -26,12 +26,13 @@ const (
 	CompStall
 	CompWAL
 	CompBreaker
+	CompSLO
 	numComponents
 )
 
 var componentNames = [numComponents]string{
 	"watermark", "epoch", "admission", "memory",
-	"session", "stall", "wal", "breaker",
+	"session", "stall", "wal", "breaker", "slo",
 }
 
 // String returns the component's export name.
@@ -58,6 +59,8 @@ const (
 	EvBreakerOpen                           // a=consecutive failures
 	EvBreakerHalfOpen                       //
 	EvBreakerClosed                         //
+	EvSLOUnhealthy                          // a=breached-dimension bitmask, b=epoch index
+	EvSLORecovered                          // a=unhealthy duration (ns), b=epoch index
 )
 
 var eventKindNames = map[EventKind]string{
@@ -77,6 +80,8 @@ var eventKindNames = map[EventKind]string{
 	EvBreakerOpen:      "breaker_open",
 	EvBreakerHalfOpen:  "breaker_half_open",
 	EvBreakerClosed:    "breaker_closed",
+	EvSLOUnhealthy:     "slo_unhealthy",
+	EvSLORecovered:     "slo_recovered",
 }
 
 // String returns the kind's export name.
