@@ -23,6 +23,9 @@ var usageText = `Usage:
   oijbench gate     -baseline BENCH_seed.json [-spec name|file.json] [-threshold 0.10]
                     [-p99-threshold 0.25] [-no-normalize] [-flight-recorder] [-telemetry]
                     [-out BENCH_fresh.json] [-n N] [-repeats R] [-q]
+  oijbench sim      [-engine e] [-joiners J] [-mode arrival|watermark] [-time-scale S]
+                    [-max-tuples N] [-unpaced] [-addr host:port [-admin url]]
+                    [-out SIM_name.json] [-check-slo] [-q] profile.json
   oijbench specs
   oijbench -exp <id>|all [-n N] [-threads 1,2,4] ...   (paper figure mode; -list for IDs)
 

@@ -39,6 +39,8 @@ func main() {
 			os.Exit(runGate(os.Args[2:], os.Stdout, os.Stderr))
 		case "specs":
 			os.Exit(runSpecs(os.Stdout, os.Stderr))
+		case "sim":
+			os.Exit(runSim(os.Args[2:], os.Stdout, os.Stderr))
 		case "help", "-h", "-help", "--help":
 			fmt.Println(usageText)
 			return

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+
+	"oij/internal/engine"
+	"oij/internal/harness"
+	"oij/internal/perf"
+	"oij/internal/workload/pattern"
+)
+
+// runSim drives one scenario profile and writes its timeline report.
+func runSim(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	eng := fs.String("engine", harness.ScaleOIJ, "engine variant to drive (in-process mode)")
+	joiners := fs.Int("joiners", 4, "joiner threads (in-process mode)")
+	mode := fs.String("mode", "arrival", "emission mode: arrival or watermark")
+	timeScale := fs.Float64("time-scale", 0, "override the profile's time scale (>0)")
+	maxTuples := fs.Int("max-tuples", 0, "truncate the run after this many tuples")
+	unpaced := fs.Bool("unpaced", false, "disable wall pacing: replay at full speed (latency columns stay zero)")
+	addr := fs.String("addr", "", "drive a live oijd at this address instead of an in-process engine")
+	admin := fs.String("admin", "", "with -addr: scrape this admin base URL's /statusz per interval for sheds and lag")
+	out := fs.String("out", "", "output path (default: SIM_<profile-name>.json)")
+	checkSLO := fs.Bool("check-slo", false, "exit 1 when any interval breaches the profile's SLO")
+	quiet := fs.Bool("q", false, "suppress per-interval progress")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "oijbench sim: exactly one profile path required (see profiles/)")
+		fs.Usage()
+		return 2
+	}
+	path := fs.Arg(0)
+
+	var emitMode engine.EmitMode
+	switch *mode {
+	case "arrival":
+		emitMode = engine.OnArrival
+	case "watermark":
+		emitMode = engine.OnWatermark
+	default:
+		fmt.Fprintf(stderr, "oijbench sim: unknown -mode %q (want arrival or watermark)\n", *mode)
+		return 2
+	}
+
+	prof, err := pattern.LoadProfile(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "oijbench sim: %v\n", err)
+		return 2
+	}
+	sc, err := pattern.Compile(prof, filepath.Dir(path))
+	if err != nil {
+		fmt.Fprintf(stderr, "oijbench sim: %v\n", err)
+		return 2
+	}
+
+	var progress io.Writer
+	if !*quiet {
+		progress = stdout
+	}
+	rep, err := perf.RunSim(sc, perf.SimOptions{
+		Engine:    *eng,
+		Joiners:   *joiners,
+		Mode:      emitMode,
+		TimeScale: *timeScale,
+		Addr:      *addr,
+		AdminURL:  strings.TrimSuffix(*admin, "/"),
+		Unpaced:   *unpaced,
+		MaxTuples: *maxTuples,
+		Progress:  progress,
+		GitSHA:    gitSHA(),
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "oijbench sim: %v\n", err)
+		return 1
+	}
+
+	outPath := *out
+	if outPath == "" {
+		outPath = "SIM_" + prof.Name + ".json"
+	}
+	if err := rep.WriteFile(outPath); err != nil {
+		fmt.Fprintf(stderr, "oijbench sim: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "oijbench: wrote %s (%d intervals, %d tuples, %d results, wall %.1fs, slo breaches %d)\n",
+		outPath, len(rep.Intervals), rep.Tuples, rep.Results,
+		float64(rep.WallElapsedNS)/1e9, rep.SLOBreachedIntervals)
+	if *checkSLO && rep.SLOBreachedIntervals > 0 {
+		fmt.Fprintf(stdout, "oijbench sim: SLO FAIL (%d breached intervals)\n", rep.SLOBreachedIntervals)
+		return 1
+	}
+	return 0
+}

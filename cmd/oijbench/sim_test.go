@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"oij/internal/perf"
+)
+
+// simProfileJSON is a fast synthetic scenario the CLI tests replay.
+const simProfileJSON = `{
+  "schema_version": 1,
+  "name": "cli-smoke",
+  "seed": 3,
+  "duration_s": 4,
+  "interval_s": 1,
+  "stream": {
+    "rate_tps": 500,
+    "keys": 40,
+    "base_share": 0.3,
+    "window_pre_s": 0.5,
+    "lateness_s": 0.1
+  },
+  "phases": [{"name": "all", "start_s": 0, "end_s": 4}],
+  "slo": {"p99_ms": 1000}
+}
+`
+
+func writeSimProfile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "cli-smoke.json")
+	if err := os.WriteFile(path, []byte(simProfileJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSimEndToEnd(t *testing.T) {
+	prof := writeSimProfile(t)
+	out := filepath.Join(t.TempDir(), "SIM_cli.json")
+	var stdout, stderr bytes.Buffer
+	code := runSim([]string{"-unpaced", "-q", "-out", out, prof}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "wrote "+out) {
+		t.Fatalf("stdout: %s", stdout.String())
+	}
+	rep, err := perf.ReadSimReport(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Profile.Name != "cli-smoke" || len(rep.Intervals) != 4 || rep.Tuples == 0 {
+		t.Fatalf("report shape: name=%q intervals=%d tuples=%d",
+			rep.Profile.Name, len(rep.Intervals), rep.Tuples)
+	}
+	if rep.Drive != "engine" || !rep.Unpaced {
+		t.Fatalf("drive metadata: %q unpaced=%v", rep.Drive, rep.Unpaced)
+	}
+}
+
+func TestSimDefaultOutputName(t *testing.T) {
+	prof := writeSimProfile(t)
+	dir := t.TempDir()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+
+	var stdout, stderr bytes.Buffer
+	if code := runSim([]string{"-unpaced", "-q", "-max-tuples", "200", prof}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "SIM_cli-smoke.json")); err != nil {
+		t.Fatalf("default output missing: %v", err)
+	}
+}
+
+func TestSimUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{},                           // no profile
+		{"a.json", "b.json"},         // two profiles
+		{"-mode", "bogus", "x.json"}, // bad mode
+		{"/does/not/exist.json"},     // missing file
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := runSim(args, &stdout, &stderr); code != 2 {
+			t.Errorf("runSim(%v) exit %d, want 2 (stderr: %s)", args, code, stderr.String())
+		}
+	}
+}
+
+func TestSimRejectsBadProfile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	broken := strings.Replace(simProfileJSON, `"rate_tps"`, `"rate_tsp"`, 1)
+	if err := os.WriteFile(path, []byte(broken), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := runSim([]string{"-unpaced", "-q", path}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "rate_tsp") {
+		t.Fatalf("stderr: %s", stderr.String())
+	}
+}
+
+func TestSimCheckSLOFailure(t *testing.T) {
+	// An impossible latency SLO with pacing on: every measured interval
+	// breaches, and -check-slo turns that into a non-zero exit.
+	slow := strings.Replace(simProfileJSON, `"p99_ms": 1000`, `"p99_ms": 0.000001`, 1)
+	slow = strings.Replace(slow, `"duration_s": 4`, `"duration_s": 1, "time_scale": 4`, 1)
+	slow = strings.Replace(slow, `"end_s": 4`, `"end_s": 1`, 1)
+	path := filepath.Join(t.TempDir(), "slow.json")
+	if err := os.WriteFile(path, []byte(slow), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "SIM_slow.json")
+	var stdout, stderr bytes.Buffer
+	code := runSim([]string{"-check-slo", "-q", "-out", out, path}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stdout: %s stderr: %s)", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "SLO FAIL") {
+		t.Fatalf("stdout: %s", stdout.String())
+	}
+}

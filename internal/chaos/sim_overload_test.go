@@ -1,0 +1,150 @@
+package chaos_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"oij/internal/agg"
+	"oij/internal/engine"
+	"oij/internal/perf"
+	"oij/internal/server"
+	"oij/internal/workload/pattern"
+)
+
+// The scenario simulator's overload accounting, cross-checked against the
+// server's own degradation ladder: a healthy daemon yields a clean
+// timeline, an armed daemon under the same profile yields NACK and shed
+// counts that agree between the sim report and /statusz.
+
+// overloadProfile is a short, dense scenario with a NACK-sensitive SLO.
+func overloadProfile() pattern.Profile {
+	return pattern.Profile{
+		SchemaVersion: pattern.ProfileSchemaVersion,
+		Name:          "overload-smoke",
+		Seed:          77,
+		DurationS:     4,
+		IntervalS:     1,
+		Stream: pattern.StreamSpec{
+			RateTPS: 2000, Keys: 64, BaseShare: 0.3,
+			WindowPreS: 0.5, LatenessS: 0.1,
+		},
+		Phases: []pattern.Phase{{Name: "all", StartS: 0, EndS: 4}},
+		SLO:    &pattern.SLOSpec{CheckNacks: true},
+	}
+}
+
+func compileOverloadProfile(t *testing.T) *pattern.Scenario {
+	t.Helper()
+	sc, err := pattern.Compile(overloadProfile(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func startSimServer(t *testing.T, cfg server.Config) (*server.Server, string) {
+	t.Helper()
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Shutdown)
+	return s, addr.String()
+}
+
+func simEngineConfig(sc *pattern.Scenario) engine.Config {
+	return engine.Config{
+		Joiners: 2,
+		Window:  sc.Window(),
+		Agg:     agg.Sum,
+		Mode:    engine.OnArrival,
+	}
+}
+
+// TestSimHealthyServerCleanTimeline: a healthy daemon answers every
+// request; the timeline shows zero NACKs and no SLO breach.
+func TestSimHealthyServerCleanTimeline(t *testing.T) {
+	sc := compileOverloadProfile(t)
+	_, addr := startSimServer(t, server.Config{Engine: simEngineConfig(sc)})
+
+	rep, err := perf.RunSim(sc, perf.SimOptions{Addr: addr, Unpaced: true, Env: &perf.Env{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Nacks != 0 {
+		t.Fatalf("healthy server produced %d NACKs", rep.Nacks)
+	}
+	if rep.Results != rep.Bases || rep.Bases == 0 {
+		t.Fatalf("results %d, bases %d", rep.Results, rep.Bases)
+	}
+	if rep.SLOBreachedIntervals != 0 {
+		t.Fatalf("%d SLO breaches on a healthy run", rep.SLOBreachedIntervals)
+	}
+}
+
+// TestSimOverloadedServerAccounting: with a request deadline every request
+// goes stale, and with a tiny probe memory cap the server sheds — the sim
+// timeline must count every NACK, scrape the shed count, and fail the SLO.
+func TestSimOverloadedServerAccounting(t *testing.T) {
+	sc := compileOverloadProfile(t)
+	srv, addr := startSimServer(t, server.Config{
+		Engine:          simEngineConfig(sc),
+		RequestDeadline: time.Nanosecond,
+		MemCapProbes:    400,
+		AdminAddr:       "127.0.0.1:0",
+	})
+
+	rep, err := perf.RunSim(sc, perf.SimOptions{
+		Addr:     addr,
+		AdminURL: fmt.Sprintf("http://%s", srv.AdminAddr()),
+		Unpaced:  true,
+		Env:      &perf.Env{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every base request went stale against the 1ns deadline.
+	if rep.Nacks != rep.Bases || rep.Bases == 0 {
+		t.Fatalf("nacks %d, bases %d: every request must be NACKed", rep.Nacks, rep.Bases)
+	}
+	if rep.Results != 0 {
+		t.Fatalf("%d results despite universal deadline NACKs", rep.Results)
+	}
+
+	// The driver's NACK count must agree with the server's ladder.
+	st := srv.Statusz()
+	if st.Overload.DeadlineRejected != rep.Nacks {
+		t.Fatalf("server counted %d deadline NACKs, sim counted %d",
+			st.Overload.DeadlineRejected, rep.Nacks)
+	}
+
+	// The memory guard shed probes, and the admin scrape carried the count
+	// into the timeline.
+	if st.Overload.MemShedProbes == 0 {
+		t.Fatal("memory cap never shed (raise the profile rate?)")
+	}
+	if rep.Sheds != st.Overload.ShedProbes+st.Overload.MemShedProbes {
+		t.Fatalf("sim sheds %d, server sheds %d+%d",
+			rep.Sheds, st.Overload.ShedProbes, st.Overload.MemShedProbes)
+	}
+
+	// NACK-laden intervals fail the check_nacks SLO.
+	if rep.SLOBreachedIntervals == 0 {
+		t.Fatal("universal NACKs breached no interval SLO")
+	}
+	var ivNacks, ivSheds int64
+	for _, iv := range rep.Intervals {
+		ivNacks += iv.Nacks
+		ivSheds += iv.Sheds
+	}
+	if ivNacks != rep.Nacks || ivSheds != rep.Sheds {
+		t.Fatalf("interval sums (%d nacks, %d sheds) disagree with totals (%d, %d)",
+			ivNacks, ivSheds, rep.Nacks, rep.Sheds)
+	}
+}

@@ -1,0 +1,78 @@
+package csvsrc
+
+import (
+	"strings"
+	"testing"
+)
+
+// Edge cases the trace-replay path (internal/workload/pattern) depends on:
+// Windows line endings, truncated rows, and missing trailing newlines must
+// behave predictably before a profile replays the file as a workload.
+
+func TestCRLFLineEndings(t *testing.T) {
+	lf := "ts,key,val\n100,7,1.5\n200,8,2.5\n"
+	crlf := strings.ReplaceAll(lf, "\n", "\r\n")
+	m := Mapping{Key: "key", Time: "ts", Value: "val"}
+
+	read := func(in string) []Record {
+		s, err := NewScanner(strings.NewReader(in), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, err := s.ReadAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return recs
+	}
+	a, b := read(lf), read(crlf)
+	if len(a) != 2 || len(b) != 2 {
+		t.Fatalf("row counts: lf=%d crlf=%d, want 2", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs between LF and CRLF: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTruncatedFinalRow(t *testing.T) {
+	// The file was cut mid-row: the last line misses a field. The scanner
+	// must fail loudly, not silently replay a short workload.
+	in := "ts,key,val\n100,7,1.5\n200,8\n"
+	s, err := NewScanner(strings.NewReader(in), Mapping{Key: "key", Time: "ts", Value: "val"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadAll(); err == nil {
+		t.Fatal("truncated final row parsed without error")
+	}
+}
+
+func TestMissingTrailingNewline(t *testing.T) {
+	// A complete final row without a trailing newline is fine.
+	in := "ts,key,val\n100,7,1.5\n200,8,2.5"
+	s, err := NewScanner(strings.NewReader(in), Mapping{Key: "key", Time: "ts", Value: "val"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := s.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1].TS != 200 {
+		t.Fatalf("got %d rows (%+v), want 2", len(recs), recs)
+	}
+}
+
+func TestTruncatedFinalValue(t *testing.T) {
+	// The cut landed inside the value field: right arity, garbage number.
+	in := "ts,key,val\n100,7,1.5\n200,8,2.\x00"
+	s, err := NewScanner(strings.NewReader(in), Mapping{Key: "key", Time: "ts", Value: "val"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadAll(); err == nil {
+		t.Fatal("corrupt final value parsed without error")
+	}
+}

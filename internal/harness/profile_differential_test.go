@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"path/filepath"
+	"testing"
+
+	"oij/internal/agg"
+	"oij/internal/engine"
+	"oij/internal/refjoin"
+	"oij/internal/tuple"
+	"oij/internal/workload/pattern"
+)
+
+// Differential testing over the shipped scenario profiles: every profile in
+// profiles/ is a deterministic tuple sequence, so each one must produce the
+// same join answers on every engine as the refjoin oracle — at any joiner
+// count, in both emission semantics. This locks the simulator's central
+// claim: a scenario's answers depend on the profile alone, never on the
+// engine, the interleaving, or the replay speed.
+
+// profileTuples compiles one shipped profile and drains a bounded prefix of
+// its stream (the profiles simulate hours; a 25k-tuple prefix keeps the
+// grid fast while crossing many watermark cycles and churn epochs).
+func profileTuples(t *testing.T, path string) (*pattern.Scenario, []tuple.Tuple) {
+	t.Helper()
+	p, err := pattern.LoadProfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := pattern.Compile(p, filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc, pattern.Collect(sc.NewStream(), 25000)
+}
+
+func TestProfilesDifferential(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "profiles", "*.json"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no shipped profiles found (%v)", err)
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			t.Parallel()
+			sc, tuples := profileTuples(t, path)
+			if len(tuples) == 0 {
+				t.Fatal("profile produced no tuples")
+			}
+			win := sc.Window()
+
+			// Serving semantics: single joiner, arrival-order oracle.
+			want := refjoin.ByBaseSeq(refjoin.Arrival(tuples, win, agg.Sum))
+			for _, name := range []string{KeyOIJ, ScaleOIJ, SplitJoin} {
+				cfg := engine.Config{Joiners: 1, Window: win, Agg: agg.Sum, Mode: engine.OnArrival}
+				got := runCollect(t, name, cfg, tuples)
+				diffCompare(t, name+"/arrival", got, want)
+			}
+
+			// Exact event-time semantics: any joiner count must agree.
+			want = refjoin.ByBaseSeq(refjoin.EventTime(tuples, win, agg.Sum))
+			for _, name := range []string{KeyOIJ, ScaleOIJ, SplitJoin} {
+				for _, joiners := range []int{1, 4} {
+					cfg := engine.Config{Joiners: joiners, Window: win, Agg: agg.Sum, Mode: engine.OnWatermark}
+					got := runCollect(t, name, cfg, tuples)
+					diffCompare(t, name+"/watermark/j="+itoa64(int64(joiners)), got, want)
+				}
+			}
+
+			// The OpenMLDB baseline has no disorder machinery; it joins the
+			// comparison only when the profile's stream is in-order.
+			if sc.Profile.Stream.DisorderS == 0 && sc.Profile.Trace == nil {
+				cfg := engine.Config{Joiners: 1, Window: win, Agg: agg.Sum, Mode: engine.OnArrival}
+				got := runCollect(t, OpenMLDB, cfg, tuples)
+				want = refjoin.ByBaseSeq(refjoin.Arrival(tuples, win, agg.Sum))
+				diffCompare(t, OpenMLDB+"/arrival", got, want)
+			}
+		})
+	}
+}
+
+// TestProfilesDifferentialInOrderBaseline reruns the openmldb baseline over
+// disorder-free variants of every synthetic profile, so the baseline stays
+// inside the shipped-profile differential net even though the shipped
+// profiles all carry disorder.
+func TestProfilesDifferentialInOrderBaseline(t *testing.T) {
+	paths, _ := filepath.Glob(filepath.Join("..", "..", "profiles", "*.json"))
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			t.Parallel()
+			p, err := pattern.LoadProfile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Trace != nil {
+				t.Skip("trace replay pins its own timestamps; no in-order variant")
+			}
+			p.Stream.DisorderS = 0
+			sc, err := pattern.Compile(p, filepath.Dir(path))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tuples := pattern.Collect(sc.NewStream(), 15000)
+			win := sc.Window()
+			want := refjoin.ByBaseSeq(refjoin.Arrival(tuples, win, agg.Sum))
+			cfg := engine.Config{Joiners: 1, Window: win, Agg: agg.Sum, Mode: engine.OnArrival}
+			got := runCollect(t, OpenMLDB, cfg, tuples)
+			diffCompare(t, OpenMLDB+"/in-order", got, want)
+		})
+	}
+}

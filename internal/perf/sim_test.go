@@ -1,0 +1,289 @@
+package perf
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"oij/internal/agg"
+	"oij/internal/engine"
+	"oij/internal/harness"
+	"oij/internal/server"
+	"oij/internal/workload/pattern"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden sim timeline files")
+
+// goldenEnv is the fixed environment fingerprint golden runs embed, so the
+// golden file is identical on every machine.
+var goldenEnv = Env{GoVersion: "gotest", GOOS: "any", GOARCH: "any", NumCPU: 1, GOMAXPROCS: 1}
+
+func loadScenario(t *testing.T, path string) *pattern.Scenario {
+	t.Helper()
+	p, err := pattern.LoadProfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := pattern.Compile(p, filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// normalizeSimReport zeroes the wall-clock-dependent fields, leaving only
+// what the deterministic contract pins: the tuple accounting, interval
+// bucketing, offered rates, result totals, and SLO verdicts.
+func normalizeSimReport(r *SimReport) {
+	r.CreatedAt = time.Time{}
+	r.WallElapsedNS = 0
+	for i := range r.Intervals {
+		r.Intervals[i].WallThroughputTPS = 0
+	}
+}
+
+// TestSimGoldenTimeline locks the SIM_*.json format: the refjoin drive is
+// fully synchronous (results surface at drain), so every field the
+// normalizer keeps is a pure function of the profile — byte-stable across
+// machines, paces, and Go versions. Regenerate with -update-golden after a
+// deliberate format change.
+func TestSimGoldenTimeline(t *testing.T) {
+	sc := loadScenario(t, filepath.Join("testdata", "sim_golden_profile.json"))
+	rep, err := RunSim(sc, SimOptions{
+		Engine:  harness.RefJoin,
+		Joiners: 1,
+		Mode:    engine.OnWatermark,
+		Unpaced: true,
+		Env:     &goldenEnv,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	normalizeSimReport(rep)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+
+	goldenPath := filepath.Join("testdata", "SIM_sim-golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update-golden): %v", err)
+	}
+	if string(data) != string(want) {
+		t.Fatalf("sim timeline diverged from golden file %s\n--- got ---\n%s", goldenPath, data)
+	}
+
+	// The golden file must itself survive the reader's validation.
+	if _, err := ReadSimReport(goldenPath); err != nil {
+		t.Fatalf("golden file fails ReadSimReport: %v", err)
+	}
+}
+
+// TestSimDeterministicAccounting runs a live concurrent engine twice over
+// the same profile: wall-clock metrics may differ, but the workload-side
+// accounting (tuple counts per interval, totals, results) must not.
+func TestSimDeterministicAccounting(t *testing.T) {
+	sc := loadScenario(t, filepath.Join("testdata", "sim_golden_profile.json"))
+	run := func() *SimReport {
+		rep, err := RunSim(sc, SimOptions{
+			Engine:  harness.ScaleOIJ,
+			Joiners: 4,
+			Mode:    engine.OnWatermark,
+			Unpaced: true,
+			Env:     &goldenEnv,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.Tuples != b.Tuples || a.Bases != b.Bases || a.Probes != b.Probes {
+		t.Fatalf("tuple accounting differs: %d/%d/%d vs %d/%d/%d",
+			a.Tuples, a.Bases, a.Probes, b.Tuples, b.Bases, b.Probes)
+	}
+	// Every base request is answered exactly once in watermark mode.
+	if a.Results != a.Bases {
+		t.Fatalf("results %d != bases %d", a.Results, a.Bases)
+	}
+	if len(a.Intervals) != len(b.Intervals) {
+		t.Fatalf("interval counts differ: %d vs %d", len(a.Intervals), len(b.Intervals))
+	}
+	var ivSum int64
+	for i := range a.Intervals {
+		ia, ib := a.Intervals[i], b.Intervals[i]
+		if ia.Tuples != ib.Tuples || ia.Bases != ib.Bases || ia.Probes != ib.Probes ||
+			ia.OfferedRateTPS != ib.OfferedRateTPS {
+			t.Fatalf("interval %d accounting differs: %+v vs %+v", i, ia, ib)
+		}
+		ivSum += ia.Tuples
+	}
+	if ivSum != a.Tuples {
+		t.Fatalf("interval tuples sum %d != total %d", ivSum, a.Tuples)
+	}
+}
+
+// TestSimEngineLatency checks that a paced run actually measures request
+// latency: with pacing on, base tuples carry arrival stamps and the
+// timeline's quantiles fill in.
+func TestSimEngineLatency(t *testing.T) {
+	p := pattern.Profile{
+		SchemaVersion: pattern.ProfileSchemaVersion,
+		Name:          "latency-smoke",
+		Seed:          9,
+		DurationS:     2,
+		TimeScale:     4,
+		IntervalS:     1,
+		Stream: pattern.StreamSpec{
+			RateTPS: 400, Keys: 32, BaseShare: 0.5,
+			WindowPreS: 0.5, LatenessS: 0.1,
+		},
+		Phases: []pattern.Phase{{Name: "all", StartS: 0, EndS: 2}},
+	}
+	sc, err := pattern.Compile(p, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunSim(sc, SimOptions{
+		Engine: harness.ScaleOIJ, Joiners: 2, Mode: engine.OnArrival, Env: &goldenEnv,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Results != rep.Bases || rep.Bases == 0 {
+		t.Fatalf("results %d, bases %d", rep.Results, rep.Bases)
+	}
+	sawLatency := false
+	for _, iv := range rep.Intervals {
+		if iv.P99US > 0 {
+			sawLatency = true
+		}
+		if iv.P50US > iv.P99US {
+			t.Fatalf("interval %d: p50 %d > p99 %d", iv.Index, iv.P50US, iv.P99US)
+		}
+	}
+	if !sawLatency {
+		t.Fatal("paced run recorded no latency samples")
+	}
+}
+
+// TestSimTCPDrive drives a live oijd over TCP: every base request must come
+// back as a result (one round trip each), and the report's drive metadata
+// must say so.
+func TestSimTCPDrive(t *testing.T) {
+	sc := loadScenario(t, filepath.Join("testdata", "sim_golden_profile.json"))
+	srv, err := server.New(server.Config{
+		Algorithm: harness.ScaleOIJ,
+		Engine: engine.Config{
+			Joiners: 2,
+			Window:  sc.Window(),
+			Agg:     agg.Sum,
+			Mode:    engine.OnArrival,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+
+	rep, err := RunSim(sc, SimOptions{
+		Addr:    addr.String(),
+		Unpaced: true,
+		Env:     &goldenEnv,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Drive != "tcp" {
+		t.Fatalf("drive %q, want tcp", rep.Drive)
+	}
+	if rep.Bases == 0 || rep.Results != rep.Bases {
+		t.Fatalf("results %d, bases %d (every request must round-trip)", rep.Results, rep.Bases)
+	}
+	if rep.Nacks != 0 {
+		t.Fatalf("unexpected NACKs: %d", rep.Nacks)
+	}
+}
+
+// TestSimTruncation: a max-tuples cap stops the run early and says so.
+func TestSimTruncation(t *testing.T) {
+	sc := loadScenario(t, filepath.Join("testdata", "sim_golden_profile.json"))
+	rep, err := RunSim(sc, SimOptions{
+		Engine: harness.RefJoin, Joiners: 1, Unpaced: true, MaxTuples: 500, Env: &goldenEnv,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Truncated || rep.Tuples != 500 {
+		t.Fatalf("truncated=%v tuples=%d, want true/500", rep.Truncated, rep.Tuples)
+	}
+}
+
+// TestSimReportRoundTrip: WriteFile then ReadSimReport is lossless.
+func TestSimReportRoundTrip(t *testing.T) {
+	sc := loadScenario(t, filepath.Join("testdata", "sim_golden_profile.json"))
+	rep, err := RunSim(sc, SimOptions{
+		Engine: harness.RefJoin, Joiners: 1, Unpaced: true, Env: &goldenEnv,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "SIM_x.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSimReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, got) {
+		t.Fatal("sim report changed across write/read")
+	}
+}
+
+// TestEvalSLO pins the verdict logic, including the checked-zero bounds.
+func TestEvalSLO(t *testing.T) {
+	slo := &pattern.SLOSpec{P99Ms: 10, MaxLagS: 5, CheckNacks: true}
+	cases := []struct {
+		iv       SimInterval
+		ok       bool
+		breaches int
+	}{
+		{SimInterval{P99US: 9000, WatermarkLagS: 4}, true, 0},
+		{SimInterval{P99US: 11000}, false, 1},
+		{SimInterval{WatermarkLagS: 6}, false, 1},
+		{SimInterval{Nacks: 1}, false, 1},
+		{SimInterval{Sheds: 50}, true, 0}, // sheds unchecked in this spec
+		{SimInterval{P99US: 20000, WatermarkLagS: 9, Nacks: 3}, false, 3},
+	}
+	for i, c := range cases {
+		iv := c.iv
+		evalSLO(slo, &iv)
+		if iv.SLOOK != c.ok || len(iv.SLOBreaches) != c.breaches {
+			t.Errorf("case %d: ok=%v breaches=%v, want ok=%v breaches=%d",
+				i, iv.SLOOK, iv.SLOBreaches, c.ok, c.breaches)
+		}
+	}
+	clean := SimInterval{Nacks: 5, Sheds: 5}
+	evalSLO(nil, &clean)
+	if !clean.SLOOK {
+		t.Error("nil SLO must always verdict OK")
+	}
+}

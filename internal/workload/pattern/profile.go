@@ -1,0 +1,416 @@
+// Package pattern is the declarative scenario layer over the workload
+// generator: a Profile composes phases and modulators — diurnal curves,
+// flash crowds with ramp/decay, rotating hot-key sets, multi-tenant mixes,
+// or a replayed CSV trace — into one simulated-time tuple stream, with a
+// time-scale knob so a 24-hour profile runs in minutes and a deterministic
+// seed→tuple-sequence contract so any scenario is byte-reproducible.
+//
+// The event-time axis of a scenario is simulated time: tuple timestamps are
+// microseconds since the scenario start, exactly as the profile declares
+// them, regardless of time scale. Time compression happens only at replay
+// (a tuple due at simulated second T is sent at wall second T/TimeScale),
+// so the same profile joins identically at every speed.
+package pattern
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	"oij/internal/tuple"
+	"oij/internal/window"
+)
+
+// ProfileSchemaVersion is the profile format version this build reads and
+// writes. Checked-in profiles are part of the repository's test surface, so
+// the version gates incompatible format changes the same way BENCH_*.json
+// does.
+const ProfileSchemaVersion = 1
+
+// Modulator kinds.
+const (
+	// ModDiurnal shapes the rate with a raised cosine: factor 1 at PeakS,
+	// Floor at the opposite point of the period.
+	ModDiurnal = "diurnal"
+	// ModFlash multiplies the rate with a spike envelope: linear ramp to
+	// PeakFactor over RampS, hold for HoldS, linear decay over DecayS.
+	ModFlash = "flash"
+	// ModHotChurn concentrates HotShare of the keys on a rotating hot set
+	// of HotKeys keys redrawn every PeriodS of simulated time.
+	ModHotChurn = "hotkey-churn"
+)
+
+// Profile is one declarative scenario, loadable from JSON (see profiles/).
+type Profile struct {
+	SchemaVersion int    `json:"schema_version"`
+	Name          string `json:"name"`
+	// Seed roots every random stream of the scenario. Same profile, same
+	// seed, same tuple sequence — always.
+	Seed int64 `json:"seed"`
+	// DurationS is the simulated duration in seconds. With a trace source
+	// it may be 0 (replay the whole trace) or truncate the trace.
+	DurationS float64 `json:"duration_s,omitempty"`
+	// TimeScale compresses wall clock at replay: simulated time passes
+	// TimeScale times faster than wall time. 0 defaults to 1.
+	TimeScale float64 `json:"time_scale,omitempty"`
+	// IntervalS is the timeline-report bucket width in simulated seconds.
+	IntervalS float64 `json:"interval_s"`
+	// Stream carries the join-window configuration plus the synthetic
+	// source parameters (ignored when Trace is set, except the window,
+	// lateness, disorder and base-share fields which apply to both).
+	Stream StreamSpec `json:"stream"`
+	// Phases partition the simulated duration for synthetic sources; gaps
+	// between phases generate no tuples.
+	Phases []Phase `json:"phases,omitempty"`
+	// Tenants, when set, split the key space into weighted slabs.
+	Tenants []Tenant `json:"tenants,omitempty"`
+	// Trace, when set, replays a CSV instead of synthesizing.
+	Trace *TraceSpec `json:"trace,omitempty"`
+	// SLO, when set, scores every report interval to a pass/fail verdict.
+	SLO *SLOSpec `json:"slo,omitempty"`
+}
+
+// StreamSpec is the synthetic source plus join-window configuration.
+type StreamSpec struct {
+	// RateTPS is the baseline rate in tuples per simulated second, before
+	// phase factors and modulators.
+	RateTPS float64 `json:"rate_tps,omitempty"`
+	// Keys is the number of unique keys (ignored when Tenants are set:
+	// the key space is then the concatenation of the tenant slabs).
+	Keys int `json:"keys,omitempty"`
+	// BaseShare is the fraction of tuples on the base (request) side.
+	BaseShare float64 `json:"base_share"`
+	// ZipfS skews key popularity (0 = uniform; >1 = Zipf exponent).
+	// Mutually exclusive with Tenants.
+	ZipfS float64 `json:"zipf_s,omitempty"`
+	// WindowPreS/WindowFolS/LatenessS configure the interval join, in
+	// simulated seconds.
+	WindowPreS float64 `json:"window_pre_s"`
+	WindowFolS float64 `json:"window_fol_s,omitempty"`
+	LatenessS  float64 `json:"lateness_s"`
+	// DisorderS bounds how far a probe timestamp may trail in-order
+	// arrival. Must not exceed LatenessS or joins would be inexact.
+	DisorderS float64 `json:"disorder_s,omitempty"`
+	// OrderedBase keeps base (request) timestamps monotone, modelling
+	// serving reality; disorder then applies to probes only.
+	OrderedBase bool `json:"ordered_base,omitempty"`
+}
+
+// Phase is one contiguous span of simulated time with its own rate factor
+// and modulators.
+type Phase struct {
+	Name       string  `json:"name"`
+	StartS     float64 `json:"start_s"`
+	EndS       float64 `json:"end_s"`
+	RateFactor float64 `json:"rate_factor,omitempty"` // default 1
+
+	Modulators []Modulator `json:"modulators,omitempty"`
+}
+
+// Modulator shapes a phase. Exactly the fields of its Kind may be set;
+// unknown kinds and misconfigured fields are rejected at validation.
+type Modulator struct {
+	Kind string `json:"kind"`
+
+	// diurnal + hotkey-churn
+	PeriodS float64 `json:"period_s,omitempty"`
+
+	// diurnal
+	Floor float64 `json:"floor,omitempty"`
+	PeakS float64 `json:"peak_s,omitempty"`
+
+	// flash
+	AtS        float64 `json:"at_s,omitempty"`
+	RampS      float64 `json:"ramp_s,omitempty"`
+	HoldS      float64 `json:"hold_s,omitempty"`
+	DecayS     float64 `json:"decay_s,omitempty"`
+	PeakFactor float64 `json:"peak_factor,omitempty"`
+
+	// hotkey-churn
+	HotKeys  int     `json:"hot_keys,omitempty"`
+	HotShare float64 `json:"hot_share,omitempty"`
+}
+
+// Tenant is one weighted slab of the key space.
+type Tenant struct {
+	Name string `json:"name"`
+	// Weight is the tenant's share of traffic relative to the sum of all
+	// weights.
+	Weight float64 `json:"weight"`
+	// Keys is the size of the tenant's private key slab.
+	Keys int `json:"keys"`
+}
+
+// TraceSpec replays a CSV file (via internal/csvsrc) as the tuple source.
+// Replay preserves file order as arrival order; the event-time axis is the
+// trace's own timestamps shifted to start at zero.
+type TraceSpec struct {
+	// Path to the CSV, relative to the profile file's directory.
+	Path string `json:"path"`
+	// KeyColumn/TimeColumn/ValueColumn name the CSV header columns
+	// (ValueColumn may be empty: payload 0).
+	KeyColumn   string `json:"key_column"`
+	TimeColumn  string `json:"time_column"`
+	ValueColumn string `json:"value_column,omitempty"`
+	// TimeFormat is a csvsrc format name (unixus, unixms, unixs, rfc3339);
+	// empty means unixus.
+	TimeFormat string `json:"time_format,omitempty"`
+	// GapCapS, when > 0, caps each replayed inter-arrival gap at this many
+	// simulated seconds, so a trace with an overnight hole replays the
+	// hole in bounded time. Event timestamps are not rewritten — only the
+	// pacing schedule compresses.
+	GapCapS float64 `json:"gap_cap_s,omitempty"`
+}
+
+// SLOSpec scores report intervals. Zero fields are unchecked dimensions.
+type SLOSpec struct {
+	// P99Ms bounds the per-interval p99 request latency (wall clock).
+	P99Ms float64 `json:"p99_ms,omitempty"`
+	// MaxLagS bounds the watermark lag at interval end, in simulated
+	// seconds.
+	MaxLagS float64 `json:"max_lag_s,omitempty"`
+	// MaxNacks bounds admission NACKs observed per interval.
+	MaxNacks int64 `json:"max_nacks,omitempty"`
+	// MaxSheds bounds server-side probe sheds per interval.
+	MaxSheds int64 `json:"max_sheds,omitempty"`
+	// CheckNacks/CheckSheds make a zero bound meaningful: "no NACK/shed
+	// tolerated" is a real serving SLO, but a bare zero value must not
+	// turn every unconfigured profile unhealthy.
+	CheckNacks bool `json:"check_nacks,omitempty"`
+	CheckSheds bool `json:"check_sheds,omitempty"`
+}
+
+// LoadProfile reads, strictly decodes, and validates a profile file.
+// Unknown fields are rejected: a typoed modulator knob must fail loudly,
+// not silently leave the default in place.
+func LoadProfile(path string) (Profile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Profile{}, fmt.Errorf("pattern: reading profile: %w", err)
+	}
+	return ParseProfile(data)
+}
+
+// ParseProfile strictly decodes and validates profile JSON.
+func ParseProfile(data []byte) (Profile, error) {
+	var p Profile
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return Profile{}, fmt.Errorf("pattern: parsing profile: %w", err)
+	}
+	// Reject trailing garbage (a second JSON document).
+	if dec.More() {
+		return Profile{}, fmt.Errorf("pattern: parsing profile: trailing data after document")
+	}
+	if err := p.Validate(); err != nil {
+		return Profile{}, err
+	}
+	return p, nil
+}
+
+// Marshal renders the profile as canonical indented JSON (the round-trip
+// format the parsing tests lock in).
+func (p Profile) Marshal() ([]byte, error) {
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Window converts the stream's window fields to the engine's window.Spec.
+func (s StreamSpec) Window() window.Spec {
+	return window.Spec{
+		Pre:      secToUS(s.WindowPreS),
+		Fol:      secToUS(s.WindowFolS),
+		Lateness: secToUS(s.LatenessS),
+	}
+}
+
+// secToUS converts simulated seconds to event-time microseconds.
+func secToUS(s float64) tuple.Time { return tuple.Time(math.Round(s * 1e6)) }
+
+// Validate checks the profile for structural errors: version, ranges,
+// phase ordering and overlap, per-kind modulator fields, and source
+// exclusivity (synthetic phases XOR trace replay).
+func (p Profile) Validate() error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("pattern: profile %q: %s", p.Name, fmt.Sprintf(format, args...))
+	}
+	if p.SchemaVersion != ProfileSchemaVersion {
+		return bad("schema_version %d, this build reads %d", p.SchemaVersion, ProfileSchemaVersion)
+	}
+	if p.Name == "" {
+		return fmt.Errorf("pattern: profile has no name")
+	}
+	if p.TimeScale < 0 {
+		return bad("time_scale must be >= 0, got %g", p.TimeScale)
+	}
+	if p.IntervalS <= 0 {
+		return bad("interval_s must be positive, got %g", p.IntervalS)
+	}
+	s := p.Stream
+	if s.BaseShare <= 0 || s.BaseShare >= 1 {
+		return bad("stream.base_share must be in (0,1), got %g", s.BaseShare)
+	}
+	if s.DisorderS < 0 {
+		return bad("stream.disorder_s must be >= 0")
+	}
+	if s.DisorderS > s.LatenessS {
+		return bad("stream.disorder_s %g exceeds lateness_s %g (results would be inexact)", s.DisorderS, s.LatenessS)
+	}
+	if err := s.Window().Validate(); err != nil {
+		return bad("stream window: %v", err)
+	}
+
+	if p.Trace != nil {
+		t := p.Trace
+		switch {
+		case len(p.Phases) > 0:
+			return bad("trace and phases are mutually exclusive")
+		case len(p.Tenants) > 0:
+			return bad("trace and tenants are mutually exclusive")
+		case s.RateTPS != 0:
+			return bad("trace replay ignores stream.rate_tps; remove it")
+		case s.ZipfS != 0:
+			return bad("trace replay ignores stream.zipf_s; remove it")
+		case t.Path == "":
+			return bad("trace.path is required")
+		case t.KeyColumn == "" || t.TimeColumn == "":
+			return bad("trace.key_column and trace.time_column are required")
+		case t.GapCapS < 0:
+			return bad("trace.gap_cap_s must be >= 0")
+		case p.DurationS < 0:
+			return bad("duration_s must be >= 0")
+		}
+	} else {
+		if p.DurationS <= 0 {
+			return bad("duration_s must be positive, got %g", p.DurationS)
+		}
+		if s.RateTPS <= 0 {
+			return bad("stream.rate_tps must be positive for synthetic scenarios")
+		}
+		if len(p.Tenants) == 0 && s.Keys <= 0 {
+			return bad("stream.keys must be positive (or declare tenants)")
+		}
+		if s.ZipfS != 0 && s.ZipfS <= 1 {
+			return bad("stream.zipf_s must be > 1 (or 0 for uniform), got %g", s.ZipfS)
+		}
+		if s.ZipfS != 0 && len(p.Tenants) > 0 {
+			return bad("stream.zipf_s and tenants are mutually exclusive")
+		}
+		if len(p.Phases) == 0 {
+			return bad("synthetic scenarios need at least one phase")
+		}
+		if err := p.validatePhases(); err != nil {
+			return err
+		}
+	}
+
+	for i, t := range p.Tenants {
+		if t.Name == "" {
+			return bad("tenant %d has no name", i)
+		}
+		if t.Weight <= 0 {
+			return bad("tenant %q: weight must be positive", t.Name)
+		}
+		if t.Keys <= 0 {
+			return bad("tenant %q: keys must be positive", t.Name)
+		}
+	}
+
+	if slo := p.SLO; slo != nil {
+		if slo.P99Ms < 0 || slo.MaxLagS < 0 || slo.MaxNacks < 0 || slo.MaxSheds < 0 {
+			return bad("slo thresholds must be >= 0")
+		}
+	}
+	return nil
+}
+
+// validatePhases checks ordering, bounds, overlap, and modulators.
+func (p Profile) validatePhases() error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("pattern: profile %q: %s", p.Name, fmt.Sprintf(format, args...))
+	}
+	if !sort.SliceIsSorted(p.Phases, func(i, j int) bool { return p.Phases[i].StartS < p.Phases[j].StartS }) {
+		return bad("phases must be sorted by start_s")
+	}
+	for i, ph := range p.Phases {
+		if ph.Name == "" {
+			return bad("phase %d has no name", i)
+		}
+		if ph.StartS < 0 || ph.EndS > p.DurationS {
+			return bad("phase %q: [%g, %g) outside [0, %g)", ph.Name, ph.StartS, ph.EndS, p.DurationS)
+		}
+		if ph.EndS <= ph.StartS {
+			return bad("phase %q: end_s %g must exceed start_s %g", ph.Name, ph.EndS, ph.StartS)
+		}
+		if i > 0 && ph.StartS < p.Phases[i-1].EndS {
+			return bad("phase %q overlaps phase %q", ph.Name, p.Phases[i-1].Name)
+		}
+		if ph.RateFactor < 0 {
+			return bad("phase %q: rate_factor must be >= 0", ph.Name)
+		}
+		for j, m := range ph.Modulators {
+			if err := m.validate(); err != nil {
+				return bad("phase %q modulator %d: %v", ph.Name, j, err)
+			}
+		}
+	}
+	return nil
+}
+
+// validate checks one modulator's kind-specific fields.
+func (m Modulator) validate() error {
+	switch m.Kind {
+	case ModDiurnal:
+		if m.PeriodS <= 0 {
+			return fmt.Errorf("diurnal: period_s must be positive")
+		}
+		if m.Floor < 0 || m.Floor > 1 {
+			return fmt.Errorf("diurnal: floor must be in [0,1], got %g", m.Floor)
+		}
+	case ModFlash:
+		if m.PeakFactor <= 1 {
+			return fmt.Errorf("flash: peak_factor must exceed 1, got %g", m.PeakFactor)
+		}
+		if m.RampS < 0 || m.HoldS < 0 || m.DecayS < 0 {
+			return fmt.Errorf("flash: ramp_s/hold_s/decay_s must be >= 0")
+		}
+		if m.RampS+m.HoldS+m.DecayS <= 0 {
+			return fmt.Errorf("flash: spike has zero width")
+		}
+	case ModHotChurn:
+		if m.PeriodS <= 0 {
+			return fmt.Errorf("hotkey-churn: period_s must be positive")
+		}
+		if m.HotKeys <= 0 {
+			return fmt.Errorf("hotkey-churn: hot_keys must be positive")
+		}
+		if m.HotShare <= 0 || m.HotShare > 1 {
+			return fmt.Errorf("hotkey-churn: hot_share must be in (0,1], got %g", m.HotShare)
+		}
+	case "":
+		return fmt.Errorf("modulator has no kind")
+	default:
+		return fmt.Errorf("unknown modulator kind %q", m.Kind)
+	}
+	return nil
+}
+
+// TotalKeys returns the size of the scenario key space: the tenant slabs
+// concatenated, or the stream's flat key count.
+func (p Profile) TotalKeys() int {
+	if len(p.Tenants) == 0 {
+		return p.Stream.Keys
+	}
+	n := 0
+	for _, t := range p.Tenants {
+		n += t.Keys
+	}
+	return n
+}

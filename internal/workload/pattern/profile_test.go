@@ -1,0 +1,211 @@
+package pattern
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// validProfile returns a minimal synthetic profile the mutation tests can
+// break one field at a time.
+func validProfile() Profile {
+	return Profile{
+		SchemaVersion: ProfileSchemaVersion,
+		Name:          "t",
+		Seed:          1,
+		DurationS:     100,
+		IntervalS:     10,
+		Stream: StreamSpec{
+			RateTPS:    50,
+			Keys:       100,
+			BaseShare:  0.25,
+			WindowPreS: 5,
+			LatenessS:  2,
+			DisorderS:  1,
+		},
+		Phases: []Phase{{Name: "all", StartS: 0, EndS: 100}},
+	}
+}
+
+func TestValidateTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Profile)
+		wantErr string // substring; "" means valid
+	}{
+		{"valid", func(p *Profile) {}, ""},
+		{"wrong version", func(p *Profile) { p.SchemaVersion = 99 }, "schema_version"},
+		{"no name", func(p *Profile) { p.Name = "" }, "no name"},
+		{"negative time scale", func(p *Profile) { p.TimeScale = -1 }, "time_scale"},
+		{"zero interval", func(p *Profile) { p.IntervalS = 0 }, "interval_s"},
+		{"zero duration", func(p *Profile) { p.DurationS = 0 }, "duration_s"},
+		{"base share zero", func(p *Profile) { p.Stream.BaseShare = 0 }, "base_share"},
+		{"base share one", func(p *Profile) { p.Stream.BaseShare = 1 }, "base_share"},
+		{"disorder beyond lateness", func(p *Profile) { p.Stream.DisorderS = 3 }, "disorder_s"},
+		{"zero rate", func(p *Profile) { p.Stream.RateTPS = 0 }, "rate_tps"},
+		{"zero keys", func(p *Profile) { p.Stream.Keys = 0 }, "keys"},
+		{"zipf at 1", func(p *Profile) { p.Stream.ZipfS = 1 }, "zipf_s"},
+		{"zipf ok", func(p *Profile) { p.Stream.ZipfS = 1.5 }, ""},
+		{"no phases", func(p *Profile) { p.Phases = nil }, "at least one phase"},
+		{"unnamed phase", func(p *Profile) { p.Phases[0].Name = "" }, "phase 0 has no name"},
+		{"phase out of bounds", func(p *Profile) { p.Phases[0].EndS = 101 }, "outside"},
+		{"inverted phase", func(p *Profile) { p.Phases[0].EndS = 0 }, "must exceed"},
+		{"unsorted phases", func(p *Profile) {
+			p.Phases = []Phase{{Name: "b", StartS: 50, EndS: 100}, {Name: "a", StartS: 0, EndS: 40}}
+		}, "sorted"},
+		{"overlapping phases", func(p *Profile) {
+			p.Phases = []Phase{{Name: "a", StartS: 0, EndS: 60}, {Name: "b", StartS: 50, EndS: 100}}
+		}, "overlaps"},
+		{"gap between phases ok", func(p *Profile) {
+			p.Phases = []Phase{{Name: "a", StartS: 0, EndS: 40}, {Name: "b", StartS: 60, EndS: 100}}
+		}, ""},
+		{"negative rate factor", func(p *Profile) { p.Phases[0].RateFactor = -1 }, "rate_factor"},
+		{"kindless modulator", func(p *Profile) {
+			p.Phases[0].Modulators = []Modulator{{}}
+		}, "no kind"},
+		{"unknown modulator kind", func(p *Profile) {
+			p.Phases[0].Modulators = []Modulator{{Kind: "lunar"}}
+		}, "unknown modulator"},
+		{"diurnal needs period", func(p *Profile) {
+			p.Phases[0].Modulators = []Modulator{{Kind: ModDiurnal}}
+		}, "period_s"},
+		{"diurnal floor above 1", func(p *Profile) {
+			p.Phases[0].Modulators = []Modulator{{Kind: ModDiurnal, PeriodS: 10, Floor: 1.5}}
+		}, "floor"},
+		{"flash peak must exceed 1", func(p *Profile) {
+			p.Phases[0].Modulators = []Modulator{{Kind: ModFlash, PeakFactor: 1, RampS: 1}}
+		}, "peak_factor"},
+		{"flash zero width", func(p *Profile) {
+			p.Phases[0].Modulators = []Modulator{{Kind: ModFlash, PeakFactor: 2}}
+		}, "zero width"},
+		{"churn needs hot keys", func(p *Profile) {
+			p.Phases[0].Modulators = []Modulator{{Kind: ModHotChurn, PeriodS: 10, HotShare: 0.5}}
+		}, "hot_keys"},
+		{"churn share above 1", func(p *Profile) {
+			p.Phases[0].Modulators = []Modulator{{Kind: ModHotChurn, PeriodS: 10, HotKeys: 4, HotShare: 1.5}}
+		}, "hot_share"},
+		{"tenants replace keys", func(p *Profile) {
+			p.Stream.Keys = 0
+			p.Tenants = []Tenant{{Name: "a", Weight: 1, Keys: 10}}
+		}, ""},
+		{"zipf with tenants", func(p *Profile) {
+			p.Stream.ZipfS = 1.5
+			p.Tenants = []Tenant{{Name: "a", Weight: 1, Keys: 10}}
+		}, "mutually exclusive"},
+		{"zero-weight tenant", func(p *Profile) {
+			p.Tenants = []Tenant{{Name: "a", Weight: 0, Keys: 10}}
+		}, "weight"},
+		{"trace excludes phases", func(p *Profile) {
+			p.Trace = &TraceSpec{Path: "x.csv", KeyColumn: "k", TimeColumn: "t"}
+			p.Stream.RateTPS = 0
+			p.Stream.Keys = 0
+		}, "mutually exclusive"},
+		{"trace excludes rate", func(p *Profile) {
+			p.Trace = &TraceSpec{Path: "x.csv", KeyColumn: "k", TimeColumn: "t"}
+			p.Phases = nil
+			p.Stream.Keys = 0
+		}, "rate_tps"},
+		{"trace needs columns", func(p *Profile) {
+			p.Trace = &TraceSpec{Path: "x.csv"}
+			p.Phases = nil
+			p.Stream.RateTPS = 0
+			p.Stream.Keys = 0
+			p.DurationS = 0
+		}, "key_column"},
+		{"negative slo", func(p *Profile) { p.SLO = &SLOSpec{P99Ms: -1} }, "slo"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := validProfile()
+			tc.mutate(&p)
+			err := p.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	data, err := validProfile().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inject a typoed knob at the top level.
+	broken := strings.Replace(string(data), "\"name\"", "\"rate_tsp\": 5,\n  \"name\"", 1)
+	if _, err := ParseProfile([]byte(broken)); err == nil || !strings.Contains(err.Error(), "rate_tsp") {
+		t.Fatalf("unknown field not rejected: %v", err)
+	}
+}
+
+func TestParseRejectsTrailingData(t *testing.T) {
+	data, err := validProfile().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseProfile(append(data, []byte("{}")...)); err == nil ||
+		!strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("trailing document not rejected: %v", err)
+	}
+}
+
+// profilesDir locates the checked-in profile library from the package dir.
+func profilesDir(t *testing.T) string {
+	t.Helper()
+	dir := filepath.Join("..", "..", "..", "profiles")
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("profiles/ not found: %v", err)
+	}
+	return dir
+}
+
+// TestCheckedInProfilesRoundTrip loads every shipped profile, re-marshals
+// it, re-parses that, and requires a structurally identical result — so the
+// on-disk format and the Go schema cannot drift apart silently.
+func TestCheckedInProfilesRoundTrip(t *testing.T) {
+	dir := profilesDir(t)
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no checked-in profiles found (%v)", err)
+	}
+	if len(paths) < 5 {
+		t.Fatalf("expected at least 5 shipped profiles, found %d", len(paths))
+	}
+	for _, path := range paths {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			p, err := LoadProfile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := strings.TrimSuffix(filepath.Base(path), ".json"); p.Name != want {
+				t.Errorf("profile name %q does not match file name %q", p.Name, want)
+			}
+			data, err := p.Marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			p2, err := ParseProfile(data)
+			if err != nil {
+				t.Fatalf("re-parse: %v", err)
+			}
+			if !reflect.DeepEqual(p, p2) {
+				t.Fatalf("round trip changed the profile:\nbefore: %+v\nafter:  %+v", p, p2)
+			}
+			// Every shipped profile must also compile (traces resolve).
+			if _, err := Compile(p, dir); err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+		})
+	}
+}

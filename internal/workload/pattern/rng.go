@@ -1,0 +1,81 @@
+package pattern
+
+// Deterministic random streams for scenario generation.
+//
+// Every randomized decision in a scenario (key choice, payload, side,
+// jitter, tenant pick, hot-set membership) draws from its own named
+// sub-stream derived from the profile seed, never from a shared or global
+// generator. Two consequences the simulator's contract depends on:
+//
+//   - byte reproducibility: the tuple sequence is a pure function of the
+//     profile, so two runs of the same profile — on different machines, at
+//     different time scales, paced or unpaced — generate identical tuples;
+//   - decision independence: adding a draw to one sub-stream (say, an
+//     extra jitter sample) cannot shift every later key choice, because
+//     the streams do not share state.
+//
+// The generator is splitmix64, the same mix the engines' key hashing uses:
+// tiny state, full 64-bit period per stream, and statistically clean enough
+// for workload shaping (this is load synthesis, not cryptography).
+
+// mix64 is the splitmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// rng is one deterministic sub-stream.
+type rng struct {
+	state uint64
+}
+
+// newRNG derives an independent sub-stream from a root seed and a stream
+// label. Distinct labels yield decorrelated streams even for adjacent
+// seeds, because both pass through the finalizer.
+func newRNG(seed int64, label string) *rng {
+	h := uint64(1469598103934665603) // FNV-1a offset
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	return &rng{state: mix64(uint64(seed)*0x9e3779b97f4a7c15 + h)}
+}
+
+// Uint64 returns the next raw draw.
+func (r *rng) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	return mix64(r.state)
+}
+
+// Float64 returns a uniform draw in [0, 1).
+func (r *rng) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform draw in [0, n). n must be positive.
+func (r *rng) Intn(n int) int {
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform draw in [0, n). n must be positive.
+func (r *rng) Int63n(n int64) int64 {
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Source64 adapts the stream to math/rand.Source64, so library samplers
+// (rand.Zipf) can run on a scenario-owned stream instead of a global one.
+func (r *rng) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Seed implements math/rand.Source; scenario streams are seeded at
+// construction and never reseeded.
+func (r *rng) Seed(seed int64) { r.state = mix64(uint64(seed)) }
+
+// hashSet returns the i-th member of a deterministic pseudo-random set
+// identified by (seed, epoch): the rotating hot sets are computed by pure
+// hashing rather than by drawing from a sequential stream, so the hot set
+// active at any simulated instant is independent of how many tuples were
+// generated before it.
+func hashSet(seed int64, epoch uint64, i int, n int) uint64 {
+	return mix64(uint64(seed)^mix64(epoch*0x9e3779b97f4a7c15+uint64(i)+1)) % uint64(n)
+}

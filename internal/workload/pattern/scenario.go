@@ -1,0 +1,327 @@
+package pattern
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"oij/internal/tuple"
+	"oij/internal/window"
+)
+
+// Scenario is a compiled profile: validated, trace preloaded, tenant slabs
+// laid out. Compilation is side-effect free; streams are created on demand
+// and each stream re-derives every random sub-stream from the profile
+// seed, so all streams of one scenario yield the identical tuple sequence.
+type Scenario struct {
+	Profile Profile
+
+	win     window.Spec
+	durUS   int64
+	tenants []tenantSlab
+	keys    int
+
+	// trace, when non-nil, is the preloaded replay source.
+	trace []traceTuple
+}
+
+// tenantSlab is one tenant's contiguous key range with its cumulative
+// weight for O(#tenants) weighted picks (tenant counts are tiny).
+type tenantSlab struct {
+	name   string
+	cum    float64 // cumulative weight fraction, (0,1]
+	offset int
+	keys   int
+}
+
+// traceTuple is one preloaded trace record: the pacing instant in
+// simulated µs plus the tuple fields (Side/Seq/Val assigned at stream
+// time so the side draw stays on its own random stream).
+type traceTuple struct {
+	arrUS int64 // simulated arrival instant (gap-capped cumulative time)
+	ts    tuple.Time
+	key   tuple.Key
+	val   float64
+}
+
+// Compile validates the profile and builds a Scenario. baseDir resolves a
+// trace path (usually the profile file's directory).
+func Compile(p Profile, baseDir string) (*Scenario, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	sc := &Scenario{
+		Profile: p,
+		win:     p.Stream.Window(),
+		durUS:   int64(secToUS(p.DurationS)),
+		keys:    p.TotalKeys(),
+	}
+	if p.Stream.ZipfS != 0 && sc.keys < 2 {
+		return nil, fmt.Errorf("pattern: profile %q: zipf needs at least 2 keys", p.Name)
+	}
+	var cum float64
+	var total float64
+	for _, t := range p.Tenants {
+		total += t.Weight
+	}
+	offset := 0
+	for _, t := range p.Tenants {
+		cum += t.Weight / total
+		sc.tenants = append(sc.tenants, tenantSlab{name: t.Name, cum: cum, offset: offset, keys: t.Keys})
+		offset += t.Keys
+	}
+	if p.Trace != nil {
+		path := p.Trace.Path
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(baseDir, path)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("pattern: profile %q: opening trace: %w", p.Name, err)
+		}
+		defer f.Close()
+		if err := sc.loadTrace(f); err != nil {
+			return nil, err
+		}
+	}
+	return sc, nil
+}
+
+// Window returns the join window the profile configures.
+func (sc *Scenario) Window() window.Spec { return sc.win }
+
+// DurationUS returns the simulated duration in µs.
+func (sc *Scenario) DurationUS() int64 { return sc.durUS }
+
+// IntervalUS returns the report interval in simulated µs.
+func (sc *Scenario) IntervalUS() int64 { return int64(secToUS(sc.Profile.IntervalS)) }
+
+// TimeScale returns the wall-clock compression factor (default 1).
+func (sc *Scenario) TimeScale() float64 {
+	if sc.Profile.TimeScale <= 0 {
+		return 1
+	}
+	return sc.Profile.TimeScale
+}
+
+// Stream iterates the scenario's tuple sequence in arrival order. Not safe
+// for concurrent use; create one stream per consumer.
+type Stream struct {
+	sc *Scenario
+
+	// synthetic state
+	simUS    float64
+	phaseIdx int
+	rngSide  *rng
+	rngKey   *rng
+	rngVal   *rng
+	rngJit   *rng
+	rngTen   *rng
+	rngHot   *rng
+	zipf     *rand.Zipf
+
+	// trace state
+	tracePos int
+
+	baseSeq  uint64
+	probeSeq uint64
+	done     bool
+}
+
+// NewStream starts a fresh deterministic iteration of the scenario.
+func (sc *Scenario) NewStream() *Stream {
+	seed := sc.Profile.Seed
+	s := &Stream{
+		sc:      sc,
+		rngSide: newRNG(seed, "side"),
+		rngKey:  newRNG(seed, "key"),
+		rngVal:  newRNG(seed, "val"),
+		rngJit:  newRNG(seed, "jitter"),
+		rngTen:  newRNG(seed, "tenant"),
+		rngHot:  newRNG(seed, "hot"),
+	}
+	if z := sc.Profile.Stream.ZipfS; z != 0 {
+		s.zipf = rand.NewZipf(rand.New(newRNG(seed, "zipf")), z, 1, uint64(sc.keys-1))
+	}
+	return s
+}
+
+// maxIdleStepUS bounds how far the synthetic cursor strides through a
+// dead zone (rate ≈ 0, e.g. a diurnal floor of 0 or a gap between phases)
+// per iteration, so streams over silent stretches always terminate.
+const maxIdleStepUS = 100e6 // 100 simulated seconds
+
+// minRateTPS is the rate below which the stream emits nothing and strides
+// instead; one tuple per maxIdleStepUS would be below it anyway.
+const minRateTPS = 1e-5
+
+// Next returns the next tuple, its simulated arrival instant in µs, and
+// whether the stream is still live. The returned sequence is a pure
+// function of the profile: no wall clock, no global randomness.
+func (s *Stream) Next() (tuple.Tuple, int64, bool) {
+	if s.done {
+		return tuple.Tuple{}, 0, false
+	}
+	if s.sc.trace != nil {
+		return s.nextTrace()
+	}
+	return s.nextSynthetic()
+}
+
+// nextSynthetic advances the rate-integrating cursor to the next emission.
+func (s *Stream) nextSynthetic() (tuple.Tuple, int64, bool) {
+	p := &s.sc.Profile
+	for {
+		// Find the phase covering the cursor, striding over gaps.
+		for s.phaseIdx < len(p.Phases) && s.simUS >= secToUSf(p.Phases[s.phaseIdx].EndS) {
+			s.phaseIdx++
+		}
+		if s.phaseIdx >= len(p.Phases) || s.simUS >= float64(s.sc.durUS) {
+			s.done = true
+			return tuple.Tuple{}, 0, false
+		}
+		ph := &p.Phases[s.phaseIdx]
+		if start := secToUSf(ph.StartS); s.simUS < start {
+			s.simUS = start
+		}
+
+		rate := s.rateAt(ph, s.simUS)
+		if rate < minRateTPS {
+			s.simUS += maxIdleStepUS
+			continue
+		}
+
+		arr := int64(math.Round(s.simUS))
+		t := s.emit(ph, arr)
+		s.simUS += 1e6 / rate
+		return t, arr, true
+	}
+}
+
+// rateAt evaluates the instantaneous rate (tuples per simulated second) at
+// cursor position usf inside phase ph.
+func (s *Stream) rateAt(ph *Phase, usf float64) float64 {
+	p := &s.sc.Profile
+	rate := p.Stream.RateTPS
+	if ph.RateFactor > 0 {
+		rate *= ph.RateFactor
+	}
+	tS := usf / 1e6
+	for i := range ph.Modulators {
+		m := &ph.Modulators[i]
+		switch m.Kind {
+		case ModDiurnal:
+			// Raised cosine: 1 at PeakS, Floor half a period away.
+			c := 0.5 * (1 + math.Cos(2*math.Pi*(tS-m.PeakS)/m.PeriodS))
+			rate *= m.Floor + (1-m.Floor)*c
+		case ModFlash:
+			rate *= flashFactor(m, tS)
+		}
+	}
+	return rate
+}
+
+// flashFactor evaluates the spike envelope at simulated second tS.
+func flashFactor(m *Modulator, tS float64) float64 {
+	d := tS - m.AtS
+	switch {
+	case d < 0 || d > m.RampS+m.HoldS+m.DecayS:
+		return 1
+	case d < m.RampS:
+		return 1 + (m.PeakFactor-1)*(d/m.RampS)
+	case d < m.RampS+m.HoldS:
+		return m.PeakFactor
+	default:
+		if m.DecayS == 0 {
+			return 1
+		}
+		frac := (d - m.RampS - m.HoldS) / m.DecayS
+		return m.PeakFactor - (m.PeakFactor-1)*frac
+	}
+}
+
+// emit materializes one tuple at simulated arrival instant arrUS.
+func (s *Stream) emit(ph *Phase, arrUS int64) tuple.Tuple {
+	p := &s.sc.Profile
+	key := s.pickKey(ph, arrUS)
+
+	t := tuple.Tuple{Key: key, Val: s.rngVal.Float64() * 100}
+	if s.rngSide.Float64() < p.Stream.BaseShare {
+		t.Side = tuple.Base
+		t.Seq = s.baseSeq
+		s.baseSeq++
+	} else {
+		t.Side = tuple.Probe
+		t.Seq = s.probeSeq
+		s.probeSeq++
+	}
+
+	ts := arrUS
+	if dis := int64(secToUS(p.Stream.DisorderS)); dis > 0 && !(p.Stream.OrderedBase && t.Side == tuple.Base) {
+		ts -= s.rngJit.Int63n(dis + 1)
+		if ts < 0 {
+			ts = 0
+		}
+	}
+	t.TS = ts
+	return t
+}
+
+// pickKey chooses the tuple key: the phase's rotating hot set when a
+// hotkey-churn modulator is active, otherwise tenant slabs, Zipf, or
+// uniform. The hot set of churn epoch e is computed by pure hashing of
+// (seed, phase, e), so the set active at a simulated instant does not
+// depend on how many tuples were generated before it.
+func (s *Stream) pickKey(ph *Phase, arrUS int64) tuple.Key {
+	for i := range ph.Modulators {
+		m := &ph.Modulators[i]
+		if m.Kind != ModHotChurn {
+			continue
+		}
+		if s.rngHot.Float64() < m.HotShare {
+			tS := float64(arrUS)/1e6 - ph.StartS
+			epoch := uint64(tS / m.PeriodS)
+			slot := s.rngHot.Intn(m.HotKeys)
+			phaseSeed := s.sc.Profile.Seed + int64(s.phaseIdx)*0x632be59bd9b4e019
+			return tuple.Key(hashSet(phaseSeed, epoch, slot, s.sc.keys))
+		}
+		break
+	}
+	return s.coldKey()
+}
+
+// coldKey draws from the background key distribution.
+func (s *Stream) coldKey() tuple.Key {
+	if len(s.sc.tenants) > 0 {
+		d := s.rngTen.Float64()
+		for i := range s.sc.tenants {
+			if d < s.sc.tenants[i].cum || i == len(s.sc.tenants)-1 {
+				sl := &s.sc.tenants[i]
+				return tuple.Key(sl.offset + s.rngKey.Intn(sl.keys))
+			}
+		}
+	}
+	if s.zipf != nil {
+		return tuple.Key(s.zipf.Uint64())
+	}
+	return tuple.Key(s.rngKey.Intn(s.sc.keys))
+}
+
+// secToUSf converts simulated seconds to fractional µs (cursor arithmetic).
+func secToUSf(s float64) float64 { return s * 1e6 }
+
+// Collect drains up to max tuples from the stream (max <= 0 drains all) —
+// the helper the differential and determinism tests use.
+func Collect(s *Stream, max int) []tuple.Tuple {
+	var out []tuple.Tuple
+	for max <= 0 || len(out) < max {
+		t, _, ok := s.Next()
+		if !ok {
+			break
+		}
+		out = append(out, t)
+	}
+	return out
+}

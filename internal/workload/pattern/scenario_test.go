@@ -1,0 +1,335 @@
+package pattern
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"oij/internal/tuple"
+)
+
+// collectArr drains the stream keeping both tuples and arrival instants.
+func collectArr(s *Stream, max int) ([]tuple.Tuple, []int64) {
+	var ts []tuple.Tuple
+	var arr []int64
+	for max <= 0 || len(ts) < max {
+		t, a, ok := s.Next()
+		if !ok {
+			break
+		}
+		ts = append(ts, t)
+		arr = append(arr, a)
+	}
+	return ts, arr
+}
+
+// TestStreamsDeterministicConcurrent is the pattern half of the determinism
+// audit: for every checked-in profile, two streams drained concurrently
+// must agree tuple for tuple, arrival instant for arrival instant. Shared
+// state between streams would trip the race detector here.
+func TestStreamsDeterministicConcurrent(t *testing.T) {
+	dir := profilesDir(t)
+	paths, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			t.Parallel()
+			p, err := LoadProfile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc, err := Compile(p, dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const max = 30000
+			type run struct {
+				ts  []tuple.Tuple
+				arr []int64
+			}
+			runs := make([]run, 2)
+			var wg sync.WaitGroup
+			for i := range runs {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					ts, arr := collectArr(sc.NewStream(), max)
+					runs[i] = run{ts, arr}
+				}(i)
+			}
+			wg.Wait()
+			if len(runs[0].ts) == 0 {
+				t.Fatal("stream produced no tuples")
+			}
+			if len(runs[0].ts) != len(runs[1].ts) {
+				t.Fatalf("lengths differ: %d vs %d", len(runs[0].ts), len(runs[1].ts))
+			}
+			for i := range runs[0].ts {
+				if runs[0].ts[i] != runs[1].ts[i] || runs[0].arr[i] != runs[1].arr[i] {
+					t.Fatalf("position %d differs between same-seed streams:\n  %+v @%d\n  %+v @%d",
+						i, runs[0].ts[i], runs[0].arr[i], runs[1].ts[i], runs[1].arr[i])
+				}
+			}
+		})
+	}
+}
+
+// TestStreamInvariants checks the watermark-safety contract on every
+// checked-in synthetic profile: arrival instants are monotone, timestamps
+// never trail arrival by more than the disorder bound, base timestamps are
+// monotone under ordered_base, and seqs are dense per side.
+func TestStreamInvariants(t *testing.T) {
+	dir := profilesDir(t)
+	paths, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	for _, path := range paths {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			p, err := LoadProfile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc, err := Compile(p, dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts, arr := collectArr(sc.NewStream(), 50000)
+			disorder := int64(secToUS(p.Stream.DisorderS))
+			var prevArr, prevBaseTS int64 = -1, -1
+			var nextBase, nextProbe uint64
+			for i, tp := range ts {
+				if arr[i] < prevArr {
+					t.Fatalf("arrival went backwards at %d: %d after %d", i, arr[i], prevArr)
+				}
+				prevArr = arr[i]
+				if sc.trace == nil {
+					if lag := arr[i] - int64(tp.TS); lag < 0 || lag > disorder {
+						t.Fatalf("tuple %d: ts %d vs arrival %d violates disorder bound %d",
+							i, tp.TS, arr[i], disorder)
+					}
+					if p.Stream.OrderedBase && tp.Side == tuple.Base {
+						if int64(tp.TS) < prevBaseTS {
+							t.Fatalf("base ts went backwards at %d despite ordered_base", i)
+						}
+						prevBaseTS = int64(tp.TS)
+					}
+				}
+				switch tp.Side {
+				case tuple.Base:
+					if tp.Seq != nextBase {
+						t.Fatalf("base seq %d at %d, want %d", tp.Seq, i, nextBase)
+					}
+					nextBase++
+				default:
+					if tp.Seq != nextProbe {
+						t.Fatalf("probe seq %d at %d, want %d", tp.Seq, i, nextProbe)
+					}
+					nextProbe++
+				}
+			}
+		})
+	}
+}
+
+// TestFlashFactorEnvelope pins the spike shape: identity outside, linear
+// ramp, flat hold, linear decay.
+func TestFlashFactorEnvelope(t *testing.T) {
+	m := &Modulator{Kind: ModFlash, AtS: 100, RampS: 10, HoldS: 20, DecayS: 40, PeakFactor: 5}
+	cases := []struct {
+		tS   float64
+		want float64
+	}{
+		{0, 1}, {99.9, 1},
+		{105, 3}, // halfway up the ramp
+		{110, 5}, // peak
+		{125, 5}, // holding
+		{150, 3}, // halfway down
+		{170, 1}, // decayed
+		{200, 1}, // long after
+	}
+	for _, c := range cases {
+		if got := flashFactor(m, c.tS); got != c.want {
+			t.Errorf("flashFactor(%g) = %g, want %g", c.tS, got, c.want)
+		}
+	}
+}
+
+// TestDiurnalRateShape checks the raised cosine: peak rate at PeakS, floor
+// rate half a period away.
+func TestDiurnalRateShape(t *testing.T) {
+	p := validProfile()
+	p.Phases[0].Modulators = []Modulator{{Kind: ModDiurnal, PeriodS: 100, Floor: 0.2, PeakS: 50}}
+	sc, err := Compile(p, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sc.NewStream()
+	ph := &sc.Profile.Phases[0]
+	peak := s.rateAt(ph, secToUSf(50))
+	trough := s.rateAt(ph, secToUSf(0))
+	if want := p.Stream.RateTPS; peak != want {
+		t.Errorf("peak rate %g, want %g", peak, want)
+	}
+	if want := p.Stream.RateTPS * 0.2; abs(trough-want) > 1e-9 {
+		t.Errorf("trough rate %g, want %g", trough, want)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// TestDeadZoneTerminates: a diurnal floor of 0 silences most of the phase;
+// the stream must stride through the silence and finish.
+func TestDeadZoneTerminates(t *testing.T) {
+	p := validProfile()
+	p.DurationS = 10000
+	p.Phases[0].EndS = 10000
+	p.Phases[0].Modulators = []Modulator{{Kind: ModDiurnal, PeriodS: 10000, Floor: 0, PeakS: 0}}
+	sc, err := Compile(p, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := Collect(sc.NewStream(), 0)
+	if len(ts) == 0 {
+		t.Fatal("no tuples at all")
+	}
+}
+
+// TestHotChurnRotatesAndConcentrates: with churn active, the hot fraction
+// of traffic lands on at most HotKeys distinct keys per epoch, and the hot
+// sets of different epochs differ.
+func TestHotChurnRotatesAndConcentrates(t *testing.T) {
+	p := validProfile()
+	p.DurationS = 200
+	p.IntervalS = 50
+	p.Stream.RateTPS = 500
+	p.Stream.Keys = 10000
+	p.Phases[0].EndS = 200
+	p.Phases[0].Modulators = []Modulator{{Kind: ModHotChurn, PeriodS: 100, HotKeys: 8, HotShare: 0.6}}
+	sc, err := Compile(p, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sc.NewStream()
+	epochKeys := map[uint64]map[tuple.Key]int{}
+	for {
+		tp, arr, ok := s.Next()
+		if !ok {
+			break
+		}
+		epoch := uint64(float64(arr) / 1e6 / 100)
+		if epochKeys[epoch] == nil {
+			epochKeys[epoch] = map[tuple.Key]int{}
+		}
+		epochKeys[epoch][tp.Key]++
+	}
+	if len(epochKeys) != 2 {
+		t.Fatalf("expected 2 churn epochs, saw %d", len(epochKeys))
+	}
+	hot := make([]map[tuple.Key]bool, 2)
+	for e := uint64(0); e < 2; e++ {
+		counts := epochKeys[e]
+		total := 0
+		for _, n := range counts {
+			total += n
+		}
+		// Hot keys get ~0.6/8 = 7.5% each; cold keys ~0.4/10000 each. Any
+		// key above 1% of the epoch's traffic is unambiguously hot.
+		hot[e] = map[tuple.Key]bool{}
+		hotTraffic := 0
+		for k, n := range counts {
+			if float64(n) > 0.01*float64(total) {
+				hot[e][k] = true
+				hotTraffic += n
+			}
+		}
+		if len(hot[e]) == 0 || len(hot[e]) > 8 {
+			t.Fatalf("epoch %d: %d hot keys, want 1..8", e, len(hot[e]))
+		}
+		if share := float64(hotTraffic) / float64(total); share < 0.5 || share > 0.7 {
+			t.Fatalf("epoch %d: hot share %.2f, want ~0.6", e, share)
+		}
+	}
+	same := 0
+	for k := range hot[0] {
+		if hot[1][k] {
+			same++
+		}
+	}
+	if same == len(hot[0]) {
+		t.Fatal("hot set did not rotate between epochs")
+	}
+}
+
+// TestTenantSlabs: tenant keys stay inside their slabs and traffic splits
+// by weight.
+func TestTenantSlabs(t *testing.T) {
+	p := validProfile()
+	p.Stream.Keys = 0
+	p.Stream.RateTPS = 1000
+	p.Tenants = []Tenant{
+		{Name: "gold", Weight: 3, Keys: 10},
+		{Name: "bronze", Weight: 1, Keys: 1000},
+	}
+	sc, err := Compile(p, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.keys != 1010 {
+		t.Fatalf("key space %d, want 1010", sc.keys)
+	}
+	ts := Collect(sc.NewStream(), 0)
+	var gold, bronze int
+	for _, tp := range ts {
+		switch {
+		case tp.Key < 10:
+			gold++
+		case tp.Key < 1010:
+			bronze++
+		default:
+			t.Fatalf("key %d outside the tenant key space", tp.Key)
+		}
+	}
+	share := float64(gold) / float64(gold+bronze)
+	if share < 0.70 || share > 0.80 {
+		t.Fatalf("gold share %.3f, want ~0.75", share)
+	}
+}
+
+// TestSubStreamIndependence: the "hot" decision stream must not perturb the
+// key stream — a profile with churn and one without draw the same cold keys
+// for the tuples that stay cold... which cannot hold tuple-for-tuple, so we
+// pin the weaker, load-bearing property instead: sub-streams with distinct
+// labels start from distinct states.
+func TestSubStreamIndependence(t *testing.T) {
+	a, b := newRNG(42, "key"), newRNG(42, "val")
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same != 0 {
+		t.Fatalf("labeled sub-streams collided %d/64 draws", same)
+	}
+}
+
+// TestHashSetIsPure: hot-set membership depends only on (seed, epoch, slot),
+// never on draw history.
+func TestHashSetIsPure(t *testing.T) {
+	r := newRNG(7, "hot")
+	before := hashSet(7, 3, 2, 1000)
+	for i := 0; i < 100; i++ {
+		r.Uint64() // unrelated draws
+	}
+	if after := hashSet(7, 3, 2, 1000); after != before {
+		t.Fatal("hashSet changed with unrelated draw history")
+	}
+	if hashSet(7, 3, 2, 1000) == hashSet(7, 4, 2, 1000) &&
+		hashSet(7, 3, 1, 1000) == hashSet(7, 4, 1, 1000) &&
+		hashSet(7, 3, 0, 1000) == hashSet(7, 4, 0, 1000) {
+		t.Fatal("adjacent epochs produced identical hot sets")
+	}
+}

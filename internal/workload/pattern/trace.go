@@ -1,0 +1,118 @@
+package pattern
+
+import (
+	"fmt"
+	"io"
+
+	"oij/internal/csvsrc"
+	"oij/internal/tuple"
+)
+
+// loadTrace preloads a CSV replay source. File order is arrival order; the
+// event-time axis is the trace's own timestamps shifted so the earliest
+// timestamp lands at 0 (out-of-order rows keep their relative offsets).
+//
+// The pacing schedule is the cumulative sum of inter-arrival gaps, where
+// each gap is clamped to [0, GapCapS]: a backwards timestamp replays
+// immediately (arrival time is monotone by construction) and an overnight
+// hole replays in at most GapCapS of simulated time. Only the schedule
+// compresses — event timestamps are never rewritten, so join answers are
+// independent of the cap.
+//
+// A trace is rejected when any row is later than the profile's lateness
+// bound (prefix-max timestamp minus row timestamp exceeds LatenessS):
+// engines evicting on the watermark would silently drop its matches, and a
+// simulation that quietly joins inexactly is worse than one that refuses
+// to start.
+func (sc *Scenario) loadTrace(r io.Reader) error {
+	p := &sc.Profile
+	t := p.Trace
+	scan, err := csvsrc.NewScanner(r, csvsrc.Mapping{
+		Key:        t.KeyColumn,
+		Time:       t.TimeColumn,
+		Value:      t.ValueColumn,
+		TimeFormat: csvsrc.TimeFormat(t.TimeFormat),
+	})
+	if err != nil {
+		return fmt.Errorf("pattern: profile %q: %w", p.Name, err)
+	}
+	recs, err := scan.ReadAll()
+	if err != nil {
+		return fmt.Errorf("pattern: profile %q: reading trace: %w", p.Name, err)
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("pattern: profile %q: trace has no rows", p.Name)
+	}
+
+	gapCap := int64(secToUS(t.GapCapS))
+	lateness := int64(secToUS(p.Stream.LatenessS))
+	minTS := recs[0].TS
+	for _, rec := range recs {
+		if rec.TS < minTS {
+			minTS = rec.TS
+		}
+	}
+
+	out := make([]traceTuple, 0, len(recs))
+	var arr int64
+	prevTS := recs[0].TS
+	maxTS := recs[0].TS
+	for i, rec := range recs {
+		if i > 0 {
+			gap := rec.TS - prevTS
+			if gap < 0 {
+				gap = 0 // out-of-order row: arrives immediately
+			}
+			if gapCap > 0 && gap > gapCap {
+				gap = gapCap
+			}
+			arr += gap
+			prevTS = rec.TS
+		}
+		if rec.TS > maxTS {
+			maxTS = rec.TS
+		}
+		if tardy := maxTS - rec.TS; tardy > lateness {
+			return fmt.Errorf("pattern: profile %q: trace row %d is %gs late, beyond lateness_s %g (join would be inexact)",
+				p.Name, i+2, float64(tardy)/1e6, p.Stream.LatenessS)
+		}
+		out = append(out, traceTuple{arrUS: arr, ts: rec.TS - minTS, key: rec.Key, val: rec.Val})
+	}
+
+	if sc.durUS > 0 {
+		// Truncate at the declared duration. The first row always arrives
+		// at simulated 0, so at least one row survives any valid duration.
+		n := 0
+		for n < len(out) && out[n].arrUS < sc.durUS {
+			n++
+		}
+		out = out[:n]
+	} else {
+		sc.durUS = out[len(out)-1].arrUS + 1
+	}
+	sc.trace = out
+	return nil
+}
+
+// nextTrace replays the preloaded records, drawing sides from the stream's
+// own random sub-stream so replay is as reproducible as synthesis.
+func (s *Stream) nextTrace() (tuple.Tuple, int64, bool) {
+	if s.tracePos >= len(s.sc.trace) {
+		s.done = true
+		return tuple.Tuple{}, 0, false
+	}
+	rec := s.sc.trace[s.tracePos]
+	s.tracePos++
+
+	t := tuple.Tuple{TS: rec.ts, Key: rec.key, Val: rec.val}
+	if s.rngSide.Float64() < s.sc.Profile.Stream.BaseShare {
+		t.Side = tuple.Base
+		t.Seq = s.baseSeq
+		s.baseSeq++
+	} else {
+		t.Side = tuple.Probe
+		t.Seq = s.probeSeq
+		s.probeSeq++
+	}
+	return t, rec.arrUS, true
+}

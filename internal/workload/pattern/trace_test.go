@@ -1,0 +1,211 @@
+package pattern
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"oij/internal/tuple"
+)
+
+// traceProfile returns a replay profile pointed at a trace written to a
+// temp dir; mutate before Compile to vary the scenario.
+func traceProfile(t *testing.T, csv string) (Profile, string) {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "trace.csv"), []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return Profile{
+		SchemaVersion: ProfileSchemaVersion,
+		Name:          "trace-test",
+		Seed:          5,
+		IntervalS:     10,
+		Stream: StreamSpec{
+			BaseShare:  0.5,
+			WindowPreS: 5,
+			LatenessS:  10,
+		},
+		Trace: &TraceSpec{
+			Path:       "trace.csv",
+			KeyColumn:  "key",
+			TimeColumn: "ts",
+			TimeFormat: "unixs",
+		},
+	}, dir
+}
+
+func TestTraceEmptyFile(t *testing.T) {
+	for name, csv := range map[string]string{
+		"no rows":    "ts,key\n",
+		"zero bytes": "",
+	} {
+		t.Run(name, func(t *testing.T) {
+			p, dir := traceProfile(t, csv)
+			if _, err := Compile(p, dir); err == nil {
+				t.Fatal("empty trace compiled without error")
+			}
+		})
+	}
+}
+
+func TestTraceCRLF(t *testing.T) {
+	lf := "ts,key\n0,1\n2,2\n4,3\n"
+	pa, da := traceProfile(t, lf)
+	pb, db := traceProfile(t, strings.ReplaceAll(lf, "\n", "\r\n"))
+	sa, err := Compile(pa, da)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := Compile(pb, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, aa := collectArr(sa.NewStream(), 0)
+	tb, ab := collectArr(sb.NewStream(), 0)
+	if len(ta) != 3 || len(tb) != 3 {
+		t.Fatalf("row counts %d/%d, want 3", len(ta), len(tb))
+	}
+	for i := range ta {
+		if ta[i] != tb[i] || aa[i] != ab[i] {
+			t.Fatalf("row %d differs between LF and CRLF replay", i)
+		}
+	}
+}
+
+// TestTraceOutOfOrder: a backwards timestamp replays immediately (monotone
+// arrival) while keeping its own event time, and the event axis is shifted
+// so the earliest timestamp — not the first row — lands at zero.
+func TestTraceOutOfOrder(t *testing.T) {
+	p, dir := traceProfile(t, "ts,key\n10,1\n14,2\n8,3\n16,4\n")
+	sc, err := Compile(p, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, arr := collectArr(sc.NewStream(), 0)
+	if len(ts) != 4 {
+		t.Fatalf("%d rows, want 4", len(ts))
+	}
+	// Event times shift by min=8s: 2s, 6s, 0s, 8s.
+	want := []tuple.Time{2e6, 6e6, 0, 8e6}
+	for i, w := range want {
+		if ts[i].TS != w {
+			t.Errorf("row %d event ts %d, want %d", i, ts[i].TS, w)
+		}
+	}
+	// Arrival: gaps 4s, then 0 (backwards), then 8s.
+	wantArr := []int64{0, 4e6, 4e6, 12e6}
+	for i, w := range wantArr {
+		if arr[i] != w {
+			t.Errorf("row %d arrival %d, want %d", i, arr[i], w)
+		}
+	}
+}
+
+// TestTraceTooTardyRejected: a row later than the profile's lateness bound
+// must refuse to compile — the simulation would silently join inexactly.
+func TestTraceTooTardyRejected(t *testing.T) {
+	p, dir := traceProfile(t, "ts,key\n0,1\n20,2\n5,3\n")
+	if _, err := Compile(p, dir); err == nil ||
+		!strings.Contains(err.Error(), "inexact") {
+		t.Fatalf("tardy trace compiled: %v", err)
+	}
+}
+
+// TestTraceGapCap: an overnight hole in the trace replays in at most
+// GapCapS of simulated time while event timestamps keep the real gap.
+func TestTraceGapCap(t *testing.T) {
+	p, dir := traceProfile(t, "ts,key\n0,1\n2,2\n9000,3\n9002,4\n")
+	p.Trace.GapCapS = 5
+	sc, err := Compile(p, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, arr := collectArr(sc.NewStream(), 0)
+	wantArr := []int64{0, 2e6, 7e6, 9e6} // hole of 8998s compressed to 5s
+	for i, w := range wantArr {
+		if arr[i] != w {
+			t.Errorf("row %d arrival %d, want %d", i, arr[i], w)
+		}
+	}
+	if ts[2].TS != 9000e6 {
+		t.Errorf("event ts rewritten by gap cap: %d", ts[2].TS)
+	}
+	if sc.DurationUS() != 9e6+1 {
+		t.Errorf("duration %d, want %d", sc.DurationUS(), int64(9e6+1))
+	}
+}
+
+// TestTraceArrivalIndependentOfTimeScale: the time-scale knob compresses
+// wall-clock pacing only; the simulated schedule (and thus every join
+// answer) is identical at any speed.
+func TestTraceArrivalIndependentOfTimeScale(t *testing.T) {
+	csv := "ts,key\n0,1\n3,2\n7,3\n"
+	pa, da := traceProfile(t, csv)
+	pb, db := traceProfile(t, csv)
+	pb.TimeScale = 500
+	sa, err := Compile(pa, da)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := Compile(pb, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, aa := collectArr(sa.NewStream(), 0)
+	tb, ab := collectArr(sb.NewStream(), 0)
+	for i := range ta {
+		if ta[i] != tb[i] || aa[i] != ab[i] {
+			t.Fatalf("row %d differs across time scales: %+v@%d vs %+v@%d",
+				i, ta[i], aa[i], tb[i], ab[i])
+		}
+	}
+	if sb.TimeScale() != 500 {
+		t.Fatalf("time scale %g, want 500", sb.TimeScale())
+	}
+}
+
+// TestTraceDurationTruncates: duration_s cuts replay at the simulated
+// instant, and truncating everything is an error.
+func TestTraceDurationTruncates(t *testing.T) {
+	p, dir := traceProfile(t, "ts,key\n0,1\n3,2\n7,3\n")
+	p.DurationS = 5
+	sc, err := Compile(p, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts := Collect(sc.NewStream(), 0); len(ts) != 2 {
+		t.Fatalf("%d rows after truncation, want 2", len(ts))
+	}
+
+	// The first row arrives at simulated 0, so even a microscopic duration
+	// keeps it: truncation can shorten a replay but never empty it.
+	p2, dir2 := traceProfile(t, "ts,key\n0,1\n9,2\n")
+	p2.DurationS = 1e-6
+	sc2, err := Compile(p2, dir2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts := Collect(sc2.NewStream(), 0); len(ts) != 1 {
+		t.Fatalf("%d rows, want 1", len(ts))
+	}
+}
+
+// TestTraceSidesDeterministic: replayed side assignment comes from the
+// profile seed, so two streams agree and a seed change reshuffles.
+func TestTraceSidesDeterministic(t *testing.T) {
+	csv := "ts,key\n0,1\n1,2\n2,3\n3,4\n4,5\n5,6\n6,7\n7,8\n"
+	p, dir := traceProfile(t, csv)
+	sc, err := Compile(p, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Collect(sc.NewStream(), 0)
+	b := Collect(sc.NewStream(), 0)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs between same-seed replays", i)
+		}
+	}
+}
