@@ -25,7 +25,11 @@ var usageText = `Usage:
                     [-out BENCH_fresh.json] [-n N] [-repeats R] [-q]
   oijbench sim      [-engine e] [-joiners J] [-mode arrival|watermark] [-time-scale S]
                     [-max-tuples N] [-unpaced] [-addr host:port [-admin url]]
+                    [-serve [-admission p] [-mem-cap N] [-deadline d] [-util-epoch d]
+                     [-controller [-ctl-min-joiners N] [-ctl-max-joiners N] [-ctl-p99 d]]
+                     [-flight-out FLIGHT.json]]
                     [-out SIM_name.json] [-check-slo] [-q] profile.json
+  oijbench simdiff  [-dim name] BASE_SIM.json CANDIDATE_SIM.json
   oijbench specs
   oijbench -exp <id>|all [-n N] [-threads 1,2,4] ...   (paper figure mode; -list for IDs)
 

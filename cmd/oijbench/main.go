@@ -41,6 +41,8 @@ func main() {
 			os.Exit(runSpecs(os.Stdout, os.Stderr))
 		case "sim":
 			os.Exit(runSim(os.Args[2:], os.Stdout, os.Stderr))
+		case "simdiff":
+			os.Exit(runSimDiff(os.Args[2:], os.Stdout, os.Stderr))
 		case "help", "-h", "-help", "--help":
 			fmt.Println(usageText)
 			return

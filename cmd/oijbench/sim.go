@@ -6,10 +6,13 @@ import (
 	"io"
 	"path/filepath"
 	"strings"
+	"time"
 
+	"oij/internal/control"
 	"oij/internal/engine"
 	"oij/internal/harness"
 	"oij/internal/perf"
+	"oij/internal/server"
 	"oij/internal/workload/pattern"
 )
 
@@ -28,6 +31,18 @@ func runSim(args []string, stdout, stderr io.Writer) int {
 	out := fs.String("out", "", "output path (default: SIM_<profile-name>.json)")
 	checkSLO := fs.Bool("check-slo", false, "exit 1 when any interval breaches the profile's SLO")
 	quiet := fs.Bool("q", false, "suppress per-interval progress")
+
+	serve := fs.Bool("serve", false,
+		"drive an in-process oijd (full serving stack: admission, SLO, controller) over loopback instead of a bare engine; SLO thresholds come from the profile")
+	admission := fs.String("admission", server.AdmissionBlock, "with -serve: admission policy (block, shed-probes, reject)")
+	memCap := fs.Int64("mem-cap", 0, "with -serve: buffered-probe cap (0 disables the memory guard)")
+	deadline := fs.Duration("deadline", 0, "with -serve: per-request NACK deadline (0 disables)")
+	utilEpoch := fs.Duration("util-epoch", 0, "with -serve: sampler/controller epoch (0 keeps the server default of 1s)")
+	controller := fs.Bool("controller", false, "with -serve: enable the adaptive self-tuning controller")
+	ctlMinJoiners := fs.Int("ctl-min-joiners", 0, "with -controller: active-joiner floor (0 keeps the default of 1)")
+	ctlMaxJoiners := fs.Int("ctl-max-joiners", 0, "with -controller: active-joiner ceiling; the pool is sized to it (0 keeps -joiners)")
+	ctlP99 := fs.Duration("ctl-p99", 0, "with -controller: p99 target the admission ladder defends (0 inherits the profile SLO)")
+	flightOut := fs.String("flight-out", "", "with -serve: dump the server's flight recorder (controller decisions, SLO transitions) to this path on exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -60,6 +75,38 @@ func runSim(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	var serveCfg *server.Config
+	if *serve {
+		if *addr != "" {
+			fmt.Fprintln(stderr, "oijbench sim: -serve and -addr are mutually exclusive")
+			return 2
+		}
+		cfg := server.Config{
+			Admission:       *admission,
+			RequestDeadline: *deadline,
+			MemCapProbes:    *memCap,
+			UtilEpoch:       *utilEpoch,
+		}
+		// The profile's SLO doubles as the server's /healthz thresholds so
+		// the controller defends the same targets the report scores.
+		if slo := prof.SLO; slo != nil {
+			cfg.SLOP99 = time.Duration(slo.P99Ms * float64(time.Millisecond))
+			cfg.SLOWatermarkLag = time.Duration(slo.MaxLagS * float64(time.Second))
+		}
+		if *controller {
+			cfg.Control = control.Config{
+				Enabled:    true,
+				MinJoiners: *ctlMinJoiners,
+				MaxJoiners: *ctlMaxJoiners,
+				P99Target:  *ctlP99,
+			}
+		}
+		serveCfg = &cfg
+	} else if *controller || *flightOut != "" {
+		fmt.Fprintln(stderr, "oijbench sim: -controller and -flight-out need -serve")
+		return 2
+	}
+
 	var progress io.Writer
 	if !*quiet {
 		progress = stdout
@@ -71,6 +118,8 @@ func runSim(args []string, stdout, stderr io.Writer) int {
 		TimeScale: *timeScale,
 		Addr:      *addr,
 		AdminURL:  strings.TrimSuffix(*admin, "/"),
+		Serve:     serveCfg,
+		FlightOut: *flightOut,
 		Unpaced:   *unpaced,
 		MaxTuples: *maxTuples,
 		Progress:  progress,
@@ -93,8 +142,30 @@ func runSim(args []string, stdout, stderr io.Writer) int {
 		outPath, len(rep.Intervals), rep.Tuples, rep.Results,
 		float64(rep.WallElapsedNS)/1e9, rep.SLOBreachedIntervals)
 	if *checkSLO && rep.SLOBreachedIntervals > 0 {
-		fmt.Fprintf(stdout, "oijbench sim: SLO FAIL (%d breached intervals)\n", rep.SLOBreachedIntervals)
+		fmt.Fprintf(stdout, "oijbench sim: SLO FAIL (%d breached intervals: %s)\n",
+			rep.SLOBreachedIntervals, breachSummary(rep))
 		return 1
 	}
 	return 0
+}
+
+// breachSummary renders per-dimension breach counts across all intervals,
+// e.g. "p99_latency=10 watermark_lag=4", so an exit-1 run says which
+// dimensions failed without opening the report.
+func breachSummary(rep *perf.SimReport) string {
+	counts := map[string]int{}
+	var order []string
+	for _, iv := range rep.Intervals {
+		for _, dim := range iv.SLOBreaches {
+			if counts[dim] == 0 {
+				order = append(order, dim)
+			}
+			counts[dim]++
+		}
+	}
+	parts := make([]string, 0, len(order))
+	for _, dim := range order {
+		parts = append(parts, fmt.Sprintf("%s=%d", dim, counts[dim]))
+	}
+	return strings.Join(parts, " ")
 }

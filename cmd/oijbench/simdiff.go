@@ -1,0 +1,114 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+
+	"oij/internal/perf"
+)
+
+// runSimDiff compares two SIM_*.json reports' SLO outcomes — the A/B
+// verdict behind the controller CI job. Exit 1 iff the candidate breached
+// MORE intervals than the base (equality passes: the candidate must not
+// make things worse, and identical behavior is not a regression). With
+// -dim the comparison is restricted to one SLO dimension.
+func runSimDiff(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("simdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dim := fs.String("dim", "", "compare only this SLO dimension (p99_latency, watermark_lag, nacks, sheds)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "oijbench simdiff: exactly two report paths required: BASE_SIM.json CANDIDATE_SIM.json")
+		fs.Usage()
+		return 2
+	}
+	base, err := perf.ReadSimReport(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "oijbench simdiff: %v\n", err)
+		return 2
+	}
+	cand, err := perf.ReadSimReport(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "oijbench simdiff: %v\n", err)
+		return 2
+	}
+	if base.Profile.Name != cand.Profile.Name || base.Profile.Seed != cand.Profile.Seed {
+		fmt.Fprintf(stderr, "oijbench simdiff: reports ran different scenarios: %s seed %d vs %s seed %d\n",
+			base.Profile.Name, base.Profile.Seed, cand.Profile.Name, cand.Profile.Seed)
+		return 2
+	}
+
+	bTotal, bDims := breachCounts(base, *dim)
+	cTotal, cDims := breachCounts(cand, *dim)
+
+	fmt.Fprintf(stdout, "oijbench simdiff: profile %s (seed %d), %d intervals\n",
+		base.Profile.Name, base.Profile.Seed, len(base.Intervals))
+	fmt.Fprintf(stdout, "  base      (%s, drive %s, joiners %d): %d breached intervals%s\n",
+		fs.Arg(0), base.Drive, base.Joiners, bTotal, dimDetail(bDims))
+	fmt.Fprintf(stdout, "  candidate (%s, drive %s, joiners %d): %d breached intervals%s\n",
+		fs.Arg(1), cand.Drive, cand.Joiners, cTotal, dimDetail(cDims))
+
+	if cTotal > bTotal {
+		fmt.Fprintf(stdout, "oijbench simdiff: FAIL — candidate breached %d intervals vs base %d\n", cTotal, bTotal)
+		return 1
+	}
+	verdict := "no worse than"
+	if cTotal < bTotal {
+		verdict = "better than"
+	}
+	fmt.Fprintf(stdout, "oijbench simdiff: PASS — candidate %s base (%d vs %d breached intervals)\n",
+		verdict, cTotal, bTotal)
+	return 0
+}
+
+// breachCounts tallies breached intervals, overall and per dimension. With
+// a dimension filter, an interval counts only when that dimension breached.
+func breachCounts(rep *perf.SimReport, dim string) (int, map[string]int) {
+	dims := map[string]int{}
+	total := 0
+	for _, iv := range rep.Intervals {
+		hit := false
+		for _, d := range iv.SLOBreaches {
+			if dim != "" && d != dim {
+				continue
+			}
+			dims[d]++
+			hit = true
+		}
+		if hit {
+			total++
+		}
+	}
+	return total, dims
+}
+
+// dimDetail renders per-dimension counts like " (p99_latency=10 nacks=2)".
+func dimDetail(dims map[string]int) string {
+	if len(dims) == 0 {
+		return ""
+	}
+	order := []string{"p99_latency", "watermark_lag", "nacks", "sheds"}
+	var parts []string
+	for _, d := range order {
+		if n, ok := dims[d]; ok {
+			parts = append(parts, fmt.Sprintf("%s=%d", d, n))
+		}
+	}
+	for d, n := range dims {
+		found := false
+		for _, k := range order {
+			if d == k {
+				found = true
+				break
+			}
+		}
+		if !found {
+			parts = append(parts, fmt.Sprintf("%s=%d", d, n))
+		}
+	}
+	return " (" + strings.Join(parts, " ") + ")"
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"oij/internal/agg"
+	"oij/internal/control"
 	"oij/internal/engine"
 	"oij/internal/harness"
 	"oij/internal/server"
@@ -70,6 +71,19 @@ func parseArgs(args []string, w io.Writer) (*options, error) {
 			"/healthz goes 503 while the window-averaged watermark lag exceeds this (0 disables)")
 		sloMemLevel = fs.Int("slo-mem-level", 0,
 			"/healthz goes 503 while any sample in the window reaches this memory-pressure rung, 1 or 2 (0 disables)")
+
+		controller = fs.Bool("controller", false,
+			"enable the adaptive self-tuning controller: retunes active joiners, admission policy, trace sampling, and the soft memory watermark live against the SLO (inspect and override at /controlz)")
+		ctlMinJoiners = fs.Int("ctl-min-joiners", 0,
+			"controller floor on active joiners (0 keeps the default of 1)")
+		ctlMaxJoiners = fs.Int("ctl-max-joiners", 0,
+			"controller ceiling on active joiners; the engine pool is sized to it up front (0 keeps -parallel)")
+		ctlUtilHigh = fs.Float64("ctl-util-high", 0,
+			"mean active-joiner utilization that arms a scale-up (0 keeps the default of 0.85)")
+		ctlUtilLow = fs.Float64("ctl-util-low", 0,
+			"mean active-joiner utilization below which a healthy system scales down (0 keeps the default of 0.25)")
+		ctlP99 = fs.Duration("ctl-p99", 0,
+			"p99 latency target the controller's admission ladder defends (0 inherits -slo-p99)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -102,6 +116,22 @@ func parseArgs(args []string, w io.Writer) (*options, error) {
 	}
 	if *sloMemLevel < 0 || *sloMemLevel > 2 {
 		return nil, fmt.Errorf("-slo-mem-level must be 0, 1 or 2 (got %d)", *sloMemLevel)
+	}
+	if !*controller && (*ctlMinJoiners != 0 || *ctlMaxJoiners != 0 || *ctlUtilHigh != 0 || *ctlUtilLow != 0 || *ctlP99 != 0) {
+		return nil, fmt.Errorf("-ctl-* flags need -controller")
+	}
+	if *controller {
+		if *ctlMaxJoiners != 0 && *ctlMaxJoiners < *ctlMinJoiners {
+			return nil, fmt.Errorf("-ctl-max-joiners %d below -ctl-min-joiners %d", *ctlMaxJoiners, *ctlMinJoiners)
+		}
+		o.cfg.Control = control.Config{
+			Enabled:    true,
+			MinJoiners: *ctlMinJoiners,
+			MaxJoiners: *ctlMaxJoiners,
+			UtilHigh:   *ctlUtilHigh,
+			UtilLow:    *ctlUtilLow,
+			P99Target:  *ctlP99,
+		}
 	}
 	if *sqlText != "" {
 		q, err := sql.Parse(*sqlText)

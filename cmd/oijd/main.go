@@ -67,6 +67,15 @@ func main() {
 	if a := srv.AdminAddr(); a != nil {
 		fmt.Printf("oijd: observability on http://%s (/metrics /statusz /tracez /timeline /healthz /debug/flightrecorder /debug/pprof)\n", a)
 	}
+	if o.cfg.Control.Enabled {
+		cc := o.cfg.Control.WithDefaults()
+		maxJ := cc.MaxJoiners
+		if maxJ < o.cfg.Engine.Joiners {
+			maxJ = o.cfg.Engine.Joiners
+		}
+		fmt.Printf("oijd: controller: joiners=[%d,%d] util=[%g,%g] p99-target=%s (inspect/override at /controlz)\n",
+			cc.MinJoiners, maxJ, cc.UtilLow, cc.UtilHigh, cc.P99Target)
+	}
 	if o.cfg.TraceSampleN > 0 {
 		fmt.Printf("oijd: tracing every %d. request (see /tracez)\n", o.cfg.TraceSampleN)
 	}

@@ -1,0 +1,266 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"oij/internal/control"
+)
+
+// ctlCfg is a controller-enabled server config: boots with 1 active joiner
+// out of a 4-wide pool, fast epochs so tests converge quickly.
+func ctlCfg() Config {
+	cfg := baseCfg()
+	cfg.Engine.Joiners = 1
+	cfg.AdminAddr = "127.0.0.1:0"
+	cfg.UtilEpoch = 10 * time.Millisecond
+	cfg.Control = control.Config{
+		Enabled:    true,
+		MaxJoiners: 4,
+	}
+	return cfg
+}
+
+// TestControllerPoolSizedToCeiling: the engine pool is MaxJoiners wide and
+// narrowed to the configured joiner count before Start.
+func TestControllerPoolSizedToCeiling(t *testing.T) {
+	srv, _ := startServer(t, ctlCfg())
+	if got := srv.cfg.Engine.Joiners; got != 4 {
+		t.Fatalf("pool = %d, want 4", got)
+	}
+	if got := srv.activeJoiners(); got != 1 {
+		t.Fatalf("active = %d, want 1", got)
+	}
+	st := srv.Statusz()
+	if st.Joiners != 4 || st.ActiveJoiners != 1 {
+		t.Fatalf("statusz joiners=%d active=%d, want 4/1", st.Joiners, st.ActiveJoiners)
+	}
+	if st.Control == nil || st.Control.PoolJoiners != 4 {
+		t.Fatalf("statusz control block = %+v", st.Control)
+	}
+}
+
+// TestControlzOverrideResizesLive: a POST override flows sampler → atomic
+// knob → ingest-loop resize → engine active count, and the decision shows
+// up on /controlz and in the flight recorder.
+func TestControlzOverrideResizesLive(t *testing.T) {
+	srv, addr := startServer(t, ctlCfg())
+	base := "http://" + srv.AdminAddr().String()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	resp, err := http.Post(base+"/controlz?actuator=joiners&value=3", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("override status %d", resp.StatusCode)
+	}
+
+	// The ingest loop applies the pending resize on its next heartbeat
+	// (2ms cadence); traffic is not required.
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.activeJoiners() != 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("active = %d, want 3", srv.activeJoiners())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	var doc struct {
+		Enabled bool `json:"enabled"`
+		State   *struct {
+			Joiners   int                `json:"joiners"`
+			Decisions []control.Decision `json:"decisions"`
+		} `json:"state"`
+	}
+	get, err := http.Get(base + "/controlz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer get.Body.Close()
+	if err := json.NewDecoder(get.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if !doc.Enabled || doc.State == nil || doc.State.Joiners != 3 {
+		t.Fatalf("controlz doc %+v", doc)
+	}
+	found := false
+	for _, d := range doc.State.Decisions {
+		if d.Rule == "manual-override" && d.Actuator == "joiners" && d.New == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("manual-override decision missing from ring: %+v", doc.State.Decisions)
+	}
+
+	// Round-trip traffic still answers correctly on the resized engine.
+	for i := 0; i < 50; i++ {
+		c.SendProbe(uint64(i%7), int64(1000+i), 1)
+	}
+	seq, _ := c.SendBase(3, 5000, 0)
+	if err := c.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := c.RecvResults(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].Seq != seq {
+		t.Fatalf("results %+v", rs)
+	}
+}
+
+// TestControlzFreezeAndAdmissionOverride: freeze flips the gauge and
+// admission overrides retune the live knob the sessions read.
+func TestControlzFreezeAndAdmissionOverride(t *testing.T) {
+	srv, _ := startServer(t, ctlCfg())
+	base := "http://" + srv.AdminAddr().String()
+
+	post := func(q string) int {
+		resp, err := http.Post(base+"/controlz?"+q, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post("action=freeze"); code != http.StatusOK {
+		t.Fatalf("freeze status %d", code)
+	}
+	if !srv.ctl.Frozen() {
+		t.Fatal("controller not frozen")
+	}
+	// Overrides work while frozen (freeze stops the automation, not the
+	// operator).
+	if code := post("actuator=admission&value=2"); code != http.StatusOK {
+		t.Fatalf("override status %d", code)
+	}
+	if got := srv.admission.Load(); got != control.AdmissionReject {
+		t.Fatalf("admission knob = %d, want reject", got)
+	}
+	if got := srv.Statusz().Overload.Admission; got != "reject" {
+		t.Fatalf("statusz admission = %q, want reject", got)
+	}
+	if code := post("action=unfreeze"); code != http.StatusOK {
+		t.Fatalf("unfreeze status %d", code)
+	}
+	if srv.ctl.Frozen() {
+		t.Fatal("controller still frozen")
+	}
+	// Bad requests are rejected with 400, not applied.
+	if code := post("actuator=bogus&value=1"); code != http.StatusBadRequest {
+		t.Fatalf("bogus actuator status %d", code)
+	}
+}
+
+// TestControlzDisabled: without the controller the endpoint reports
+// enabled=false rather than erroring.
+func TestControlzDisabled(t *testing.T) {
+	cfg := baseCfg()
+	cfg.AdminAddr = "127.0.0.1:0"
+	srv, _ := startServer(t, cfg)
+	resp, err := http.Get("http://" + srv.AdminAddr().String() + "/controlz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Enabled bool `json:"enabled"`
+		Active  int  `json:"active_joiners"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Enabled || doc.Active != 2 {
+		t.Fatalf("doc %+v", doc)
+	}
+}
+
+// TestControllerScalesUpUnderSyntheticPressure drives the server's
+// controller with synthetic saturated signals (deterministic, unlike real
+// load) and asserts the resulting scale-up lands on the engine via the
+// ingest loop's marshalling slot. The sampler epoch is set long so its
+// own idle-signal Steps do not reset the hold streak mid-test.
+func TestControllerScalesUpUnderSyntheticPressure(t *testing.T) {
+	cfg := ctlCfg()
+	cfg.UtilEpoch = time.Hour
+	srv, _ := startServer(t, cfg)
+	now := time.Unix(1000, 0)
+	sat := control.Signals{ActiveJoiners: 1, MeanUtil: 0.95, MaxUtil: 0.95}
+	var decided []control.Decision
+	for i := 0; i < 10 && len(decided) == 0; i++ {
+		sat.Epoch = uint64(i + 1)
+		now = now.Add(time.Second)
+		decided = srv.ctl.Step(now, sat)
+	}
+	if len(decided) == 0 {
+		t.Fatal("no scale-up decision under sustained saturation")
+	}
+	d := decided[0]
+	if !strings.HasPrefix(d.Rule, "scale-up") || d.New != 2 {
+		t.Fatalf("decision %+v, want scale-up to 2", d)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.activeJoiners() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("active = %d, want 2 after scale-up", srv.activeJoiners())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestControllerIgnoredForNonResizableEngine: key-oij has no resize path;
+// the pool must stay at the configured width and the controller must run
+// without the joiner actuator rather than fail.
+func TestControllerIgnoredForNonResizableEngine(t *testing.T) {
+	cfg := ctlCfg()
+	cfg.Algorithm = "key-oij"
+	cfg.Engine.Joiners = 2
+	srv, _ := startServer(t, cfg)
+	if got := srv.cfg.Engine.Joiners; got != 2 {
+		t.Fatalf("pool = %d, want 2 (no inflation for non-resizable engines)", got)
+	}
+	if got := srv.activeJoiners(); got != 2 {
+		t.Fatalf("active = %d, want 2", got)
+	}
+	if srv.ctl == nil {
+		t.Fatal("controller missing")
+	}
+	// A joiners override must be rejected: there is no actuator.
+	if _, err := srv.ctl.Override(time.Now(), "joiners", 3); err == nil {
+		t.Fatal("joiners override accepted without a resize path")
+	}
+}
+
+// TestControllerGaugesRegistered: the controller gauges land on /metrics
+// so the timeline records them.
+func TestControllerGaugesRegistered(t *testing.T) {
+	srv, _ := startServer(t, ctlCfg())
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", srv.AdminAddr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, name := range []string{"oij_active_joiners", "oij_admission_level", "oij_mem_soft_pct", "oij_ctl_enabled", "oij_ctl_decisions_total", "oij_ctl_frozen"} {
+		if !strings.Contains(body, name) {
+			t.Fatalf("metric %s missing from /metrics", name)
+		}
+	}
+}

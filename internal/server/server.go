@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"oij/internal/control"
 	"oij/internal/engine"
 	"oij/internal/faultfs"
 	"oij/internal/harness"
@@ -139,6 +140,13 @@ type Config struct {
 	// window sits at or above this memory-pressure rung (1 or 2). Zero
 	// disables.
 	SLOMemLevel int
+	// Control configures the adaptive self-tuning controller. When
+	// enabled, the engine's goroutine pool is sized to Control.MaxJoiners
+	// (Engine.Joiners becomes the boot *active* count) and the controller
+	// retunes active joiners, admission policy, trace sampling, and the
+	// soft memory watermark live from the sampler epoch loop. A zero value
+	// leaves every knob static, exactly as configured.
+	Control control.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -205,6 +213,24 @@ func parseAdmission(s string) (string, error) {
 		s, AdmissionBlock, AdmissionShedProbes, AdmissionReject)
 }
 
+// defaultMemSoftPct is the boot soft memory-guard rung: the percent of
+// MemCapProbes at which old-half probe shedding starts (the historical
+// hard-coded 75%). The controller tightens it under sustained hard
+// pressure and restores it on recovery.
+const defaultMemSoftPct = 75
+
+// admissionLevelOf maps a policy name to its control ladder level.
+func admissionLevelOf(policy string) int {
+	switch policy {
+	case AdmissionShedProbes:
+		return control.AdmissionShed
+	case AdmissionReject:
+		return control.AdmissionReject
+	default:
+		return control.AdmissionBlock
+	}
+}
+
 // pendingBase routes a result back to its session.
 type pendingBase struct {
 	sess     *session
@@ -251,6 +277,19 @@ type Server struct {
 	memLevel       atomic.Int32
 	retention      tuple.Time // probe relevance horizon in event time
 
+	// Live-tunable overload knobs. Sessions and the ingest loop read these
+	// per event; the controller (sampler goroutine) and /controlz overrides
+	// store them, so every knob the controller owns is an atomic rather
+	// than a cfg field. admission holds a control.Admission* level,
+	// memSoftPct the soft memory-guard rung as a percent of MemCapProbes,
+	// and resizeReq marshals a pending active-joiner target to the ingest
+	// loop (engines only allow Resize from the driver goroutine); 0 means
+	// no resize pending.
+	admission  atomic.Int32
+	memSoftPct atomic.Int32
+	resizeReq  atomic.Int32
+	ctl        *control.Controller
+
 	wal          *walWriter
 	walErrs      atomic.Int64
 	walRecovered atomic.Int64
@@ -283,6 +322,23 @@ func New(cfg Config) (*Server, error) {
 	if _, err := parseAdmission(cfg.Admission); err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
+	// With the controller enabled on a resizable engine, the goroutine
+	// pool is sized to the scaling ceiling up front (rings and workers are
+	// never added after Start); the configured joiner count becomes the
+	// boot *active* count and the engine is narrowed to it below, before
+	// any goroutine exists.
+	bootJoiners := cfg.Engine.Joiners
+	if cfg.Control.Enabled {
+		if cfg.Control.MaxJoiners <= 0 || cfg.Control.MaxJoiners < bootJoiners {
+			cfg.Control.MaxJoiners = bootJoiners
+		}
+		if cfg.Algorithm == harness.ScaleOIJ && cfg.Control.MaxJoiners > cfg.Engine.Joiners {
+			cfg.Engine.Joiners = cfg.Control.MaxJoiners
+			if err := cfg.Engine.Validate(); err != nil {
+				return nil, fmt.Errorf("server: controller pool: %w", err)
+			}
+		}
+	}
 	s := &Server{
 		cfg:         cfg,
 		ingest:      make(chan ingestReq, cfg.IngestBuffer),
@@ -302,6 +358,42 @@ func New(cfg Config) (*Server, error) {
 	s.eng = eng
 	s.retention = cfg.Engine.Window.Len() + cfg.Engine.Window.Lateness
 	s.slo = newSLOEvaluator(s)
+	s.admission.Store(int32(admissionLevelOf(cfg.Admission)))
+	s.memSoftPct.Store(defaultMemSoftPct)
+	if cfg.Control.Enabled {
+		// Narrow the pool to the boot active count before Start (no
+		// goroutines exist yet, so the driver-only rule is trivially
+		// met). An engine that cannot resize keeps its full pool and the
+		// controller runs without the joiner actuator — admission, trace,
+		// and memory rules still apply.
+		active := cfg.Engine.Joiners
+		var resize func(int) bool
+		if rz, ok := eng.(engine.Resizer); ok && rz.Resize(bootJoiners) {
+			active = bootJoiners
+			resize = func(n int) bool {
+				// Marshal to the ingest loop: Resize is driver-only and
+				// the sampler goroutine is calling. The loop applies the
+				// newest pending target before its next unit of work.
+				s.resizeReq.Store(int32(n))
+				return true
+			}
+		}
+		cc := cfg.Control
+		if cc.P99Target == 0 {
+			cc.P99Target = cfg.SLOP99
+		}
+		s.ctl = control.New(cc, control.Boot{
+			Joiners:      active,
+			Admission:    admissionLevelOf(cfg.Admission),
+			TraceSampleN: cfg.TraceSampleN,
+			MemSoftPct:   defaultMemSoftPct,
+		}, control.Actuators{
+			ResizeJoiners:  resize,
+			SetAdmission:   func(l int) { s.admission.Store(int32(l)) },
+			SetTraceSample: func(n int) { s.tracer.SetSampleN(n) },
+			SetMemSoftPct:  func(p int) { s.memSoftPct.Store(int32(p)) },
+		}, s.flight)
+	}
 	s.o = newServerObs(s, cfg.Engine.Joiners)
 	if cfg.WALPath != "" {
 		mode, err := parseWALSync(cfg.WALSync)
@@ -419,6 +511,7 @@ func (s *Server) Serve(ln net.Listener) error {
 			obs.Endpoint{Path: "/debug/flightrecorder", Handler: s.serveFlightRecorder},
 			obs.Endpoint{Path: "/timeline", Handler: s.serveTimeline},
 			obs.Endpoint{Path: "/healthz", Handler: s.serveHealthz},
+			obs.Endpoint{Path: "/controlz", Handler: s.serveControlz},
 		)
 		if err != nil {
 			ln.Close()
@@ -532,6 +625,15 @@ func (s *Server) ingestLoop() {
 	beat := time.NewTicker(2 * time.Millisecond)
 	defer beat.Stop()
 	for {
+		// Apply any pending live resize before the next unit of work:
+		// engines allow Resize only from the driver goroutine, and this
+		// loop is the driver. Swap-to-zero keeps only the newest target
+		// when the controller outpaces the loop.
+		if n := s.resizeReq.Swap(0); n != 0 {
+			if rz, ok := s.eng.(engine.Resizer); ok {
+				rz.Resize(int(n))
+			}
+		}
 		var req ingestReq
 		var ok bool
 		select {
@@ -634,10 +736,11 @@ func (s *Server) bufferedProbes() int64 {
 
 // memGuardSheds is the memory watermark guard: it decides, per incoming
 // probe, whether the tuple is shed to keep buffered state under
-// MemCapProbes. Degradation is tiered — above 75% of the cap only probes
-// already in the oldest half of the retention horizon are shed (they
-// expire soonest and contribute to the fewest future windows); at the cap
-// every probe is shed until eviction catches up.
+// MemCapProbes. Degradation is tiered — above the soft rung (memSoftPct
+// percent of the cap, boot 75%, tightened live by the controller) only
+// probes already in the oldest half of the retention horizon are shed
+// (they expire soonest and contribute to the fewest future windows); at
+// the cap every probe is shed until eviction catches up.
 func (s *Server) memGuardSheds(ts tuple.Time) bool {
 	memCap := s.cfg.MemCapProbes
 	if memCap <= 0 {
@@ -649,7 +752,7 @@ func (s *Server) memGuardSheds(ts tuple.Time) bool {
 		s.setMemLevel(2, buffered)
 		s.o.memShedProbes.Inc()
 		return true
-	case buffered >= memCap-memCap/4:
+	case buffered >= memCap*int64(s.memSoftPct.Load())/100:
 		s.setMemLevel(1, buffered)
 		if in := s.introspect(); in != nil && s.retention > 0 {
 			if maxTS := in.MaxEventTS(); ts <= maxTS-s.retention/2 {
@@ -875,10 +978,12 @@ func (se *session) run() {
 // admitProbe applies the admission policy to one probe tuple. Under
 // "shed-probes" and "reject" a full funnel drops the probe (counted)
 // instead of blocking the reader; under "block" the reader waits, which
-// backpressures this client's TCP stream.
+// backpressures this client's TCP stream. The policy is read from the
+// live atomic, so the controller's ladder steps take effect on the very
+// next frame.
 func (se *session) admitProbe(t wire.Tuple) {
 	req := ingestReq{t: t}
-	if se.s.cfg.Admission == AdmissionBlock {
+	if se.s.admission.Load() == control.AdmissionBlock {
 		se.s.ingest <- req
 		return
 	}
@@ -905,7 +1010,7 @@ func (se *session) admitBase(t wire.Tuple, localSeq uint64) {
 		req.sp = trace.NewSpan(localSeq, uint64(t.Key), int64(t.TS))
 		t0 = time.Now()
 	}
-	if se.s.cfg.Admission != AdmissionReject {
+	if se.s.admission.Load() != control.AdmissionReject {
 		se.s.ingest <- req
 		req.sp.Add(trace.StageIngest, time.Since(t0))
 		return

@@ -27,12 +27,13 @@ const (
 	CompWAL
 	CompBreaker
 	CompSLO
+	CompControl
 	numComponents
 )
 
 var componentNames = [numComponents]string{
 	"watermark", "epoch", "admission", "memory",
-	"session", "stall", "wal", "breaker", "slo",
+	"session", "stall", "wal", "breaker", "slo", "control",
 }
 
 // String returns the component's export name.
@@ -61,6 +62,8 @@ const (
 	EvBreakerClosed                         //
 	EvSLOUnhealthy                          // a=breached-dimension bitmask, b=epoch index
 	EvSLORecovered                          // a=unhealthy duration (ns), b=epoch index
+	EvCtlDecision                           // a=rule id, b=old<<32|new (actuator values)
+	EvCtlFreeze                             // a=1 frozen / 0 unfrozen, b=epoch index
 )
 
 var eventKindNames = map[EventKind]string{
@@ -82,6 +85,8 @@ var eventKindNames = map[EventKind]string{
 	EvBreakerClosed:    "breaker_closed",
 	EvSLOUnhealthy:     "slo_unhealthy",
 	EvSLORecovered:     "slo_recovered",
+	EvCtlDecision:      "ctl_decision",
+	EvCtlFreeze:        "ctl_freeze",
 }
 
 // String returns the kind's export name.

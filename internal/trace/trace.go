@@ -188,7 +188,7 @@ func (sp *Span) snap() SpanSnap {
 // the active-span map (keyed by engine-global base sequence, how joiners
 // find their span), and a bounded ring of completed spans for /tracez.
 type Tracer struct {
-	sampleN uint64
+	sampleN atomic.Uint64 // live-adjustable (controller under pressure)
 	counter atomic.Uint64
 	active  sync.Map // engine seq -> *Span
 	nActive atomic.Int64
@@ -209,30 +209,47 @@ func NewTracer(sampleN, ringSize int) *Tracer {
 	}
 	t := &Tracer{ring: make([]*Span, 0, ringSize)}
 	if sampleN > 0 {
-		t.sampleN = uint64(sampleN)
+		t.sampleN.Store(uint64(sampleN))
 	}
 	return t
 }
 
 // Enabled reports whether any request can be sampled. Nil-safe.
-func (t *Tracer) Enabled() bool { return t != nil && t.sampleN > 0 }
+func (t *Tracer) Enabled() bool { return t != nil && t.sampleN.Load() > 0 }
 
-// SampleN returns the configured 1-in-N rate (0 when disabled).
+// SampleN returns the current 1-in-N rate (0 when disabled).
 func (t *Tracer) SampleN() int {
 	if t == nil {
 		return 0
 	}
-	return int(t.sampleN)
+	return int(t.sampleN.Load())
+}
+
+// SetSampleN retunes the 1-in-N rate live (the controller coarsens
+// sampling under pressure and restores it on recovery). n <= 0 disables
+// sampling. Safe from any goroutine; in-flight spans finish normally.
+func (t *Tracer) SetSampleN(n int) {
+	if t == nil {
+		return
+	}
+	if n < 0 {
+		n = 0
+	}
+	t.sampleN.Store(uint64(n))
 }
 
 // Sample decides whether the next admitted request is traced: true for
 // every sampleN-th call, from a shared atomic counter — deterministic, no
 // PRNG. With sampling off it is one branch.
 func (t *Tracer) Sample() bool {
-	if !t.Enabled() {
+	if t == nil {
 		return false
 	}
-	return t.counter.Add(1)%t.sampleN == 1%t.sampleN
+	n := t.sampleN.Load()
+	if n == 0 {
+		return false
+	}
+	return t.counter.Add(1)%n == 1%n
 }
 
 // Completed returns the number of retired spans (no ring copy).
