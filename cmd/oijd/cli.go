@@ -43,6 +43,15 @@ func parseArgs(args []string, w io.Writer) (*options, error) {
 		walSync  = fs.String("wal-sync", "interval", "WAL durability: interval (fsync on the heartbeat cadence), always (fsync before each append), none (let the OS persist)")
 		admin    = fs.String("admin", "", "observability address serving /metrics, /statusz, /debug/pprof (e.g. :7782)")
 
+		replicateTo = fs.String("replicate-to", "",
+			"replication listen address: stream the WAL to hot standbys that connect here (e.g. :7783; requires -wal)")
+		standbyOf = fs.String("standby-of", "",
+			"run as a hot standby of the primary at this replication address: apply its WAL, refuse writes, promote on lease expiry (requires -wal)")
+		lease = fs.Duration("lease", 0,
+			"failure-detection budget for automatic failover: the standby promotes after this long of silence, the primary self-fences at 3/4 of it (0 defaults to 3s when replication is on; negative disables auto-failover)")
+		maxReplLag = fs.Int64("max-repl-lag", 0,
+			"replication lag alarm in bytes: above it the primary records a lag_exceeded flight event and dumps the flight recorder (0 disables)")
+
 		admission = fs.String("admission", server.AdmissionBlock,
 			"overload admission policy when the ingest queue is full: block (senders wait), shed-probes (drop probe data, requests wait), reject (drop probes and NACK requests)")
 		deadline = fs.Duration("deadline", 0,
@@ -112,10 +121,26 @@ func parseArgs(args []string, w io.Writer) (*options, error) {
 			SLOShedRate:       *sloShedRate,
 			SLOWatermarkLag:   *sloLag,
 			SLOMemLevel:       *sloMemLevel,
+			ReplListenAddr:    *replicateTo,
+			StandbyOf:         *standbyOf,
+			ReplLease:         *lease,
+			MaxReplLag:        *maxReplLag,
 		},
 	}
 	if *sloMemLevel < 0 || *sloMemLevel > 2 {
 		return nil, fmt.Errorf("-slo-mem-level must be 0, 1 or 2 (got %d)", *sloMemLevel)
+	}
+	if *replicateTo != "" && *standbyOf != "" {
+		return nil, fmt.Errorf("-replicate-to and -standby-of are mutually exclusive (chained replication is not supported)")
+	}
+	if (*replicateTo != "" || *standbyOf != "") && *wal == "" {
+		return nil, fmt.Errorf("replication requires a WAL (set -wal)")
+	}
+	if (*lease != 0 || *maxReplLag != 0) && *replicateTo == "" && *standbyOf == "" {
+		return nil, fmt.Errorf("-lease and -max-repl-lag need -replicate-to or -standby-of")
+	}
+	if *maxReplLag < 0 {
+		return nil, fmt.Errorf("-max-repl-lag must be non-negative (got %d)", *maxReplLag)
 	}
 	if !*controller && (*ctlMinJoiners != 0 || *ctlMaxJoiners != 0 || *ctlUtilHigh != 0 || *ctlUtilLow != 0 || *ctlP99 != 0) {
 		return nil, fmt.Errorf("-ctl-* flags need -controller")

@@ -23,6 +23,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"oij/internal/server"
 )
@@ -64,6 +65,27 @@ func main() {
 		o.cfg.Engine.Agg, o.cfg.Algorithm, o.cfg.Engine.Joiners, bound)
 	fmt.Printf("oijd: overload: admission=%s deadline=%s mem-cap=%d\n",
 		o.cfg.Admission, o.cfg.RequestDeadline, o.cfg.MemCapProbes)
+	if o.cfg.ReplListenAddr != "" || o.cfg.StandbyOf != "" {
+		lease := o.cfg.ReplLease
+		if lease == 0 {
+			lease = 3 * time.Second
+		}
+		failover := "auto-failover on"
+		if lease < 0 {
+			failover = "auto-failover off"
+		}
+		if o.cfg.StandbyOf != "" {
+			fmt.Printf("oijd: hot standby of %s (lease %s, %s): applying the primary's WAL, refusing writes until promoted\n",
+				o.cfg.StandbyOf, lease, failover)
+		} else {
+			addr := o.cfg.ReplListenAddr
+			if a := srv.ReplAddr(); a != nil {
+				addr = a.String()
+			}
+			fmt.Printf("oijd: primary replicating to standbys on %s (lease %s, %s, max-lag %d bytes)\n",
+				addr, lease, failover, o.cfg.MaxReplLag)
+		}
+	}
 	if a := srv.AdminAddr(); a != nil {
 		fmt.Printf("oijd: observability on http://%s (/metrics /statusz /tracez /timeline /healthz /debug/flightrecorder /debug/pprof)\n", a)
 	}

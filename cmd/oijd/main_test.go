@@ -142,3 +142,54 @@ func TestParseErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestParseReplicationFlags(t *testing.T) {
+	o, err := parseArgs([]string{
+		"-wal", "/tmp/oij.wal",
+		"-replicate-to", ":7783",
+		"-lease", "2s",
+		"-max-repl-lag", "1048576",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.cfg.ReplListenAddr != ":7783" {
+		t.Errorf("replicate-to = %q", o.cfg.ReplListenAddr)
+	}
+	if o.cfg.ReplLease != 2*time.Second {
+		t.Errorf("lease = %v", o.cfg.ReplLease)
+	}
+	if o.cfg.MaxReplLag != 1048576 {
+		t.Errorf("max-repl-lag = %d", o.cfg.MaxReplLag)
+	}
+
+	o, err = parseArgs([]string{
+		"-wal", "/tmp/oij.wal",
+		"-standby-of", "primary:7783",
+		"-lease", "-1s",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.cfg.StandbyOf != "primary:7783" {
+		t.Errorf("standby-of = %q", o.cfg.StandbyOf)
+	}
+	if o.cfg.ReplLease != -time.Second {
+		t.Errorf("lease = %v", o.cfg.ReplLease)
+	}
+}
+
+func TestParseReplicationErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-replicate-to", ":7783"},                                  // no WAL
+		{"-standby-of", "primary:7783"},                             // no WAL
+		{"-wal", "w", "-replicate-to", ":1", "-standby-of", "p:2"},  // both roles
+		{"-lease", "2s"},                                            // lease without replication
+		{"-max-repl-lag", "1"},                                      // lag alarm without replication
+		{"-wal", "w", "-replicate-to", ":1", "-max-repl-lag", "-5"}, // negative lag
+	} {
+		if _, err := parseArgs(args, io.Discard); err == nil {
+			t.Errorf("parseArgs(%q): expected error", args)
+		}
+	}
+}

@@ -85,22 +85,19 @@ func main() {
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	tick := time.NewTicker(o.interval)
-	defer tick.Stop()
 	// Hide the cursor while live; restore it on the way out.
 	fmt.Print("\x1b[?25l")
 	defer fmt.Print("\x1b[?25h\n")
 	for {
-		frame, err := d.frame()
-		if err != nil {
-			frame = fmt.Sprintf("oijtop: %s unreachable: %v (retrying every %s)\n", o.admin, err, o.interval)
-		}
+		// An unreachable daemon shows a reconnecting banner and backs the
+		// poll off exponentially; the dashboard rides through restarts.
+		frame, delay := d.pollFrame()
 		// Home + clear-to-end redraw: no flicker, no full-screen erase.
 		fmt.Print("\x1b[H\x1b[2J" + frame)
 		select {
 		case <-stop:
 			return
-		case <-tick.C:
+		case <-time.After(delay):
 		}
 	}
 }

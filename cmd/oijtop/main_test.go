@@ -134,3 +134,92 @@ func TestDashboardEndToEnd(t *testing.T) {
 	}
 	t.Logf("frame:\n%s", frame)
 }
+
+// TestDashboardReconnect flaps the admin endpoint under a live dashboard:
+// frames render, the daemon dies, the dashboard must switch to a
+// reconnecting banner with exponential backoff (keeping the stale frame
+// on screen), and when a daemon comes back on the same address the next
+// poll recovers and the backoff resets.
+func TestDashboardReconnect(t *testing.T) {
+	cfg := server.Config{
+		Engine: engine.Config{
+			Joiners: 1,
+			Window:  window.Spec{Pre: 10_000_000, Lateness: 1000},
+			Agg:     agg.Sum,
+		},
+		AdminAddr: "127.0.0.1:0",
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	admin := srv.AdminAddr().String()
+
+	d := newDashboard(&options{admin: admin, interval: 200 * time.Millisecond, keys: 3, width: 30, noColor: true})
+	d.client.Timeout = time.Second
+
+	frame, delay := d.pollFrame()
+	if !strings.Contains(frame, "oijd @") || delay != 200*time.Millisecond {
+		t.Fatalf("healthy poll: delay %v, frame:\n%s", delay, frame)
+	}
+
+	srv.Shutdown()
+
+	frame, delay = d.pollFrame()
+	if !strings.Contains(frame, "reconnecting to "+admin) || !strings.Contains(frame, "attempt 1") {
+		t.Fatalf("first failed poll missing banner:\n%s", frame)
+	}
+	if delay != 200*time.Millisecond {
+		t.Fatalf("first retry delay %v, want the interval", delay)
+	}
+	if !strings.Contains(frame, "last frame") || !strings.Contains(frame, "oijd @") {
+		t.Fatalf("banner dropped the stale frame:\n%s", frame)
+	}
+	frame, delay = d.pollFrame()
+	if !strings.Contains(frame, "attempt 2") || delay != 400*time.Millisecond {
+		t.Fatalf("second failed poll: delay %v, frame:\n%s", delay, frame)
+	}
+	if _, delay = d.pollFrame(); delay != 800*time.Millisecond {
+		t.Fatalf("third retry delay %v, want doubled again", delay)
+	}
+
+	// A new daemon on the same admin address: the dashboard recovers.
+	cfg.AdminAddr = admin
+	srv2, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv2.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Shutdown()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		frame, delay = d.pollFrame()
+		if strings.Contains(frame, "oijd @") && !strings.Contains(frame, "reconnecting") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dashboard never recovered:\n%s", frame)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if delay != 200*time.Millisecond {
+		t.Fatalf("recovered delay %v, want the interval (backoff reset)", delay)
+	}
+}
+
+func TestReconnectDelayCaps(t *testing.T) {
+	if d := reconnectDelay(time.Second, 1); d != time.Second {
+		t.Fatalf("first delay %v", d)
+	}
+	if d := reconnectDelay(time.Second, 4); d != 8*time.Second {
+		t.Fatalf("fourth delay %v", d)
+	}
+	if d := reconnectDelay(time.Second, 60); d != reconnectMax {
+		t.Fatalf("capped delay %v", d)
+	}
+}

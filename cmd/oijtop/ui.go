@@ -37,6 +37,55 @@ type dashboard struct {
 	o      *options
 	base   string
 	client *http.Client
+
+	// Reconnect state: consecutive poll failures and the last frame that
+	// rendered, kept on screen under the reconnecting banner so the
+	// operator retains the final pre-outage picture.
+	fails     int
+	lastFrame string
+	lastGood  time.Time
+}
+
+// reconnectMax caps the dashboard's retry backoff.
+const reconnectMax = 30 * time.Second
+
+// reconnectDelay is the retry schedule after n consecutive failures:
+// interval·2ⁿ⁻¹, capped at reconnectMax.
+func reconnectDelay(interval time.Duration, fails int) time.Duration {
+	d := interval
+	for i := 1; i < fails && d < reconnectMax; i++ {
+		d *= 2
+	}
+	if d > reconnectMax {
+		d = reconnectMax
+	}
+	return d
+}
+
+// pollFrame returns the next screen and how long to wait before the next
+// poll: the refresh interval while the daemon answers, an exponential
+// backoff under a reconnecting banner while it does not. A dashboard must
+// outlive the daemon it watches — an oijd restart (or a failover to a
+// standby behind the same address) is exactly when the operator is
+// looking at it.
+func (d *dashboard) pollFrame() (string, time.Duration) {
+	frame, err := d.frame()
+	if err == nil {
+		d.fails = 0
+		d.lastFrame, d.lastGood = frame, time.Now()
+		return frame, d.o.interval
+	}
+	d.fails++
+	delay := reconnectDelay(d.o.interval, d.fails)
+	var b strings.Builder
+	b.WriteString(d.color("33;1", fmt.Sprintf("oijtop: reconnecting to %s — attempt %d, next try in %s",
+		d.o.admin, d.fails, delay.Round(time.Millisecond))))
+	fmt.Fprintf(&b, "\n  %v\n", err)
+	if d.lastFrame != "" {
+		fmt.Fprintf(&b, "\nlast frame, %s stale:\n%s",
+			time.Since(d.lastGood).Round(time.Second), d.lastFrame)
+	}
+	return b.String(), delay
 }
 
 func newDashboard(o *options) *dashboard {
@@ -219,6 +268,24 @@ func (d *dashboard) render(b *strings.Builder, snap *snapshot) {
 	if hk := st.HotKeys; hk != nil {
 		fmt.Fprintf(b, "hot probe keys: %s\n", hotLine(hk.Probes, d.o.keys))
 		fmt.Fprintf(b, "hot base keys:  %s\n", hotLine(hk.Bases, d.o.keys))
+	}
+
+	if rp := st.Replication; rp != nil {
+		role := rp.Role
+		if role == "fenced" {
+			role = d.color("31;1", role)
+		}
+		sync := "catching up"
+		if rp.CaughtUp {
+			sync = "caught up"
+		}
+		fmt.Fprintf(b, "repl: %s epoch=%d slots=%d/%d replayed=%d lag=%sB·%.0fms %s standbys=%d refused=%d",
+			role, rp.Epoch, rp.DurableSlot, rp.LogEndSlot, rp.ReplayOffset,
+			fmtVal(float64(rp.LagBytes)), rp.LagMs, sync, rp.Standbys, rp.Refused)
+		if rp.LastError != "" {
+			fmt.Fprintf(b, " · %s", d.color("31", rp.LastError))
+		}
+		b.WriteByte('\n')
 	}
 
 	ov := &st.Overload

@@ -1,0 +1,118 @@
+package repl
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"oij/internal/wire"
+)
+
+// FuzzReplFrameDecode feeds arbitrary bytes through the replication
+// message reader, mirroring the wire-package fuzz targets. Invariants:
+// Read never panics; every accepted message re-encodes to the exact bytes
+// it was decoded from (so a relay cannot silently mutate the stream); a
+// rejected stream fails with EOF, ErrUnexpectedEOF, or ErrBadMessage —
+// nothing else; and the reader terminates on every input. The seed corpus
+// under testdata/fuzz/FuzzReplFrameDecode is checked in; regenerate with
+// TestReplFuzzSeedCorpus below.
+func FuzzReplFrameDecode(f *testing.F) {
+	for _, b := range seedStreams() {
+		f.Add(b)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		rest := data
+		for i := 0; i < len(data)+1; i++ { // bounded: each Read consumes >= 1 byte or errors
+			m, err := r.Read()
+			if err != nil {
+				if err != io.EOF && err != io.ErrUnexpectedEOF && !errors.Is(err, ErrBadMessage) {
+					t.Fatalf("unexpected error class: %v", err)
+				}
+				return
+			}
+			re, err := AppendMessage(nil, m)
+			if err != nil {
+				t.Fatalf("accepted message does not re-encode: %+v: %v", m, err)
+			}
+			if len(rest) < len(re) || !bytes.Equal(rest[:len(re)], re) {
+				t.Fatalf("accepted message does not re-encode to its input bytes:\n in %x\nout %x", rest, re)
+			}
+			rest = rest[len(re):]
+		}
+		t.Fatal("reader did not terminate")
+	})
+}
+
+// seedStreams builds the seed inputs: a full handshake-plus-stream
+// exchange, each message kind alone, corrupted and truncated variants,
+// and junk.
+func seedStreams() [][]byte {
+	var frame [wire.WALFrameBytes]byte
+	wire.EncodeWALFrame(frame[:], wire.Tuple{Base: true, TS: 42, Key: 7, Val: 3.5})
+
+	var stream bytes.Buffer
+	w := NewWriter(&stream)
+	for _, m := range []Message{
+		{Kind: TagHello, Hello: Hello{Version: ProtocolVersion, Epoch: 1, WALID: 99, Applied: 0}},
+		{Kind: TagWelcome, Welcome: Welcome{Epoch: 1, WALID: 99, Commit: 2}},
+		{Kind: TagData, Seq: 0, Frame: frame},
+		{Kind: TagData, Seq: 1, Frame: frame},
+		{Kind: TagHeartbeat, Epoch: 1, Commit: 2},
+		{Kind: TagAck, Applied: 2},
+		{Kind: TagReset, Oldest: 10},
+		{Kind: TagFence, Epoch: 2},
+	} {
+		w.Write(m)
+	}
+	w.Flush()
+
+	seeds := [][]byte{stream.Bytes(), {}, {TagHello}, {0x99, 0x00, 0x41}}
+	for _, m := range sampleMessages() {
+		b, err := AppendMessage(nil, m)
+		if err != nil {
+			panic(err)
+		}
+		seeds = append(seeds, b)
+		// Checksum-corrupted and truncated variants.
+		bad := bytes.Clone(b)
+		bad[len(bad)-1] ^= 0xff
+		seeds = append(seeds, bad, b[:len(b)/2])
+	}
+	return seeds
+}
+
+// TestReplFuzzSeedCorpus verifies every seed stream is also checked in as
+// a corpus file, so the corpus survives outside this process (CI runs the
+// fuzzer from testdata). Set OIJ_REGEN_CORPUS=1 to rewrite the corpus
+// after changing seedStreams.
+func TestReplFuzzSeedCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzReplFrameDecode")
+	if os.Getenv("OIJ_REGEN_CORPUS") != "" {
+		if err := os.RemoveAll(dir); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, b := range seedStreams() {
+			body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", b)
+			name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+			if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("seed corpus missing (set OIJ_REGEN_CORPUS=1 to generate): %v", err)
+	}
+	if want := len(seedStreams()); len(entries) != want {
+		t.Fatalf("corpus has %d files, seedStreams yields %d (set OIJ_REGEN_CORPUS=1 to regenerate)", len(entries), want)
+	}
+}

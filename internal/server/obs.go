@@ -16,6 +16,7 @@ import (
 	"oij/internal/metrics"
 	"oij/internal/obs"
 	"oij/internal/obs/timeline"
+	"oij/internal/repl"
 	"oij/internal/trace"
 	"oij/internal/tuple"
 	"oij/internal/watermark"
@@ -45,6 +46,10 @@ type serverObs struct {
 	memShedProbes    *obs.Counter // probes shed by the memory watermark guard
 	slowEvicted      *obs.Counter // sessions evicted for not draining results
 	nacksDropped     *obs.Counter // NACKs dropped because the session buffer was full
+
+	// replRefused counts writes refused because this node is a standby or
+	// fenced (nil — never incremented — when replication is off).
+	replRefused *obs.Counter
 
 	// Hot-key analytics: one SpaceSaving sketch per joiner per stream,
 	// keys routed by the engines' own partition hash so skew is attributed
@@ -242,6 +247,54 @@ func newServerObs(s *Server, joiners int) *serverObs {
 	reg.NewGaugeFunc("oij_admission_level", "Live admission ladder level: 0 block, 1 shed-probes, 2 reject.", func() float64 {
 		return float64(s.admission.Load())
 	})
+	if r := s.repl; r != nil {
+		o.replRefused = reg.NewCounter("oij_repl_refused_total", "Writes refused because this node is a replication standby or fenced.")
+		reg.NewGaugeFunc("oij_repl_role", "Replication role: 1 primary, 2 standby, 3 fenced.", func() float64 {
+			return float64(r.role.Load())
+		})
+		reg.NewGaugeFunc("oij_repl_epoch", "Fencing epoch this node last durably stamped or applied.", func() float64 {
+			return float64(r.epoch.Load())
+		})
+		reg.NewGaugeFunc("oij_repl_log_end_slot", "Next WAL slot this node will assign (end of its log).", func() float64 {
+			if s.wal == nil {
+				return 0
+			}
+			appended, _ := s.wal.slots()
+			return float64(appended)
+		})
+		reg.NewGaugeFunc("oij_repl_durable_slot", "WAL slots known durable on this node's own disk.", func() float64 {
+			if s.wal == nil {
+				return 0
+			}
+			_, durable := s.wal.slots()
+			return float64(durable)
+		})
+		reg.NewGaugeFunc("oij_repl_replay_offset", "Replication replay offset: acked slot on a primary, applied primary slot on a standby.", func() float64 {
+			switch r.roleNow() {
+			case repl.RoleStandby, repl.RoleFenced:
+				return float64(r.appliedSlot())
+			default:
+				return float64(r.acked.Load())
+			}
+		})
+		reg.NewGaugeFunc("oij_repl_lag_bytes", "Replication lag in bytes (un-acked log suffix on a primary, un-applied on a standby).", func() float64 {
+			b, _ := r.lag()
+			return float64(b)
+		})
+		reg.NewGaugeFunc("oij_repl_lag_ms", "Milliseconds since the last replication liveness signal (ack on a primary, any traffic on a standby).", func() float64 {
+			_, ms := r.lag()
+			return ms
+		})
+		reg.NewGaugeFunc("oij_repl_standbys", "Standby links currently attached to this node's source.", func() float64 {
+			return float64(r.standbys.Load())
+		})
+		reg.NewGaugeFunc("oij_repl_caught_up", "1 once the standby has applied up to the primary's announced end of log.", func() float64 {
+			if r.caughtUp.Load() {
+				return 1
+			}
+			return 0
+		})
+	}
 	reg.NewGaugeFunc("oij_mem_soft_pct", "Soft memory-guard rung as a percent of MemCapProbes.", func() float64 {
 		return float64(s.memSoftPct.Load())
 	})
@@ -471,6 +524,7 @@ type Status struct {
 	Effectiveness    float64        `json:"effectiveness"`
 	Unbalancedness   float64        `json:"unbalancedness"`
 	Reschedules      *int64         `json:"reschedules,omitempty"`
+	Replication      *ReplStatus    `json:"replication,omitempty"`
 	Overload         OverloadStatus `json:"overload"`
 	Control          *ControlStatus `json:"control,omitempty"`
 	Trace            TraceStatus    `json:"trace"`
@@ -532,6 +586,7 @@ func (s *Server) Statusz() Status {
 		n := r.Reschedules()
 		out.Reschedules = &n
 	}
+	out.Replication = s.replStatus()
 	out.Overload = OverloadStatus{
 		Admission:           control.AdmissionName(int(s.admission.Load())),
 		RequestDeadlineMs:   float64(s.cfg.RequestDeadline) / float64(time.Millisecond),

@@ -1,0 +1,326 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"oij/internal/agg"
+	"oij/internal/faultfs"
+	"oij/internal/refjoin"
+	"oij/internal/repl"
+	"oij/internal/wire"
+)
+
+// The primary/standby pair harness: two full servers on the injectable
+// filesystem wired over a real TCP replication link. The tests here prove
+// the happy path end to end — stream, catch-up, role gating, lease-expiry
+// promotion — and that a promoted standby answers byte-equivalently to
+// the refjoin oracle over the acknowledged prefix. The adversarial matrix
+// (partitions, torn streams, kill-during-catch-up) lives in
+// repl_chaos_test.go.
+
+const pairLease = 400 * time.Millisecond
+
+// replPair is one running primary/standby pair plus its filesystems.
+type replPair struct {
+	p, s       *Server
+	paddr      string // primary client address
+	saddr      string // standby client address
+	m1, m2     *faultfs.Mem
+	pDown      bool
+	sDown      bool
+	pcfg, scfg Config
+}
+
+// startReplPair boots a primary with a replication listener and a standby
+// following it, both serving clients on loopback.
+func startReplPair(t *testing.T, lease time.Duration) *replPair {
+	t.Helper()
+	pr := &replPair{m1: faultfs.NewMem(), m2: faultfs.NewMem()}
+
+	pr.pcfg = baseCfg()
+	pr.pcfg.Engine.Window = crashWindow()
+	pr.pcfg.Engine.Joiners = 1
+	pr.pcfg.WALPath = "wal"
+	pr.pcfg.WALFS = pr.m1
+	pr.pcfg.WALSync = "always"
+	pr.pcfg.ReplListenAddr = "127.0.0.1:0"
+	pr.pcfg.ReplLease = lease
+
+	p, err := New(pr.pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.p = p
+	paddr, err := p.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.paddr = paddr.String()
+	raddr := waitReplAddr(t, p)
+
+	pr.scfg = baseCfg()
+	pr.scfg.Engine.Window = crashWindow()
+	pr.scfg.Engine.Joiners = 1
+	pr.scfg.WALPath = "wal"
+	pr.scfg.WALFS = pr.m2
+	pr.scfg.WALSync = "always"
+	pr.scfg.StandbyOf = raddr
+	pr.scfg.ReplLease = lease
+
+	s, err := New(pr.scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.s = s
+	saddr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.saddr = saddr.String()
+
+	t.Cleanup(pr.stopAll)
+	return pr
+}
+
+func (pr *replPair) killPrimary() {
+	if !pr.pDown {
+		pr.pDown = true
+		pr.m1.KillPower()
+		pr.p.Shutdown()
+	}
+}
+
+func (pr *replPair) stopAll() {
+	if !pr.sDown {
+		pr.sDown = true
+		pr.s.Shutdown()
+	}
+	if !pr.pDown {
+		pr.pDown = true
+		pr.p.Shutdown()
+	}
+}
+
+// waitReplAddr polls until the server's replication listener is bound
+// (it binds on the Serve goroutine, after Listen returns).
+func waitReplAddr(t *testing.T, s *Server) string {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if a := s.ReplAddr(); a != nil {
+			return a.String()
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("replication listener never bound")
+	return ""
+}
+
+// waitReplied polls the standby's status until it has durably applied at
+// least n slots and reports caught up.
+func waitApplied(t *testing.T, s *Server, n uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if st := s.Statusz().Replication; st != nil && st.ReplayOffset >= n && st.CaughtUp {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st := s.Statusz().Replication
+	t.Fatalf("standby never applied %d slots (status %+v)", n, st)
+}
+
+// waitRole polls until the server reports the wanted replication role.
+func waitRole(t *testing.T, s *Server, want repl.Role) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.ReplRole() == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("role = %v, want %v (status %+v)", s.ReplRole(), want, s.Statusz().Replication)
+}
+
+// archiveFailoverFlight leaves a node's flight timeline behind when CI
+// points OIJ_FAILOVER_ARTIFACT_DIR at a directory (the failover-smoke
+// job and the nightly archive both do), so every failover the suite
+// exercises ships its repl_* event sequence as an inspectable artifact.
+func archiveFailoverFlight(t *testing.T, s *Server, name string) {
+	t.Helper()
+	dir := os.Getenv("OIJ_FAILOVER_ARTIFACT_DIR")
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.MarshalIndent(s.flight.Snapshot(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name+".json"), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func flightHas(s *Server, kind string) bool {
+	for _, e := range s.flight.Snapshot() {
+		if e.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// expectNack sends one base request and requires the given refusal code.
+func expectNack(t *testing.T, addr string, code byte) {
+	t.Helper()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.SendBase(1, 1200, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.RecvResults(5 * time.Second)
+	var nerr *NackError
+	if !errors.As(err, &nerr) {
+		t.Fatalf("err = %v, want NackError", err)
+	}
+	if nerr.Code != code {
+		t.Fatalf("nack code = 0x%02x (%s), want 0x%02x", nerr.Code, wire.Nack{Code: nerr.Code}.Reason(), code)
+	}
+}
+
+// TestReplPairFailover is the end-to-end happy path: stream a scripted
+// ingest to the primary, watch the standby catch up and mirror the WAL
+// byte for byte, kill the primary, and require the promoted standby to
+// answer the scripted queries byte-equivalently to the refjoin oracle
+// over the acknowledged prefix.
+func TestReplPairFailover(t *testing.T) {
+	pr := startReplPair(t, pairLease)
+	script := crashScript(24)
+
+	c1, err := Dial(pr.paddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range script {
+		c1.SendProbe(p.Key, p.TS, p.Val)
+	}
+	c1.Barrier()
+	if _, err := c1.RecvResults(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+
+	waitApplied(t, pr.s, uint64(len(script)))
+
+	// A standby refuses writes: the single history is the primary's.
+	expectNack(t, pr.saddr, wire.NackNotPrimary)
+
+	// The standby's WAL is a byte-faithful mirror of the primary's log.
+	survived, _ := replayInto(t, pr.m2)
+	if len(survived) != len(script) {
+		t.Fatalf("standby WAL holds %d probes, primary acked %d", len(survived), len(script))
+	}
+	for i, p := range survived {
+		if p != script[i] {
+			t.Fatalf("standby WAL frame %d = %+v, primary wrote %+v", i, p, script[i])
+		}
+	}
+	if !flightHas(pr.s, "repl_caught_up") {
+		t.Fatal("standby flight recorder missing repl_caught_up")
+	}
+
+	// Pull the plug on the primary. Nothing tells the standby; the lease
+	// has to expire and the watchdog has to promote.
+	pr.killPrimary()
+	waitRole(t, pr.s, repl.RolePrimary)
+	if !flightHas(pr.s, "repl_promote") {
+		t.Fatal("standby flight recorder missing repl_promote")
+	}
+	st := pr.s.Statusz().Replication
+	if st == nil || st.Role != "primary" {
+		t.Fatalf("promoted status = %+v, want role primary", st)
+	}
+	if st.Epoch == 0 {
+		t.Fatal("promotion did not advance the fencing epoch")
+	}
+
+	// The promoted standby answers from the replicated history.
+	c2, err := Dial(pr.saddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	queries := crashQueries()
+	for _, q := range queries {
+		if _, err := c2.SendBase(q.Key, q.TS, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c2.Barrier()
+	rs, err := c2.RecvResults(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != len(queries) {
+		t.Fatalf("%d answers for %d queries", len(rs), len(queries))
+	}
+	want := refjoin.Arrival(oracleInput(script), crashWindow(), agg.Sum)
+	for i, r := range rs {
+		w := want[i]
+		if r.Matches != w.Matches || math.Float64bits(r.Agg) != math.Float64bits(w.Agg) {
+			t.Fatalf("query %d: got (agg=%v matches=%d), oracle (agg=%v matches=%d)",
+				i, r.Agg, r.Matches, w.Agg, w.Matches)
+		}
+	}
+	archiveFailoverFlight(t, pr.s, "failover-pair-flight")
+}
+
+// TestReplPairIdleStable proves the lease machinery is quiet when nothing
+// is wrong: an idle pair left alone for several leases keeps its roles —
+// heartbeats renew the standby's lease, acks renew the primary's.
+func TestReplPairIdleStable(t *testing.T) {
+	pr := startReplPair(t, 150*time.Millisecond)
+	waitApplied(t, pr.s, 0)
+	time.Sleep(5 * 150 * time.Millisecond)
+	if got := pr.p.ReplRole(); got != repl.RolePrimary {
+		t.Fatalf("idle primary role = %v, want primary", got)
+	}
+	if got := pr.s.ReplRole(); got != repl.RoleStandby {
+		t.Fatalf("idle standby role = %v, want standby", got)
+	}
+}
+
+// TestReplFencedPrimaryRefusesWrites forces the primary into the fenced
+// role and requires it to NACK writes with the fenced code — the gate
+// that stops a zombie primary from acknowledging a forked history.
+func TestReplFencedPrimaryRefusesWrites(t *testing.T) {
+	pr := startReplPair(t, pairLease)
+	waitApplied(t, pr.s, 0)
+
+	pr.p.repl.fence(pr.p.repl.epoch.Load() + 1)
+	expectNack(t, pr.paddr, wire.NackFenced)
+	if !flightHas(pr.p, "repl_fenced") {
+		t.Fatal("fenced primary flight recorder missing repl_fenced")
+	}
+	st := pr.p.Statusz().Replication
+	if st == nil || st.Role != "fenced" {
+		t.Fatalf("fenced status = %+v, want role fenced", st)
+	}
+}

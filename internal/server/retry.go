@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"oij/internal/trace"
+	"oij/internal/wire"
 )
 
 // Backoff computes jittered exponential delays: attempt n sleeps a uniform
@@ -169,18 +170,40 @@ func (b *Breaker) State() string {
 	return b.stateLocked()
 }
 
+// ErrAllAddrsDown reports that a Do call exhausted its attempts without any
+// configured address accepting the connection: every candidate failed at
+// the transport level (dial error, open breaker, or disconnect before a
+// response). It is wrapped together with the last underlying error, so
+// errors.Is(err, ErrAllAddrsDown) distinguishes "the whole replica set is
+// unreachable" from "a server answered and refused".
+var ErrAllAddrsDown = errors.New("all addresses down")
+
 // RetryClient wraps Client with automatic reconnection, jittered
-// exponential backoff, and a circuit breaker. It is intended for one
-// logical session at a time (Do is serialized by the caller, like Client).
+// exponential backoff, and per-address circuit breakers. With multiple
+// addresses (a primary and its standbys, in any order) it fails over:
+// disconnects and role refusals (not-primary, fenced) rotate to the next
+// candidate immediately, so a client riding through a failover lands on
+// the promoted standby within one Do call. It is intended for one logical
+// session at a time (Do is serialized by the caller, like Client).
 type RetryClient struct {
+	// Addr is the single-server form; Addrs, when non-empty, takes
+	// precedence and lists every candidate. The client is sticky: it stays
+	// on the address that last worked.
 	Addr    string
+	Addrs   []string
 	Opts    DialOptions
 	Backoff Backoff
+	// Breaker is the breaker for the first address and the template
+	// (Threshold, Cooldown, OnTransition) for the per-address breakers of
+	// the rest. Configure it before the first Do.
 	Breaker Breaker
-	// MaxAttempts bounds tries per Do call (default 4).
+	// MaxAttempts bounds tries per Do call (default 4). With multiple
+	// addresses one attempt sweeps the whole list before backing off.
 	MaxAttempts int
 
 	c     *Client
+	cur   int                 // index into addrs() the client is currently pinned to
+	extra []*Breaker          // breakers for addrs()[1:]; addrs()[0] uses Breaker
 	sleep func(time.Duration) // test hook; nil means time.Sleep
 }
 
@@ -188,6 +211,56 @@ type RetryClient struct {
 // lazily on Do.
 func NewRetryClient(addr string, opts DialOptions) *RetryClient {
 	return &RetryClient{Addr: addr, Opts: opts}
+}
+
+// NewFailoverClient builds a RetryClient over a candidate list (a primary
+// and its standbys, in any order).
+func NewFailoverClient(addrs []string, opts DialOptions) *RetryClient {
+	return &RetryClient{Addrs: addrs, Opts: opts}
+}
+
+// addrList resolves the candidate addresses.
+func (rc *RetryClient) addrList() []string {
+	if len(rc.Addrs) > 0 {
+		return rc.Addrs
+	}
+	return []string{rc.Addr}
+}
+
+// brk returns the breaker guarding address i, creating per-address
+// breakers beyond the first from the Breaker template on demand.
+func (rc *RetryClient) brk(i int) *Breaker {
+	if i == 0 {
+		return &rc.Breaker
+	}
+	for len(rc.extra) < i {
+		rc.extra = append(rc.extra, &Breaker{
+			Threshold:    rc.Breaker.Threshold,
+			Cooldown:     rc.Breaker.Cooldown,
+			OnTransition: rc.Breaker.OnTransition,
+		})
+	}
+	return rc.extra[i-1]
+}
+
+// BreakerStates reports the breaker state per candidate address, in
+// addrList order (for statusz-style introspection and tests).
+func (rc *RetryClient) BreakerStates() []string {
+	out := make([]string, len(rc.addrList()))
+	for i := range out {
+		out[i] = rc.brk(i).State()
+	}
+	return out
+}
+
+// rotate abandons the current address and moves to the next candidate,
+// dropping any live connection (it belongs to the old address).
+func (rc *RetryClient) rotate() {
+	if rc.c != nil {
+		rc.c.Close()
+		rc.c = nil
+	}
+	rc.cur = (rc.cur + 1) % len(rc.addrList())
 }
 
 func (rc *RetryClient) attempts() int {
@@ -213,42 +286,75 @@ func retryable(err error) bool {
 	return errors.Is(err, ErrDisconnected) || errors.As(err, &nerr)
 }
 
+// roleRefusal reports whether err is a NACK saying this node cannot serve
+// writes at all (a standby, or a fenced ex-primary) — the cure is a
+// different address, not a backoff on this one.
+func roleRefusal(err error) bool {
+	var nerr *NackError
+	return errors.As(err, &nerr) &&
+		(nerr.Code == wire.NackNotPrimary || nerr.Code == wire.NackFenced)
+}
+
 // Do runs fn with a connected client, reconnecting and retrying on
-// disconnects and overload NACKs with backoff, and failing fast while the
-// breaker is open. fn must not retain the client beyond the call.
+// disconnects and admission NACKs with backoff, and failing fast while a
+// breaker is open. With multiple addresses, transport failures and role
+// refusals rotate to the next candidate within the same attempt; only
+// overload-style NACKs burn a backoff on the current address. fn must not
+// retain the client beyond the call.
 func (rc *RetryClient) Do(fn func(*Client) error) error {
+	addrs := rc.addrList()
 	var lastErr error
+	reached := false // did any server answer (even with a refusal)?
 	for attempt := 0; attempt < rc.attempts(); attempt++ {
 		if attempt > 0 {
 			rc.pause(rc.Backoff.Next(attempt - 1))
 		}
-		if !rc.Breaker.Allow() {
-			lastErr = ErrBreakerOpen
-			continue
-		}
-		if rc.c == nil {
-			c, err := DialWith(rc.Addr, rc.Opts)
-			if err != nil {
-				rc.Breaker.Failure()
-				lastErr = err
+		for swept := 0; swept < len(addrs); swept++ {
+			b := rc.brk(rc.cur)
+			if !b.Allow() {
+				lastErr = ErrBreakerOpen
+				rc.rotate()
 				continue
 			}
-			rc.c = c
+			if rc.c == nil {
+				c, err := DialWith(addrs[rc.cur], rc.Opts)
+				if err != nil {
+					b.Failure()
+					lastErr = err
+					rc.rotate()
+					continue
+				}
+				rc.c = c
+			}
+			err := fn(rc.c)
+			if err == nil {
+				b.Success()
+				return nil
+			}
+			lastErr = err
+			if errors.Is(err, ErrDisconnected) {
+				b.Failure()
+				rc.rotate()
+				continue
+			}
+			reached = true
+			if !retryable(err) {
+				return err
+			}
+			b.Failure()
+			if roleRefusal(err) {
+				// Mid-promotion the standby still NACKs not-primary; the
+				// rotation plus the next attempt's backoff gives it the
+				// lease window to take over.
+				rc.rotate()
+				continue
+			}
+			break // overload: back off, then retry this address
 		}
-		err := fn(rc.c)
-		if err == nil {
-			rc.Breaker.Success()
-			return nil
-		}
-		lastErr = err
-		if errors.Is(err, ErrDisconnected) {
-			rc.c.Close()
-			rc.c = nil
-		}
-		if !retryable(err) {
-			return err
-		}
-		rc.Breaker.Failure()
+	}
+	if !reached {
+		return fmt.Errorf("giving up after %d attempts over %d address(es): %w",
+			rc.attempts(), len(addrs), errors.Join(ErrAllAddrsDown, lastErr))
 	}
 	return fmt.Errorf("giving up after %d attempts: %w", rc.attempts(), lastErr)
 }
@@ -270,6 +376,11 @@ func (rc *RetryClient) RecordBreaker(fr *trace.Flight) {
 		failures := rc.Breaker.failures
 		rc.Breaker.mu.Unlock()
 		fr.Record(trace.CompBreaker, k, uint64(failures), 0)
+	}
+	// Per-address breakers created later copy the template; retrofit any
+	// that already exist.
+	for _, b := range rc.extra {
+		b.OnTransition = rc.Breaker.OnTransition
 	}
 }
 

@@ -1,0 +1,166 @@
+package server
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"oij/internal/wire"
+)
+
+// deadAddr returns a loopback address with nothing listening on it.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// retryRoundTrip is the canonical Do body: one probe, one base, barrier,
+// and exactly one result back.
+func retryRoundTrip(c *Client) error {
+	if err := c.SendProbe(3, 1000, 2); err != nil {
+		return err
+	}
+	if _, err := c.SendBase(3, 1001, 0); err != nil {
+		return err
+	}
+	if err := c.Barrier(); err != nil {
+		return err
+	}
+	rs, err := c.RecvResults(5 * time.Second)
+	if err != nil {
+		return err
+	}
+	if len(rs) != 1 {
+		return errors.New("missing result")
+	}
+	return nil
+}
+
+// TestFailoverClientSkipsDeadAddress: a candidate list led by a dead
+// address must fail over to the live one within a single Do call — no
+// backoff sleeps, since rotation happens inside the sweep — and pin there
+// for subsequent calls. The dead address's breaker opens; the live one
+// stays closed (per-address isolation).
+func TestFailoverClientSkipsDeadAddress(t *testing.T) {
+	_, live := startServer(t, baseCfg())
+	rc := NewFailoverClient([]string{deadAddr(t), live}, DialOptions{DialTimeout: 200 * time.Millisecond})
+	rc.Breaker = Breaker{Threshold: 1, Cooldown: time.Hour}
+	defer rc.Close()
+	var slept int
+	rc.sleep = func(time.Duration) { slept++ }
+
+	if err := rc.Do(retryRoundTrip); err != nil {
+		t.Fatalf("Do with one live candidate: %v", err)
+	}
+	if slept != 0 {
+		t.Fatalf("failover slept %d times, want in-sweep rotation", slept)
+	}
+	if got := rc.BreakerStates(); got[0] != "open" || got[1] != "closed" {
+		t.Fatalf("breaker states %v, want [open closed]", got)
+	}
+	// Sticky: the next call must go straight to the live address (whose
+	// breaker is closed) without touching the dead one.
+	if err := rc.Do(retryRoundTrip); err != nil {
+		t.Fatalf("second Do: %v", err)
+	}
+	if slept != 0 {
+		t.Fatalf("pinned call slept %d times", slept)
+	}
+}
+
+// TestFailoverClientAllDown: when every candidate is unreachable, Do must
+// surface the typed ErrAllAddrsDown (wrapped with the last transport
+// error) so callers can tell a dead replica set from a live refusal.
+func TestFailoverClientAllDown(t *testing.T) {
+	rc := NewFailoverClient([]string{deadAddr(t), deadAddr(t)}, DialOptions{DialTimeout: 100 * time.Millisecond})
+	rc.Backoff = Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond}
+	rc.Breaker = Breaker{Threshold: 2, Cooldown: time.Hour}
+	rc.MaxAttempts = 4
+	rc.sleep = func(time.Duration) {}
+
+	err := rc.Do(func(*Client) error { t.Fatal("fn ran without a connection"); return nil })
+	if !errors.Is(err, ErrAllAddrsDown) {
+		t.Fatalf("err = %v, want ErrAllAddrsDown", err)
+	}
+	for i, st := range rc.BreakerStates() {
+		if st != "open" {
+			t.Fatalf("address %d breaker %s, want open", i, st)
+		}
+	}
+}
+
+// TestFailoverClientNotAllDownWhenRefused: a server that answers — even
+// with a refusal — means the set is not dead, so the typed all-down error
+// must NOT appear.
+func TestFailoverClientNotAllDownWhenRefused(t *testing.T) {
+	cfg := baseCfg()
+	cfg.RequestDeadline = time.Nanosecond // NACK everything
+	_, addr := startServer(t, cfg)
+
+	rc := NewFailoverClient([]string{deadAddr(t), addr}, DialOptions{DialTimeout: 200 * time.Millisecond})
+	rc.Backoff = Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond}
+	rc.MaxAttempts = 2
+	rc.sleep = func(time.Duration) {}
+	defer rc.Close()
+
+	err := rc.Do(func(c *Client) error {
+		if _, err := c.SendBase(1, 1000, 0); err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		_, err := c.RecvResults(5 * time.Second)
+		return err
+	})
+	if err == nil {
+		t.Fatal("Do succeeded against an always-NACK server")
+	}
+	if errors.Is(err, ErrAllAddrsDown) {
+		t.Fatalf("reachable-but-refusing set reported as all down: %v", err)
+	}
+	var nerr *NackError
+	if !errors.As(err, &nerr) {
+		t.Fatalf("err = %v, want NackError cause", err)
+	}
+}
+
+// TestFailoverClientRidesThroughPromotion is the client side of the
+// failover story: a client configured with both pair addresses keeps
+// working when the primary is killed mid-session. The standby NACKs
+// not-primary until its lease expires; those refusals must rotate (not
+// give up), and a later attempt lands on the promoted standby.
+func TestFailoverClientRidesThroughPromotion(t *testing.T) {
+	pr := startReplPair(t, pairLease)
+	waitApplied(t, pr.s, 0)
+
+	rc := NewFailoverClient([]string{pr.paddr, pr.saddr},
+		DialOptions{DialTimeout: 200 * time.Millisecond, ReadTimeout: 2 * time.Second})
+	rc.Backoff = Backoff{Base: 20 * time.Millisecond, Max: 100 * time.Millisecond}
+	rc.Breaker = Breaker{Threshold: 100} // the dead primary must not fail-fast the sweep
+	rc.MaxAttempts = 50
+	defer rc.Close()
+
+	if err := rc.Do(retryRoundTrip); err != nil {
+		t.Fatalf("round-trip against the primary: %v", err)
+	}
+
+	// While the standby is a standby, its refusal must be the role NACK
+	// (the code the rotation logic keys on).
+	expectNack(t, pr.saddr, wire.NackNotPrimary)
+
+	pr.killPrimary()
+	if err := rc.Do(retryRoundTrip); err != nil {
+		t.Fatalf("round-trip through failover: %v", err)
+	}
+	if got := pr.s.ReplRole(); !got.Serving() {
+		t.Fatalf("standby answered while role %v", got)
+	}
+}

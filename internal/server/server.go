@@ -140,6 +140,26 @@ type Config struct {
 	// window sits at or above this memory-pressure rung (1 or 2). Zero
 	// disables.
 	SLOMemLevel int
+	// ReplListenAddr, when set, serves this node's WAL to replication
+	// standbys there (requires WALPath). Use ":0" for an ephemeral port
+	// (ReplAddr reports the binding). On a node also configured with
+	// StandbyOf the listener starts only at promotion.
+	ReplListenAddr string
+	// StandbyOf, when set, runs this node as a hot standby of the primary
+	// at that address (requires WALPath): it applies the primary's WAL
+	// stream into its own log and engine and answers every client request
+	// with a not-primary NACK until promoted.
+	StandbyOf string
+	// ReplLease is the failure-detection budget D for automatic failover:
+	// the primary heartbeats every D/4 and self-fences after 3D/4 without
+	// a standby ack; the standby promotes itself after hearing nothing for
+	// D. Zero defaults to 3s when replication is configured; negative
+	// disables automatic failover and fencing (replication still streams).
+	ReplLease time.Duration
+	// MaxReplLag, when positive, records a lag_exceeded flight event (and
+	// an incident dump) whenever the un-acked suffix of the primary's log
+	// exceeds this many bytes.
+	MaxReplLag int64
 	// Control configures the adaptive self-tuning controller. When
 	// enabled, the engine's goroutine pool is sized to Control.MaxJoiners
 	// (Engine.Joiners becomes the boot *active* count) and the controller
@@ -188,6 +208,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SLOWindow <= 0 {
 		c.SLOWindow = 30 * time.Second
+	}
+	if (c.ReplListenAddr != "" || c.StandbyOf != "") && c.ReplLease == 0 {
+		c.ReplLease = 3 * time.Second
 	}
 	// Busy-time tracking feeds the live utilization gauges; its cost is
 	// two clock reads per joiner batch, not per tuple.
@@ -248,6 +271,12 @@ type ingestReq struct {
 	enq      time.Time // when the request entered the funnel
 	flush    bool
 	sp       *trace.Span // nil unless the request was sampled
+	// Replication control flow, marshalled through the funnel so the
+	// single-ingester rule covers the standby apply path too: replFrame is
+	// one verbatim primary WAL frame to apply; promote flips this standby
+	// to primary (enqueued only after the link loop has fully stopped).
+	replFrame []byte
+	promote   bool
 }
 
 // Server is a running join service.
@@ -289,6 +318,11 @@ type Server struct {
 	memSoftPct atomic.Int32
 	resizeReq  atomic.Int32
 	ctl        *control.Controller
+
+	// repl is the replication state machine (nil when neither
+	// ReplListenAddr nor StandbyOf is configured: replication off costs
+	// the hot path one nil check).
+	repl *replState
 
 	wal          *walWriter
 	walErrs      atomic.Int64
@@ -394,6 +428,12 @@ func New(cfg Config) (*Server, error) {
 			SetMemSoftPct:  func(p int) { s.memSoftPct.Store(int32(p)) },
 		}, s.flight)
 	}
+	if cfg.ReplListenAddr != "" || cfg.StandbyOf != "" {
+		if cfg.WALPath == "" {
+			return nil, errors.New("server: replication requires a WAL (set WALPath)")
+		}
+		s.repl = newReplState(s, cfg)
+	}
 	s.o = newServerObs(s, cfg.Engine.Joiners)
 	if cfg.WALPath != "" {
 		mode, err := parseWALSync(cfg.WALSync)
@@ -414,6 +454,35 @@ func New(cfg Config) (*Server, error) {
 		if s.wal.sanitized > 0 {
 			s.flight.Record(trace.CompWAL, trace.EvWALSalvage, uint64(s.wal.sanitized), 0)
 		}
+	}
+	if s.repl != nil {
+		// A standby's WAL mirrors the primary's log, so its slot offsets
+		// must stay stable: rotation is disabled until promotion. Its
+		// durable position (which primary log, at which base slot) lives
+		// in the replstate file beside the WAL.
+		if cfg.StandbyOf != "" {
+			s.wal.noRotate = true
+			if err := s.repl.loadState(); err != nil {
+				return nil, fmt.Errorf("server: %w", err)
+			}
+		}
+		// A source needs the feed attached before the first append so slot
+		// accounting and the tail ring agree; a standby configured with a
+		// listener gets it now too (the listener starts at promotion).
+		if cfg.ReplListenAddr != "" {
+			if _, err := s.wal.enableFeed(); err != nil {
+				return nil, fmt.Errorf("server: %w", err)
+			}
+			id, err := randomWALID()
+			if err != nil {
+				return nil, fmt.Errorf("server: wal id: %w", err)
+			}
+			s.repl.selfID.Store(id)
+		}
+		// The highest epoch stamped in the recovered log is this node's
+		// fencing epoch — a zombie restarting after a failover announces
+		// its staleness with it.
+		s.repl.epoch.Store(s.wal.epoch)
 	}
 	return s, nil
 }
@@ -518,6 +587,15 @@ func (s *Server) Serve(ln net.Listener) error {
 			return fmt.Errorf("server: admin endpoint: %w", err)
 		}
 		s.admin = admin
+	}
+	if s.repl != nil {
+		if err := s.repl.start(); err != nil {
+			ln.Close()
+			if s.admin != nil {
+				s.admin.Close()
+			}
+			return fmt.Errorf("server: replication: %w", err)
+		}
 	}
 	s.wg.Add(3)
 	go s.ingestLoop()
@@ -652,11 +730,31 @@ func (s *Server) ingestLoop() {
 			}
 			continue
 		}
+		if req.replFrame != nil {
+			s.applyReplFrame(req.replFrame)
+			continue
+		}
+		if req.promote {
+			s.applyPromote()
+			continue
+		}
 		if req.flush {
 			// Every base this session sent before the flush frame
 			// has been registered by now; ack once they are all
 			// answered.
 			go req.sess.ackFlush()
+			continue
+		}
+		// Role gate at the funnel, not just admission: a primary fenced
+		// with requests already queued must not ack them (the promoted
+		// side's log is the history now), and a fenced node extending its
+		// own WAL with probes would fork that history.
+		if code, refused := s.replRefusal(); refused {
+			s.o.replRefused.Inc()
+			if req.sess != nil {
+				req.sess.sendNackNonblock(req.localSeq, code)
+				s.tracer.Abandon(req.sp)
+			}
 			continue
 		}
 		t := tuple.Tuple{TS: req.t.TS, Key: req.t.Key, Val: req.t.Val}
@@ -808,6 +906,11 @@ func (s *Server) Shutdown() {
 		sess.conn.SetReadDeadline(time.Now())
 	}
 	s.sessWG.Wait()
+	// Replication stops after the sessions (its goroutines are the last
+	// legal funnel senders) and before the funnel closes.
+	if s.repl != nil {
+		s.repl.stopAll()
+	}
 	close(s.ingest)
 	close(s.stopSampler)
 	// The ingest loop keeps pushing while it drains the closed funnel, and
@@ -982,6 +1085,12 @@ func (se *session) run() {
 // live atomic, so the controller's ladder steps take effect on the very
 // next frame.
 func (se *session) admitProbe(t wire.Tuple) {
+	if _, refused := se.s.replRefusal(); refused {
+		// Standby and fenced nodes take no writes: the replicated log is
+		// the only ingest path, so a locally accepted probe would fork it.
+		se.s.o.replRefused.Inc()
+		return
+	}
 	req := ingestReq{t: t}
 	if se.s.admission.Load() == control.AdmissionBlock {
 		se.s.ingest <- req
@@ -1001,6 +1110,13 @@ func (se *session) admitProbe(t wire.Tuple) {
 // NACK so the client can fail fast and back off; "block" and "shed-probes"
 // let the request wait (requests are the product, probes are the fuel).
 func (se *session) admitBase(t wire.Tuple, localSeq uint64) {
+	if code, refused := se.s.replRefusal(); refused {
+		// Typed refusal (not-primary or fenced) so a failover-aware client
+		// rotates to the next address instead of timing out.
+		se.s.o.replRefused.Inc()
+		se.sendNack(localSeq, code)
+		return
+	}
 	req := ingestReq{t: t, sess: se, localSeq: localSeq, enq: time.Now()}
 	var t0 time.Time
 	if se.s.tracer.Sample() {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"io/fs"
+	"sync/atomic"
 
 	"oij/internal/faultfs"
 	"oij/internal/trace"
@@ -81,12 +82,23 @@ type walStats struct {
 	recovered int64 // frames replayed into the engine
 	skipped   int64 // checksum-failed frames skipped over
 	truncated int64 // unsalvageable bytes cut from segment tails
+	// frames is the total frame slots the segment occupies (data frames,
+	// epoch frames, and checksum-failed frames alike) — the unit of the
+	// replication offset space (see wal_repl.go).
+	frames int64
+	// epoch is the highest fencing epoch stamped into the segment (0 when
+	// the log was never written by a replicated node).
+	epoch uint64
 }
 
 func (a *walStats) add(b walStats) {
 	a.recovered += b.recovered
 	a.skipped += b.skipped
 	a.truncated += b.truncated
+	a.frames += b.frames
+	if b.epoch > a.epoch {
+		a.epoch = b.epoch
+	}
 }
 
 const (
@@ -125,6 +137,19 @@ type walWriter struct {
 	// fr, when set by the owning server, receives rotation events (nil is
 	// a valid no-op recorder).
 	fr *trace.Flight
+
+	// Replication state (see wal_repl.go). Slot accounting is always on —
+	// two atomics per flush — so the admin surfaces can report log
+	// positions whether or not a peer is attached; feed is non-nil only
+	// when a replication source tails this log.
+	epoch     uint64 // highest fencing epoch stamped into this log
+	noRotate  bool   // standby role: keep slot offsets stable (no segment shifts)
+	feed      *walFeed
+	slotsBase uint64 // frame slots already on disk when the writer opened
+	prevSlots uint64 // slots in path.1 at open
+	wrote     int64  // frame bytes written by this process (cumulative across rotations)
+	appended  atomic.Uint64
+	durable   atomic.Uint64
 }
 
 func newWALWriter(fsys faultfs.FS, path string, maxBytes int64, retention tuple.Time, sync walSyncMode) (*walWriter, error) {
@@ -140,25 +165,35 @@ func newWALWriter(fsys faultfs.FS, path string, maxBytes int64, retention tuple.
 	// rotation compares against prevNewest, and treating it as absent
 	// would let the next rotation delete a segment still inside the
 	// retention horizon.
-	if st, newest, err := scanSegmentFile(fsys, path+".1", nil); err == nil && st.recovered > 0 {
-		w.prevNewest, w.hasPrev = newest, true
-		if newest > w.maxTS {
-			w.maxTS = newest
+	if st, newest, err := scanSegmentFile(fsys, path+".1", nil); err == nil {
+		if st.recovered > 0 {
+			w.prevNewest, w.hasPrev = newest, true
+			if newest > w.maxTS {
+				w.maxTS = newest
+			}
 		}
+		w.prevSlots = uint64(st.frames)
+		w.epoch = st.epoch
 	}
 
 	// Sanitize the current segment before appending to it: cut a torn
 	// tail back to a frame boundary (so new frames never land mid-frame
 	// after a crash) and migrate a legacy v1 segment to the checksummed
 	// format.
-	cut, newest, err := sanitizeSegment(fsys, path)
+	curSt, newest, err := sanitizeSegment(fsys, path)
 	if err != nil {
 		return nil, err
 	}
-	w.sanitized = cut
+	w.sanitized = curSt.truncated
 	if newest > w.maxTS {
 		w.maxTS = newest
 	}
+	if curSt.epoch > w.epoch {
+		w.epoch = curSt.epoch
+	}
+	w.slotsBase = w.prevSlots + uint64(curSt.frames)
+	w.appended.Store(w.slotsBase)
+	w.durable.Store(w.slotsBase)
 
 	if err := w.openSegment(); err != nil {
 		return nil, err
@@ -204,6 +239,7 @@ func (w *walWriter) append(t wire.Tuple) error {
 	if t.TS > w.maxTS {
 		w.maxTS = t.TS
 	}
+	w.noteAppend(frame[:])
 	var err error
 	switch {
 	case w.sync == walSyncAlways:
@@ -241,26 +277,43 @@ func (w *walWriter) flushBuf(syncNow bool) error {
 				}
 			}
 			w.size += int64(keep)
+			w.wrote += int64(keep)
 			w.buf = append(w.buf[:0], w.buf[keep:]...)
 			w.dropOverflow()
+			w.noteDurable(false)
 			return fmt.Errorf("wal: %w", err)
 		}
 		w.size += int64(n)
+		w.wrote += int64(n)
 		w.buf = w.buf[:0]
 	}
 	if syncNow {
 		if err := w.f.Sync(); err != nil {
+			w.noteDurable(false)
 			return fmt.Errorf("wal: %w", err)
 		}
 	}
+	w.noteDurable(syncNow)
 	return nil
 }
 
 // dropOverflow bounds the retry buffer, discarding the newest frames so
-// the durable log stays a prefix of the ingest order.
+// the durable log stays a prefix of the ingest order. Dropped frames
+// already hold replication slots, so the slot watermark is rewound and
+// an attached feed is poisoned: a standby may have been shipped a slot
+// whose content will now differ, and the only safe continuation is a
+// fresh handshake (availability over durability, loudly).
 func (w *walWriter) dropOverflow() {
-	if len(w.buf) > walMaxBuffer {
-		w.buf = w.buf[:walMaxBuffer-walMaxBuffer%wire.WALFrameBytes]
+	if len(w.buf) <= walMaxBuffer {
+		return
+	}
+	keep := walMaxBuffer - walMaxBuffer%wire.WALFrameBytes
+	dropped := uint64(len(w.buf)-keep) / wire.WALFrameBytes
+	w.buf = w.buf[:keep]
+	w.appended.Store(w.appended.Load() - dropped)
+	if w.feed != nil {
+		w.feed.rewind(w.appended.Load(),
+			fmt.Errorf("wal: dropped %d buffered frames after sustained write failures", dropped))
 	}
 }
 
@@ -269,6 +322,11 @@ func (w *walWriter) dropOverflow() {
 // expired (or absent), keeping the two segments sufficient to rebuild the
 // retention horizon.
 func (w *walWriter) maybeRotate() error {
+	if w.noRotate {
+		// Standby role: segment shifts would move the slot↔offset mapping
+		// the replication ack is built on. Rotation resumes on promotion.
+		return nil
+	}
 	if w.size+int64(len(w.buf)) < w.maxBytes {
 		return nil
 	}
@@ -289,8 +347,19 @@ func (w *walWriter) maybeRotate() error {
 	}
 	w.prevNewest = w.maxTS
 	w.hasPrev = true
+	if w.feed != nil {
+		// buf is empty after the flush above, so every appended slot is in
+		// the renamed file: the new current segment starts at `appended`.
+		w.feed.rotated(w.appended.Load())
+	}
 	w.fr.Record(trace.CompWAL, trace.EvWALRotate, uint64(w.size), 0)
-	return w.openSegment()
+	err := w.openSegment()
+	if err == nil && w.epoch > 0 {
+		// Re-stamp the fencing epoch at the head of the fresh segment so a
+		// recovery that only sees surviving segments still finds it.
+		w.stampEpochFrame(w.epoch)
+	}
+	return err
 }
 
 // heartbeat pushes buffered frames to the OS (and to stable storage in
@@ -364,8 +433,15 @@ func scanSegment(b []byte, fn func(wire.Tuple)) (st walStats, newest tuple.Time,
 	if len(b) >= wire.WALHeaderBytes && string(b[:wire.WALHeaderBytes]) == wire.WALMagicV2 {
 		off := wire.WALHeaderBytes
 		for off+wire.WALFrameBytes <= len(b) {
-			t, err := wire.DecodeWALFrame(b[off : off+wire.WALFrameBytes])
-			if err != nil {
+			frame := b[off : off+wire.WALFrameBytes]
+			if e, err := wire.DecodeWALEpochFrame(frame); err == nil {
+				// An epoch frame is replication metadata, not a tuple and
+				// not corruption: it occupies a slot and carries the
+				// fencing epoch the log was written under.
+				if e > st.epoch {
+					st.epoch = e
+				}
+			} else if t, err := wire.DecodeWALFrame(frame); err != nil {
 				st.skipped++
 			} else {
 				st.recovered++
@@ -376,6 +452,7 @@ func scanSegment(b []byte, fn func(wire.Tuple)) (st walStats, newest tuple.Time,
 					fn(t)
 				}
 			}
+			st.frames++
 			off += wire.WALFrameBytes
 		}
 		st.truncated = int64(len(b) - off)
@@ -395,6 +472,7 @@ func scanSegment(b []byte, fn func(wire.Tuple)) (st walStats, newest tuple.Time,
 			return st, newest, good
 		}
 		st.recovered++
+		st.frames++
 		if m.Tuple.TS > newest {
 			newest = m.Tuple.TS
 		}
@@ -407,48 +485,48 @@ func scanSegment(b []byte, fn func(wire.Tuple)) (st walStats, newest tuple.Time,
 // sanitizeSegment prepares the current segment for appending: a torn v2
 // tail is truncated back to a frame boundary, and a legacy v1 segment is
 // rewritten in the checksummed v2 format (dropping only bytes that do not
-// parse). It returns the tail bytes cut and the segment's newest intact
-// timestamp.
-func sanitizeSegment(fsys faultfs.FS, path string) (int64, tuple.Time, error) {
+// parse). It returns the segment's scan stats — st.truncated is the tail
+// bytes cut, st.frames the slots the sanitized segment holds — and its
+// newest intact timestamp.
+func sanitizeSegment(fsys faultfs.FS, path string) (walStats, tuple.Time, error) {
 	rc, err := fsys.Open(path)
 	if errors.Is(err, fs.ErrNotExist) {
-		return 0, 0, nil
+		return walStats{}, 0, nil
 	}
 	if err != nil {
-		return 0, 0, fmt.Errorf("wal: %w", err)
+		return walStats{}, 0, fmt.Errorf("wal: %w", err)
 	}
 	b, err := io.ReadAll(rc)
 	rc.Close()
 	if err != nil {
-		return 0, 0, fmt.Errorf("wal: %s: %w", path, err)
+		return walStats{}, 0, fmt.Errorf("wal: %s: %w", path, err)
 	}
 	if len(b) == 0 {
-		return 0, 0, nil
+		return walStats{}, 0, nil
 	}
 
 	st, newest, good := scanSegment(b, nil)
 	if len(b) >= wire.WALHeaderBytes && string(b[:wire.WALHeaderBytes]) == wire.WALMagicV2 {
 		if good < len(b) {
 			if err := fsys.Truncate(path, int64(good)); err != nil {
-				return 0, newest, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
+				return st, newest, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
 			}
 		}
-		return st.truncated, newest, nil
+		return st, newest, nil
 	}
 	// A headerless segment that salvages nothing is not a v1 log — it is
 	// garbage (e.g. a torn header from a crashed segment creation).
 	// Resetting it to empty lets openSegment stamp a clean header.
 	if st.recovered == 0 {
 		if err := fsys.Truncate(path, 0); err != nil {
-			return 0, 0, fmt.Errorf("wal: resetting %s: %w", path, err)
+			return walStats{}, 0, fmt.Errorf("wal: resetting %s: %w", path, err)
 		}
-		return int64(len(b)), 0, nil
+		return walStats{truncated: int64(len(b))}, 0, nil
 	}
-	cut, err := migrateV1Segment(fsys, path, b[:good])
-	if err != nil {
-		return 0, newest, err
+	if _, err := migrateV1Segment(fsys, path, b[:good]); err != nil {
+		return st, newest, err
 	}
-	return cut + int64(len(b)-good), newest, nil
+	return st, newest, nil
 }
 
 // migrateV1Segment rewrites the salvageable v1 prefix as a v2 segment via

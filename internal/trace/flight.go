@@ -28,12 +28,13 @@ const (
 	CompBreaker
 	CompSLO
 	CompControl
+	CompRepl
 	numComponents
 )
 
 var componentNames = [numComponents]string{
 	"watermark", "epoch", "admission", "memory",
-	"session", "stall", "wal", "breaker", "slo", "control",
+	"session", "stall", "wal", "breaker", "slo", "control", "repl",
 }
 
 // String returns the component's export name.
@@ -64,6 +65,11 @@ const (
 	EvSLORecovered                          // a=unhealthy duration (ns), b=epoch index
 	EvCtlDecision                           // a=rule id, b=old<<32|new (actuator values)
 	EvCtlFreeze                             // a=1 frozen / 0 unfrozen, b=epoch index
+	EvReplConnect                           // a=peer slot position, b=local commit
+	EvReplCaughtUp                          // a=applied slot, b=commit slot
+	EvReplLagExceeded                       // a=lag bytes, b=configured max
+	EvReplPromote                           // a=new epoch, b=applied slot at promotion
+	EvReplFenced                            // a=fencing epoch, b=own (superseded) epoch
 )
 
 var eventKindNames = map[EventKind]string{
@@ -87,6 +93,11 @@ var eventKindNames = map[EventKind]string{
 	EvSLORecovered:     "slo_recovered",
 	EvCtlDecision:      "ctl_decision",
 	EvCtlFreeze:        "ctl_freeze",
+	EvReplConnect:      "repl_connect",
+	EvReplCaughtUp:     "repl_caught_up",
+	EvReplLagExceeded:  "repl_lag_exceeded",
+	EvReplPromote:      "repl_promote",
+	EvReplFenced:       "repl_fenced",
 }
 
 // String returns the kind's export name.

@@ -40,6 +40,16 @@ const walFramePayload = 25
 // ErrBadFrame marks a WAL frame whose checksum or tag is invalid.
 var ErrBadFrame = errors.New("wire: wal frame corrupt")
 
+// TagWALEpoch marks an epoch frame: a v2 WAL frame (same 29-byte layout
+// and checksum) that carries the replication fencing epoch instead of a
+// tuple. One is stamped at the start of every segment written by a
+// replicated node and again whenever the epoch changes, so recovery of
+// any surviving segment suffix finds the highest epoch this log acked
+// under. The tag is outside the data range, so v2 readers that predate
+// replication skip epoch frames as unparseable rather than replaying
+// garbage tuples. The epoch occupies the ts field; key and val are zero.
+const TagWALEpoch byte = 0x0e
+
 // castagnoli is the CRC32C table (hardware-accelerated on amd64/arm64).
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
@@ -55,6 +65,30 @@ func EncodeWALFrame(b []byte, t Tuple) {
 	binary.LittleEndian.PutUint64(b[9:], uint64(t.Key))
 	binary.LittleEndian.PutUint64(b[17:], math.Float64bits(t.Val))
 	binary.LittleEndian.PutUint32(b[walFramePayload:], crc32.Checksum(b[:walFramePayload], castagnoli))
+}
+
+// EncodeWALEpochFrame writes a fencing-epoch frame into b, which must
+// hold at least WALFrameBytes.
+func EncodeWALEpochFrame(b []byte, epoch uint64) {
+	b[0] = TagWALEpoch
+	binary.LittleEndian.PutUint64(b[1:], epoch)
+	binary.LittleEndian.PutUint64(b[9:], 0)
+	binary.LittleEndian.PutUint64(b[17:], 0)
+	binary.LittleEndian.PutUint32(b[walFramePayload:], crc32.Checksum(b[:walFramePayload], castagnoli))
+}
+
+// DecodeWALEpochFrame parses an epoch frame from b[:WALFrameBytes],
+// returning ErrBadFrame when the tag is not TagWALEpoch or the checksum
+// does not match.
+func DecodeWALEpochFrame(b []byte) (uint64, error) {
+	if b[0] != TagWALEpoch {
+		return 0, ErrBadFrame
+	}
+	sum := binary.LittleEndian.Uint32(b[walFramePayload:])
+	if sum != crc32.Checksum(b[:walFramePayload], castagnoli) {
+		return 0, ErrBadFrame
+	}
+	return binary.LittleEndian.Uint64(b[1:]), nil
 }
 
 // DecodeWALFrame parses one v2 WAL frame from b[:WALFrameBytes]. It

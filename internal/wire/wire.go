@@ -55,6 +55,14 @@ const (
 	// NackDeadline: the request waited longer than the configured
 	// per-request deadline before reaching the engine.
 	NackDeadline byte = 0x02
+	// NackNotPrimary: the node is a replication standby; it applies the
+	// primary's log but answers no feature requests. Clients retry against
+	// the next address in their failover list.
+	NackNotPrimary byte = 0x03
+	// NackFenced: the node was the primary but lost its lease (a standby
+	// has promoted, or is presumed to be promoting); it refuses writes so
+	// the promoted side's log stays the single history.
+	NackFenced byte = 0x04
 )
 
 // MaxErrorLen bounds error-frame messages.
@@ -95,6 +103,10 @@ func (n Nack) Reason() string {
 		return "overload"
 	case NackDeadline:
 		return "deadline"
+	case NackNotPrimary:
+		return "not-primary"
+	case NackFenced:
+		return "fenced"
 	default:
 		return fmt.Sprintf("code 0x%02x", n.Code)
 	}
