@@ -19,9 +19,11 @@ import (
 
 var usageText = `Usage:
   oijbench sweep    [-spec name|file.json] [-tag t] [-out BENCH_t.json] [-n N] [-repeats R] [-q]
+                    [-profiler [-profile-dir dir]]
   oijbench baseline [-spec name|file.json] [-out BENCH_seed.json] ...
   oijbench gate     -baseline BENCH_seed.json [-spec name|file.json] [-threshold 0.10]
                     [-p99-threshold 0.25] [-no-normalize] [-flight-recorder] [-telemetry]
+                    [-profiler [-profile-dir dir]]
                     [-out BENCH_fresh.json] [-n N] [-repeats R] [-q]
   oijbench sim      [-engine e] [-joiners J] [-mode arrival|watermark] [-time-scale S]
                     [-max-tuples N] [-unpaced] [-addr host:port [-admin url]]
@@ -30,6 +32,8 @@ var usageText = `Usage:
                      [-flight-out FLIGHT.json]]
                     [-out SIM_name.json] [-check-slo] [-q] profile.json
   oijbench simdiff  [-dim name] BASE_SIM.json CANDIDATE_SIM.json
+  oijbench profdiff [-top N] [-threshold pp] [-gate regexp] BASE CANDIDATE
+                    (each a pprof file or a continuous-profiling ring dir)
   oijbench specs
   oijbench -exp <id>|all [-n N] [-threads 1,2,4] ...   (paper figure mode; -list for IDs)
 
@@ -55,12 +59,14 @@ func gitSHA() string {
 
 // sweepFlags are the options shared by sweep and baseline.
 type sweepFlags struct {
-	spec    string
-	tag     string
-	out     string
-	n       int
-	repeats int
-	quiet   bool
+	spec       string
+	tag        string
+	out        string
+	n          int
+	repeats    int
+	quiet      bool
+	profiler   bool
+	profileDir string
 }
 
 func bindSweepFlags(fs *flag.FlagSet) *sweepFlags {
@@ -71,6 +77,8 @@ func bindSweepFlags(fs *flag.FlagSet) *sweepFlags {
 	fs.IntVar(&f.n, "n", 0, "override tuples per workload")
 	fs.IntVar(&f.repeats, "repeats", 0, "override per-cell repeats")
 	fs.BoolVar(&f.quiet, "q", false, "suppress per-sample progress")
+	fs.BoolVar(&f.profiler, "profiler", false, "attach the continuous profiler to the sweep, leaving a capture ring behind for `oijbench profdiff`")
+	fs.StringVar(&f.profileDir, "profile-dir", "", "capture-ring directory for -profiler (default oij-prof-ring)")
 	return &f
 }
 
@@ -107,8 +115,14 @@ func runSweepOrBaseline(name string, args []string, stdout, stderr io.Writer) in
 	if !f.quiet {
 		progress = stdout
 	}
+	if f.profileDir != "" && !f.profiler {
+		fmt.Fprintf(stderr, "oijbench %s: -profile-dir needs -profiler\n", name)
+		fs.Usage()
+		return 2
+	}
 	rep, err := perf.RunSpec(spec, perf.RunOptions{
 		Tag: f.tag, GitSHA: gitSHA(), N: f.n, Repeats: f.repeats, Progress: progress,
+		Profiler: f.profiler, ProfileDir: f.profileDir,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "oijbench %s: %v\n", name, err)
@@ -138,6 +152,8 @@ func runGate(args []string, stdout, stderr io.Writer) int {
 	quiet := fs.Bool("q", false, "suppress per-sample progress")
 	flightRec := fs.Bool("flight-recorder", false, "attach an always-on flight recorder to the fresh run, gating the recorder's overhead against the recorder-free baseline")
 	telemetry := fs.Bool("telemetry", false, "attach the oijd telemetry layer (per-tuple hot-key sketch + background timeline sampler) to the fresh run, gating its overhead against the telemetry-free baseline")
+	profiler := fs.Bool("profiler", false, "attach the continuous profiler to the fresh run (periodic CPU slices + heap/mutex/block snapshots into a ring), gating its duty-cycle overhead against the profiler-free baseline")
+	profileDir := fs.String("profile-dir", "", "capture-ring directory for -profiler (default oij-prof-ring); feed it to `oijbench profdiff` afterwards")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -163,9 +179,15 @@ func runGate(args []string, stdout, stderr io.Writer) int {
 	if !*quiet {
 		progress = stdout
 	}
+	if *profileDir != "" && !*profiler {
+		fmt.Fprintln(stderr, "oijbench gate: -profile-dir needs -profiler")
+		fs.Usage()
+		return 2
+	}
 	fresh, err := perf.RunSpec(spec, perf.RunOptions{
 		Tag: "gate", GitSHA: gitSHA(), N: *n, Repeats: *repeats, Progress: progress,
 		FlightRecorder: *flightRec, Telemetry: *telemetry,
+		Profiler: *profiler, ProfileDir: *profileDir,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "oijbench gate: %v\n", err)

@@ -43,6 +43,8 @@ func main() {
 			os.Exit(runSim(os.Args[2:], os.Stdout, os.Stderr))
 		case "simdiff":
 			os.Exit(runSimDiff(os.Args[2:], os.Stdout, os.Stderr))
+		case "profdiff":
+			os.Exit(runProfDiff(os.Args[2:], os.Stdout, os.Stderr))
 		case "help", "-h", "-help", "--help":
 			fmt.Println(usageText)
 			return

@@ -1,0 +1,205 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+
+	"oij/internal/prof"
+)
+
+// runProfDiff compares two pprof profiles and ranks functions by how much
+// of the profile they gained — the regression-attribution step behind the
+// profiling-overhead CI job. Each argument is either a pprof file or a
+// continuous-profiling ring directory (holding MANIFEST.json), in which
+// case all its CPU profiles are merged into one window first.
+//
+// Shares are normalized (fraction of each profile's own total), so a
+// baseline and candidate of different lengths still compare: a function
+// whose share grew by more than -threshold percentage points is a finding,
+// and when its name matches -gate the diff FAILs with exit 1.
+func runProfDiff(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("profdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	top := fs.Int("top", 15, "rows shown, ranked by flat-share delta")
+	threshold := fs.Float64("threshold", 1.0, "flat-share growth (percentage points) that makes a function a finding")
+	gate := fs.String("gate", "", "regexp over function names: a finding matching it fails the diff (exit 1)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "oijbench profdiff: exactly two arguments required: BASE CANDIDATE (pprof file or profile-ring dir)")
+		fs.Usage()
+		return 2
+	}
+	var gateRE *regexp.Regexp
+	if *gate != "" {
+		re, err := regexp.Compile(*gate)
+		if err != nil {
+			fmt.Fprintf(stderr, "oijbench profdiff: bad -gate: %v\n", err)
+			return 2
+		}
+		gateRE = re
+	}
+
+	base, baseDesc, err := loadProfileArg(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "oijbench profdiff: %s: %v\n", fs.Arg(0), err)
+		return 2
+	}
+	cand, candDesc, err := loadProfileArg(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "oijbench profdiff: %s: %v\n", fs.Arg(1), err)
+		return 2
+	}
+
+	rows, findings := diffProfiles(base, cand, *threshold, gateRE)
+
+	fmt.Fprintf(stdout, "oijbench profdiff: base %s, candidate %s\n", baseDesc, candDesc)
+	fmt.Fprintf(stdout, "%-44s %9s %9s %8s %9s\n", "function (by flat-share delta)", "base%", "cand%", "Δpp", "candcum%")
+	n := *top
+	if n > len(rows) {
+		n = len(rows)
+	}
+	for _, r := range rows[:n] {
+		mark := " "
+		if r.finding {
+			mark = "!"
+		}
+		fmt.Fprintf(stdout, "%s %-42s %8.2f%% %8.2f%% %+7.2f %8.2f%%\n",
+			mark, truncFunc(r.name, 42), r.baseShare*100, r.candShare*100, r.delta*100, r.candCum*100)
+	}
+
+	if len(findings) > 0 {
+		fmt.Fprintf(stdout, "oijbench profdiff: FAIL — %d gated function(s) grew beyond %.1fpp: %s\n",
+			len(findings), *threshold, strings.Join(findings, ", "))
+		return 1
+	}
+	fmt.Fprintf(stdout, "oijbench profdiff: PASS (no gated function grew beyond %.1fpp)\n", *threshold)
+	return 0
+}
+
+// diffRow is one function's before/after share of its profile.
+type diffRow struct {
+	name                 string
+	baseShare, candShare float64
+	candCum              float64
+	delta                float64
+	finding              bool
+}
+
+// diffProfiles ranks every function by flat-share growth. A finding is a
+// function that grew beyond threshold percentage points; findings matching
+// gateRE are returned separately as the failures.
+func diffProfiles(base, cand *prof.Profile, thresholdPP float64, gateRE *regexp.Regexp) ([]diffRow, []string) {
+	bTotals, bGrand := base.FuncTotals(base.DefaultValueIndex())
+	cTotals, cGrand := cand.FuncTotals(cand.DefaultValueIndex())
+
+	names := map[string]bool{}
+	for n := range bTotals {
+		names[n] = true
+	}
+	for n := range cTotals {
+		names[n] = true
+	}
+	rows := make([]diffRow, 0, len(names))
+	for n := range names {
+		r := diffRow{name: n}
+		if bGrand > 0 {
+			r.baseShare = float64(bTotals[n].Flat) / float64(bGrand)
+		}
+		if cGrand > 0 {
+			r.candShare = float64(cTotals[n].Flat) / float64(cGrand)
+			r.candCum = float64(cTotals[n].Cum) / float64(cGrand)
+		}
+		r.delta = r.candShare - r.baseShare
+		r.finding = r.delta*100 > thresholdPP
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].delta != rows[j].delta {
+			return rows[i].delta > rows[j].delta
+		}
+		return rows[i].name < rows[j].name
+	})
+
+	var findings []string
+	if gateRE != nil {
+		for _, r := range rows {
+			if r.finding && gateRE.MatchString(r.name) {
+				findings = append(findings, r.name)
+			}
+		}
+	}
+	return rows, findings
+}
+
+// loadProfileArg resolves a profdiff argument: a directory is a profile
+// ring whose CPU entries are merged via MANIFEST.json; anything else is a
+// single pprof file.
+func loadProfileArg(path string) (*prof.Profile, string, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, "", err
+	}
+	if !st.IsDir() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, "", err
+		}
+		p, err := prof.Parse(data)
+		if err != nil {
+			return nil, "", err
+		}
+		return p, path, nil
+	}
+
+	raw, err := os.ReadFile(filepath.Join(path, "MANIFEST.json"))
+	if err != nil {
+		return nil, "", fmt.Errorf("reading ring manifest: %w", err)
+	}
+	var doc struct {
+		Entries []prof.Entry `json:"entries"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, "", fmt.Errorf("decoding ring manifest: %w", err)
+	}
+	var profiles []*prof.Profile
+	for _, e := range doc.Entries {
+		if e.Kind != "cpu" {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(path, e.File))
+		if err != nil {
+			return nil, "", fmt.Errorf("ring entry %d: %w", e.Seq, err)
+		}
+		p, err := prof.Parse(data)
+		if err != nil {
+			return nil, "", fmt.Errorf("ring entry %d: %w", e.Seq, err)
+		}
+		profiles = append(profiles, p)
+	}
+	if len(profiles) == 0 {
+		return nil, "", fmt.Errorf("ring holds no cpu profiles")
+	}
+	merged, err := prof.Merge(profiles)
+	if err != nil {
+		return nil, "", err
+	}
+	return merged, fmt.Sprintf("%s (%d cpu slices merged)", path, len(profiles)), nil
+}
+
+// truncFunc shortens long symbol names from the left, keeping the
+// distinguishing suffix (package path prefixes repeat).
+func truncFunc(name string, max int) string {
+	if len(name) <= max {
+		return name
+	}
+	return "…" + name[len(name)-max+1:]
+}

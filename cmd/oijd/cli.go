@@ -81,6 +81,15 @@ func parseArgs(args []string, w io.Writer) (*options, error) {
 		sloMemLevel = fs.Int("slo-mem-level", 0,
 			"/healthz goes 503 while any sample in the window reaches this memory-pressure rung, 1 or 2 (0 disables)")
 
+		profileDir = fs.String("profile-dir", "",
+			"continuous-profiling ring directory: short CPU slices plus heap/mutex/block snapshots are captured periodically and on incidents, served at /profilez (empty disables profiling)")
+		profilePeriod = fs.Duration("profile-period", 0,
+			"continuous-profiling duty cycle: one capture round per period (0 keeps the default of 60s)")
+		profileCPUSlice = fs.Duration("profile-cpu-slice", 0,
+			"CPU profile slice length per round; must be shorter than -profile-period (0 keeps the default of 2s)")
+		profileRetain = fs.Int("profile-retain", 0,
+			"profiles kept in the on-disk ring before the oldest are evicted (0 keeps the default of 32)")
+
 		controller = fs.Bool("controller", false,
 			"enable the adaptive self-tuning controller: retunes active joiners, admission policy, trace sampling, and the soft memory watermark live against the SLO (inspect and override at /controlz)")
 		ctlMinJoiners = fs.Int("ctl-min-joiners", 0,
@@ -141,6 +150,34 @@ func parseArgs(args []string, w io.Writer) (*options, error) {
 	}
 	if *maxReplLag < 0 {
 		return nil, fmt.Errorf("-max-repl-lag must be non-negative (got %d)", *maxReplLag)
+	}
+	if *profileDir == "" && (*profilePeriod != 0 || *profileCPUSlice != 0 || *profileRetain != 0) {
+		return nil, fmt.Errorf("-profile-* flags need -profile-dir")
+	}
+	if *profileDir != "" {
+		if *profilePeriod < 0 {
+			return nil, fmt.Errorf("-profile-period must be positive (got %s)", *profilePeriod)
+		}
+		if *profileCPUSlice < 0 {
+			return nil, fmt.Errorf("-profile-cpu-slice must be positive (got %s)", *profileCPUSlice)
+		}
+		if *profileRetain < 0 {
+			return nil, fmt.Errorf("-profile-retain must be positive (got %d)", *profileRetain)
+		}
+		period, slice := *profilePeriod, *profileCPUSlice
+		if period == 0 {
+			period = 60 * time.Second
+		}
+		if slice == 0 {
+			slice = 2 * time.Second
+		}
+		if slice >= period {
+			return nil, fmt.Errorf("-profile-cpu-slice %s must be shorter than -profile-period %s", slice, period)
+		}
+		o.cfg.ProfileDir = *profileDir
+		o.cfg.ProfilePeriod = *profilePeriod
+		o.cfg.ProfileCPUSlice = *profileCPUSlice
+		o.cfg.ProfileRetain = *profileRetain
 	}
 	if !*controller && (*ctlMinJoiners != 0 || *ctlMaxJoiners != 0 || *ctlUtilHigh != 0 || *ctlUtilLow != 0 || *ctlP99 != 0) {
 		return nil, fmt.Errorf("-ctl-* flags need -controller")

@@ -98,6 +98,17 @@ func main() {
 		fmt.Printf("oijd: controller: joiners=[%d,%d] util=[%g,%g] p99-target=%s (inspect/override at /controlz)\n",
 			cc.MinJoiners, maxJ, cc.UtilLow, cc.UtilHigh, cc.P99Target)
 	}
+	if o.cfg.ProfileDir != "" {
+		period, slice := o.cfg.ProfilePeriod, o.cfg.ProfileCPUSlice
+		if period == 0 {
+			period = 60 * time.Second
+		}
+		if slice == 0 {
+			slice = 2 * time.Second
+		}
+		fmt.Printf("oijd: continuous profiling to %s (%s CPU slice every %s, see /profilez)\n",
+			o.cfg.ProfileDir, slice, period)
+	}
 	if o.cfg.TraceSampleN > 0 {
 		fmt.Printf("oijd: tracing every %d. request (see /tracez)\n", o.cfg.TraceSampleN)
 	}

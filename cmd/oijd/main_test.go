@@ -143,6 +143,66 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+func TestParseProfilingFlags(t *testing.T) {
+	o, err := parseArgs([]string{
+		"-profile-dir", "/tmp/oij-prof",
+		"-profile-period", "30s",
+		"-profile-cpu-slice", "1s",
+		"-profile-retain", "64",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.cfg.ProfileDir != "/tmp/oij-prof" {
+		t.Errorf("profile-dir = %q", o.cfg.ProfileDir)
+	}
+	if o.cfg.ProfilePeriod != 30*time.Second {
+		t.Errorf("profile-period = %v", o.cfg.ProfilePeriod)
+	}
+	if o.cfg.ProfileCPUSlice != time.Second {
+		t.Errorf("profile-cpu-slice = %v", o.cfg.ProfileCPUSlice)
+	}
+	if o.cfg.ProfileRetain != 64 {
+		t.Errorf("profile-retain = %d", o.cfg.ProfileRetain)
+	}
+
+	// Dir alone enables profiling on capturer defaults.
+	o, err = parseArgs([]string{"-profile-dir", "/tmp/oij-prof"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.cfg.ProfileDir == "" || o.cfg.ProfilePeriod != 0 || o.cfg.ProfileRetain != 0 {
+		t.Errorf("dir-only profiling config: %+v", o.cfg)
+	}
+
+	// Profiling off by default.
+	d, err := parseArgs(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.cfg.ProfileDir != "" {
+		t.Errorf("profiling enabled by default: %q", d.cfg.ProfileDir)
+	}
+}
+
+func TestParseProfilingErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-profile-period", "30s"},                         // period without dir
+		{"-profile-cpu-slice", "1s"},                       // slice without dir
+		{"-profile-retain", "8"},                           // retain without dir
+		{"-profile-dir", "d", "-profile-period", "-10s"},   // negative period
+		{"-profile-dir", "d", "-profile-cpu-slice", "-1s"}, // negative slice
+		{"-profile-dir", "d", "-profile-retain", "-1"},     // negative retain
+		{"-profile-dir", "d", "-profile-period", "1s",
+			"-profile-cpu-slice", "2s"}, // slice >= period
+		{"-profile-dir", "d", "-profile-cpu-slice", "90s"}, // slice >= default period
+	} {
+		if _, err := parseArgs(args, io.Discard); err == nil {
+			t.Errorf("parseArgs(%q): expected error", args)
+		}
+	}
+}
+
 func TestParseReplicationFlags(t *testing.T) {
 	o, err := parseArgs([]string{
 		"-wal", "/tmp/oij.wal",

@@ -68,10 +68,11 @@ func TestDashboardEndToEnd(t *testing.T) {
 			Window:  window.Spec{Pre: 10_000_000, Lateness: 1000},
 			Agg:     agg.Sum,
 		},
-		AdminAddr: "127.0.0.1:0",
-		UtilEpoch: 20 * time.Millisecond,
-		SLOP99:    time.Second, // enable the SLO evaluator so the frame shows dimensions
-		SLOWindow: 5 * time.Second,
+		AdminAddr:  "127.0.0.1:0",
+		UtilEpoch:  20 * time.Millisecond,
+		SLOP99:     time.Second, // enable the SLO evaluator so the frame shows dimensions
+		SLOWindow:  5 * time.Second,
+		ProfileDir: t.TempDir(), // enable profiling so the frame shows the prof line
 	}
 	srv, err := server.New(cfg)
 	if err != nil {
@@ -122,6 +123,11 @@ func TestDashboardEndToEnd(t *testing.T) {
 		"mem lvl",
 		"joiners: [0]",
 		"hot probe keys: 7 (", // the hot key leads the analytics line
+		"goroutine",           // runtime-health sparkline rows
+		"gc p99",
+		"heap",
+		"runtime: ", // runtime summary line
+		"prof: ",    // continuous-profiling status on the same line
 		"overload: level=0",
 		"flight:",
 	} {

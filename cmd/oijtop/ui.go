@@ -30,6 +30,9 @@ var sparkSeries = []struct {
 	{"oij_watermark_lag_us", "wm lag", "ms", 1e-3},
 	{"oij_ingest_queue_depth", "ingest q", "", 1},
 	{"oij_mem_pressure_level", "mem lvl", "", 1},
+	{"oij_go_goroutines", "goroutine", "", 1},
+	{"oij_go_gc_pause_p99_us", "gc p99", "µs", 1},
+	{"oij_go_heap_inuse_bytes", "heap", "MB", 1e-6},
 }
 
 // dashboard polls one oijd admin endpoint and renders frames.
@@ -287,6 +290,18 @@ func (d *dashboard) render(b *strings.Builder, snap *snapshot) {
 		}
 		b.WriteByte('\n')
 	}
+
+	rt := &st.Runtime
+	fmt.Fprintf(b, "runtime: %d goroutines · heap %sB / goal %sB · gc p99 %sµs",
+		rt.Goroutines, fmtVal(float64(rt.HeapInUse)), fmtVal(float64(rt.GCGoalBytes)), fmtVal(rt.GCPauseP99Us))
+	if ps := st.Profiling; ps != nil {
+		fmt.Fprintf(b, " · prof: %d captures (%d incident, %d err) ring %d/%sB",
+			ps.Captures, ps.Incidents, ps.Errors, ps.Entries, fmtVal(float64(ps.Bytes)))
+		if ps.LastReason != "" {
+			fmt.Fprintf(b, " last=%s", ps.LastReason)
+		}
+	}
+	b.WriteByte('\n')
 
 	ov := &st.Overload
 	fmt.Fprintf(b, "overload: level=%d shed=%d rejected=%d deadline=%d mem-shed=%d evicted=%d buffered=%s\n",

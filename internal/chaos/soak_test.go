@@ -19,6 +19,7 @@ import (
 	"oij/internal/agg"
 	"oij/internal/chaos"
 	"oij/internal/engine"
+	"oij/internal/prof"
 	"oij/internal/server"
 	"oij/internal/trace"
 	"oij/internal/window"
@@ -75,7 +76,11 @@ func TestSoakOverloadAndRecovery(t *testing.T) {
 	// the warmup fleet alone crosses pressure rung 1, so the soak is
 	// guaranteed at least one healthy→unhealthy SLO transition with the
 	// flight-recorder evidence trail behind it.
+	// ProfilePeriod is parked at an hour so every profile in the ring is
+	// an incident capture — the soak then proves the incident path (SLO
+	// breach, mem pressure, eviction) reaches the continuous profiler.
 	flightDump := filepath.Join(t.TempDir(), "flight-incident.json")
+	profileDir := filepath.Join(t.TempDir(), "prof-ring")
 	cfg := server.Config{
 		Admission:         server.AdmissionShedProbes,
 		RequestDeadline:   5 * time.Second,
@@ -86,6 +91,9 @@ func TestSoakOverloadAndRecovery(t *testing.T) {
 		TraceSampleN:      8,
 		FlightRing:        2048,
 		FlightDumpPath:    flightDump,
+		ProfileDir:        profileDir,
+		ProfilePeriod:     time.Hour,
+		ProfileCPUSlice:   50 * time.Millisecond,
 		UtilEpoch:         50 * time.Millisecond,
 		SLOWindow:         time.Second,
 		SLOMemLevel:       1,
@@ -199,6 +207,7 @@ func TestSoakOverloadAndRecovery(t *testing.T) {
 		adminBase + "/debug/flightrecorder",
 		adminBase + "/timeline",
 		adminBase + "/healthz",
+		adminBase + "/profilez",
 	} {
 		scrapeWG.Add(1)
 		go func(u string) {
@@ -394,7 +403,7 @@ func TestSoakOverloadAndRecovery(t *testing.T) {
 	if err := json.Unmarshal([]byte(flightBody), &fd); err != nil {
 		t.Fatalf("flight recorder decode: %v", err)
 	}
-	var evictions, memLevels, stalls, sloFlips int64
+	var evictions, memLevels, stalls, sloFlips, profCaptures int64
 	var firstPressureSeq, evictionSeq uint64
 	for i, ev := range fd.Events {
 		if i > 0 && fd.Events[i-1].Seq >= ev.Seq {
@@ -413,6 +422,8 @@ func TestSoakOverloadAndRecovery(t *testing.T) {
 			stalls++
 		case "slo_unhealthy", "slo_recovered":
 			sloFlips++
+		case "prof_capture":
+			profCaptures++
 		}
 	}
 	if evictions != st.Overload.SlowSessionsEvicted {
@@ -427,6 +438,36 @@ func TestSoakOverloadAndRecovery(t *testing.T) {
 	if firstPressureSeq == 0 || evictionSeq == 0 || firstPressureSeq >= evictionSeq {
 		t.Errorf("pressure-before-eviction ordering violated: first mem pressure seq %d, eviction seq %d",
 			firstPressureSeq, evictionSeq)
+	}
+
+	// The incident path must also have reached the continuous profiler:
+	// with the periodic loop parked, every ring entry is an out-of-cycle
+	// incident capture, its flight sequence stamped AFTER the incident
+	// that triggered it — the capture manifest reads in causal order
+	// against the flight timeline.
+	if profCaptures == 0 {
+		t.Error("no prof_capture events in the flight recorder (incidents should trigger out-of-cycle captures)")
+	}
+	var profilezBody string
+	var pdoc struct {
+		Entries []prof.Entry `json:"entries"`
+	}
+	waitFor(t, 10*time.Second, "incident profile captures", func() bool {
+		profilezBody = httpGet(t, adminBase+"/profilez")
+		pdoc.Entries = nil
+		if err := json.Unmarshal([]byte(profilezBody), &pdoc); err != nil {
+			return false
+		}
+		return len(pdoc.Entries) >= 2
+	})
+	for _, e := range pdoc.Entries {
+		if e.Reason == "periodic" {
+			t.Errorf("periodic capture %d in an incident-only ring: %+v", e.Seq, e)
+		}
+		if e.FlightSeq == 0 || e.FlightSeq < firstPressureSeq {
+			t.Errorf("capture %d (%s/%s) flight seq %d precedes the first incident seq %d",
+				e.Seq, e.Kind, e.Reason, e.FlightSeq, firstPressureSeq)
+		}
 	}
 
 	// The eviction (and the mem-pressure escalations before it) must have
@@ -462,6 +503,7 @@ func TestSoakOverloadAndRecovery(t *testing.T) {
 			"soak-flight.json":        flightBody,
 			"soak-incident-dump.json": string(dumpBytes),
 			"soak-timeline.json":      httpGet(t, adminBase+"/timeline"),
+			"soak-profilez.json":      profilezBody,
 		} {
 			if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
 				t.Fatal(err)

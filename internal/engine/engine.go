@@ -14,6 +14,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"oij/internal/agg"
 	"oij/internal/metrics"
@@ -129,6 +130,48 @@ type Sink interface {
 // stamp unconditionally. Safe from any joiner goroutine.
 type StageRecorder interface {
 	SpanFor(baseSeq uint64) *trace.Span
+}
+
+// AllocRecorder is implemented by sinks that account hot-path allocations
+// exactly, per stage — the always-on baseline for the allocation-free
+// hot-path work. Engines assert their sink for it at construction (like
+// StageRecorder) and report only when an allocation actually happened
+// (slice growth, new state object), so the disabled path costs one nil
+// check. Safe from any joiner goroutine: the counters behind it are
+// lock-free.
+type AllocRecorder interface {
+	CountAlloc(st trace.Stage, objs, bytes int64)
+}
+
+// Accounting sizes for AllocRecorder reports. Slice growth is exact
+// (capacity delta × element size); aggregation states are interface-boxed
+// small structs whose concrete size varies by aggregate, so they are
+// booked at a nominal fixed size — the objs count is the signal ROADMAP
+// item 2 needs (states-per-tuple), the bytes are an order-of-magnitude
+// aid.
+const StateAllocBytes = 48
+
+// TupleAllocBytes and TSValAllocBytes are the element sizes used when
+// booking probe-buffer and scratch-slice growth.
+var (
+	TupleAllocBytes = int64(unsafe.Sizeof(tuple.Tuple{}))
+	TSValAllocBytes = int64(unsafe.Sizeof(TSVal{}))
+)
+
+// CountSliceGrowth books one slice reallocation with rec when the
+// capacity changed across an append. The disabled path (nil rec) is a
+// single comparison, cheap enough for every hot-path append site.
+func CountSliceGrowth(rec AllocRecorder, st trace.Stage, beforeCap, afterCap int, elemBytes int64) {
+	if rec != nil && afterCap != beforeCap {
+		rec.CountAlloc(st, 1, int64(afterCap-beforeCap)*elemBytes)
+	}
+}
+
+// CountStateAlloc books one aggregation-state allocation.
+func CountStateAlloc(rec AllocRecorder, st trace.Stage) {
+	if rec != nil {
+		rec.CountAlloc(st, 1, StateAllocBytes)
+	}
 }
 
 // Engine is the driver-facing lifecycle every implementation provides.

@@ -35,6 +35,7 @@ type Engine struct {
 	sink  engine.Sink
 	lrec  engine.LatencyRecorder // non-nil if sink records latencies
 	srec  engine.StageRecorder   // non-nil if sink hands out trace spans
+	arec  engine.AllocRecorder   // non-nil if sink accounts allocations
 	stats *engine.Stats
 	js    []*joiner
 }
@@ -50,6 +51,7 @@ func New(cfg engine.Config, sink engine.Sink) *Engine {
 	e := &Engine{cfg: cfg, tr: engine.NewTransport(cfg), sink: sink, stats: engine.NewStats(cfg.Joiners)}
 	e.lrec, _ = sink.(engine.LatencyRecorder)
 	e.srec, _ = sink.(engine.StageRecorder)
+	e.arec, _ = sink.(engine.AllocRecorder)
 	e.js = make([]*joiner, cfg.Joiners)
 	for i := range e.js {
 		e.js[i] = newJoiner(e, i)
@@ -144,7 +146,11 @@ func (j *joiner) evictBound(wm tuple.Time) tuple.Time {
 func (j *joiner) onTuple(t tuple.Tuple) {
 	j.e.stats.Processed[j.id].Add(1)
 	if t.Side == tuple.Probe {
-		j.buffers[t.Key] = append(j.buffers[t.Key], t)
+		buf := j.buffers[t.Key]
+		before := cap(buf)
+		buf = append(buf, t)
+		j.buffers[t.Key] = buf
+		engine.CountSliceGrowth(j.e.arec, trace.StageIngest, before, cap(buf), engine.TupleAllocBytes)
 		return
 	}
 	if j.e.cfg.Mode == engine.OnWatermark {
@@ -221,6 +227,7 @@ func (j *joiner) join(base tuple.Tuple) {
 	}
 	buf := j.buffers[base.Key]
 	st := agg.NewState(j.e.cfg.Agg)
+	engine.CountStateAlloc(j.e.arec, trace.StageAggregate)
 
 	var sp *trace.Span
 	if j.e.srec != nil {
@@ -235,6 +242,7 @@ func (j *joiner) join(base tuple.Tuple) {
 		// path so probe and aggregate stages get distinct timings, but
 		// only instrumented runs write the shared breakdown stats.
 		t0 := time.Now()
+		scratchCap := cap(j.scratch)
 		j.scratch = j.scratch[:0]
 		keep := buf[:0]
 		for _, t := range buf {
@@ -248,6 +256,7 @@ func (j *joiner) join(base tuple.Tuple) {
 			}
 		}
 		j.buffers[base.Key] = keep
+		engine.CountSliceGrowth(j.e.arec, trace.StageProbe, scratchCap, cap(j.scratch), engine.TSValAllocBytes)
 		t1 := time.Now()
 		for _, p := range j.scratch {
 			st.AddAt(p.TS, p.Val)

@@ -34,6 +34,7 @@ type Engine struct {
 	sink  engine.Sink
 	lrec  engine.LatencyRecorder
 	srec  engine.StageRecorder
+	arec  engine.AllocRecorder
 	stats *engine.Stats
 
 	// mu guards table: one writer at a time, readers share. The paper's
@@ -69,6 +70,7 @@ func New(cfg engine.Config, sink engine.Sink) *Engine {
 	}
 	e.lrec, _ = sink.(engine.LatencyRecorder)
 	e.srec, _ = sink.(engine.StageRecorder)
+	e.arec, _ = sink.(engine.AllocRecorder)
 	return e
 }
 
@@ -135,6 +137,10 @@ func (e *Engine) work(id int, t tuple.Tuple) {
 		e.lockWait.Add(int64(time.Since(w0)))
 		e.table.Put(t)
 		e.mu.Unlock()
+		if e.arec != nil {
+			// Every Put allocates one index node holding the tuple.
+			e.arec.CountAlloc(trace.StageIngest, 1, engine.TupleAllocBytes)
+		}
 		return
 	}
 	e.join(id, t)
@@ -143,6 +149,7 @@ func (e *Engine) work(id int, t tuple.Tuple) {
 func (e *Engine) join(id int, base tuple.Tuple) {
 	lo, hi := e.cfg.Window.Bounds(base.TS)
 	st := agg.NewState(e.cfg.Agg)
+	engine.CountStateAlloc(e.arec, trace.StageAggregate)
 
 	var sp *trace.Span
 	if e.srec != nil {
@@ -156,8 +163,11 @@ func (e *Engine) join(id int, base tuple.Tuple) {
 	if e.cfg.Instrument || sp != nil {
 		t0 := time.Now()
 		scratch := make([]engine.TSVal, 0, 64)
+		engine.CountSliceGrowth(e.arec, trace.StageProbe, 0, cap(scratch), engine.TSValAllocBytes)
 		visited := e.table.ScanWindow(base.Key, lo, hi, func(ts tuple.Time, val float64) bool {
+			before := cap(scratch)
 			scratch = append(scratch, engine.TSVal{TS: ts, Val: val})
+			engine.CountSliceGrowth(e.arec, trace.StageProbe, before, cap(scratch), engine.TSValAllocBytes)
 			return true
 		})
 		e.mu.RUnlock()

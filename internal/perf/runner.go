@@ -9,6 +9,7 @@ import (
 	"oij/internal/harness"
 	"oij/internal/obs"
 	"oij/internal/obs/timeline"
+	"oij/internal/prof"
 	"oij/internal/trace"
 	"oij/internal/tuple"
 )
@@ -38,6 +39,15 @@ type RunOptions struct {
 	// the same per-second cadence oijd uses. The regression gate proves
 	// their combined cost under full load is within the noise floor.
 	Telemetry bool
+	// Profiler attaches the continuous profiler to the whole sweep: a
+	// capture ring in ProfileDir receives short periodic CPU slices and
+	// heap/mutex/block snapshots while cells run, so the regression gate
+	// proves the capturer's duty-cycle cost is within the noise floor —
+	// and the ring it leaves behind feeds `oijbench profdiff`.
+	Profiler bool
+	// ProfileDir is the capture-ring directory when Profiler is set
+	// (default "oij-prof-ring").
+	ProfileDir string
 }
 
 // RunSpec executes every cell of the spec and assembles the report.
@@ -64,6 +74,26 @@ func RunSpec(spec Spec, o RunOptions) (*Report, error) {
 	var fr *trace.Flight
 	if o.FlightRecorder {
 		fr = trace.NewFlight(512, "")
+	}
+	if o.Profiler {
+		dir := o.ProfileDir
+		if dir == "" {
+			dir = "oij-prof-ring"
+		}
+		// A faster duty cycle than the oijd default so even a short gate
+		// run leaves several CPU slices in the ring for profdiff.
+		pc, err := prof.New(prof.Config{
+			Dir:      dir,
+			Period:   15 * time.Second,
+			CPUSlice: time.Second,
+			Retain:   64,
+			Flight:   fr,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("perf: profiler: %w", err)
+		}
+		defer pc.Close()
+		pc.CaptureNow("sweep-start")
 	}
 	for rep := 0; rep < spec.Repeats; rep++ {
 		for i := range cells {

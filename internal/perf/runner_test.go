@@ -1,6 +1,8 @@
 package perf
 
 import (
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -70,6 +72,47 @@ func TestRunSpecEndToEnd(t *testing.T) {
 	g := Gate(back, rep, DefaultGateOptions())
 	if !g.OK() {
 		t.Fatalf("self-gate failed: %+v", g)
+	}
+}
+
+// TestRunSpecWithProfiler proves a sweep runs to completion with the
+// continuous profiler attached and leaves a usable ring behind: at least
+// the sweep-start capture round (CPU + heap) and a MANIFEST.json profdiff
+// can consume.
+func TestRunSpecWithProfiler(t *testing.T) {
+	s := tinySpec()
+	s.Repeats = 1
+	dir := filepath.Join(t.TempDir(), "ring")
+	env := Env{GoVersion: "test", CalibrationOpsPerUS: 1}
+	rep, err := RunSpec(s, RunOptions{Tag: "p", Env: &env, Profiler: true, ProfileDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 4 {
+		t.Fatalf("got %d cells, want 4", len(rep.Cells))
+	}
+	man, err := os.ReadFile(filepath.Join(dir, "MANIFEST.json"))
+	if err != nil {
+		t.Fatalf("profiler left no manifest: %v", err)
+	}
+	var doc struct {
+		Entries []struct {
+			Kind string `json:"kind"`
+			File string `json:"file"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal(man, &doc); err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]bool{}
+	for _, e := range doc.Entries {
+		kinds[e.Kind] = true
+		if _, err := os.Stat(filepath.Join(dir, e.File)); err != nil {
+			t.Errorf("manifest entry without file: %v", err)
+		}
+	}
+	if !kinds["cpu"] || !kinds["heap"] {
+		t.Fatalf("ring kinds = %v, want cpu and heap", kinds)
 	}
 }
 

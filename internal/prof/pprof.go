@@ -1,0 +1,776 @@
+// Minimal pprof (profile.proto) codec: parse, merge, re-encode, and
+// per-function attribution for the gzipped protobuf profiles runtime/pprof
+// emits. The repository takes no third-party dependencies, so the handful
+// of proto fields the profiling subsystem needs are decoded by hand — the
+// format is stable (pprof readers must accept profiles from a decade of
+// runtimes) and the subset here covers everything /profilez?merged= and
+// `oijbench profdiff` consume: sample stacks resolved to (function, file,
+// line) frames with their value vectors, plus the sample-type and period
+// metadata that keeps re-encoded output loadable by `go tool pprof`.
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// ValueType names one sample value dimension (e.g. cpu/nanoseconds).
+type ValueType struct {
+	Type string `json:"type"`
+	Unit string `json:"unit"`
+}
+
+// Frame is one resolved stack frame.
+type Frame struct {
+	Func string
+	File string
+	Line int64
+}
+
+// Sample is one stack with its value vector; Stack[0] is the leaf.
+type Sample struct {
+	Stack  []Frame
+	Values []int64
+}
+
+// Profile is the decoded subset of profile.proto this package operates on.
+type Profile struct {
+	SampleType    []ValueType
+	Samples       []Sample
+	TimeNanos     int64
+	DurationNanos int64
+	PeriodType    ValueType
+	Period        int64
+}
+
+// profile.proto field numbers (message Profile and friends).
+const (
+	profSampleType    = 1
+	profSample        = 2
+	profLocation      = 4
+	profFunction      = 5
+	profStringTable   = 6
+	profTimeNanos     = 9
+	profDurationNanos = 10
+	profPeriodType    = 11
+	profPeriod        = 12
+
+	sampleLocationID = 1
+	sampleValue      = 2
+
+	locID      = 1
+	locAddress = 3
+	locLine    = 4
+
+	lineFunctionID = 1
+	lineLine       = 2
+
+	funcID        = 1
+	funcName      = 2
+	funcFilename  = 4
+	funcStartLine = 5
+
+	vtType = 1
+	vtUnit = 2
+)
+
+// pbuf is a protobuf read cursor.
+type pbuf struct {
+	b []byte
+	i int
+}
+
+var errTruncated = errors.New("prof: truncated protobuf")
+
+func (p *pbuf) done() bool { return p.i >= len(p.b) }
+
+func (p *pbuf) varint() (uint64, error) {
+	var v uint64
+	var shift uint
+	for {
+		if p.i >= len(p.b) {
+			return 0, errTruncated
+		}
+		c := p.b[p.i]
+		p.i++
+		v |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return v, nil
+		}
+		shift += 7
+		if shift >= 64 {
+			return 0, errors.New("prof: varint overflow")
+		}
+	}
+}
+
+// field reads the next tag, returning the field number and wire type.
+func (p *pbuf) field() (int, int, error) {
+	tag, err := p.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(tag >> 3), int(tag & 7), nil
+}
+
+// bytes reads one length-delimited payload without copying.
+func (p *pbuf) bytes() ([]byte, error) {
+	n, err := p.varint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(p.b)-p.i) {
+		return nil, errTruncated
+	}
+	out := p.b[p.i : p.i+int(n)]
+	p.i += int(n)
+	return out, nil
+}
+
+// skip advances past one field of the given wire type.
+func (p *pbuf) skip(wire int) error {
+	switch wire {
+	case 0:
+		_, err := p.varint()
+		return err
+	case 1:
+		if len(p.b)-p.i < 8 {
+			return errTruncated
+		}
+		p.i += 8
+		return nil
+	case 2:
+		_, err := p.bytes()
+		return err
+	case 5:
+		if len(p.b)-p.i < 4 {
+			return errTruncated
+		}
+		p.i += 4
+		return nil
+	}
+	return fmt.Errorf("prof: unsupported wire type %d", wire)
+}
+
+// uint64s decodes a repeated uint64 field occurrence: packed (wire 2) or a
+// single varint (wire 0) — both are legal on the wire and both occur in
+// real profiles.
+func uint64s(p *pbuf, wire int, into []uint64) ([]uint64, error) {
+	if wire == 0 {
+		v, err := p.varint()
+		if err != nil {
+			return nil, err
+		}
+		return append(into, v), nil
+	}
+	raw, err := p.bytes()
+	if err != nil {
+		return nil, err
+	}
+	in := pbuf{b: raw}
+	for !in.done() {
+		v, err := in.varint()
+		if err != nil {
+			return nil, err
+		}
+		into = append(into, v)
+	}
+	return into, nil
+}
+
+type rawLine struct {
+	funcID uint64
+	line   int64
+}
+
+type rawLoc struct {
+	address uint64
+	lines   []rawLine
+}
+
+type rawFunc struct {
+	name, file int64
+	startLine  int64
+}
+
+// Parse decodes a pprof profile (gzipped or raw protobuf).
+func Parse(data []byte) (*Profile, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("prof: gunzip: %w", err)
+		}
+		if data, err = io.ReadAll(zr); err != nil {
+			return nil, fmt.Errorf("prof: gunzip: %w", err)
+		}
+	}
+
+	var (
+		strtab  []string
+		funcs   = map[uint64]rawFunc{}
+		locs    = map[uint64]rawLoc{}
+		rawSams [][2][]uint64 // location ids, raw (varint) values
+		out     = &Profile{}
+	)
+	p := pbuf{b: data}
+	for !p.done() {
+		num, wire, err := p.field()
+		if err != nil {
+			return nil, err
+		}
+		switch num {
+		case profStringTable:
+			s, err := p.bytes()
+			if err != nil {
+				return nil, err
+			}
+			strtab = append(strtab, string(s))
+		case profSampleType, profPeriodType:
+			raw, err := p.bytes()
+			if err != nil {
+				return nil, err
+			}
+			vt, err := parseValueType(raw)
+			if err != nil {
+				return nil, err
+			}
+			if num == profSampleType {
+				out.SampleType = append(out.SampleType, valueTypeIdx{vt[0], vt[1]}.vt())
+			} else {
+				out.PeriodType = valueTypeIdx{vt[0], vt[1]}.vt()
+			}
+		case profSample:
+			raw, err := p.bytes()
+			if err != nil {
+				return nil, err
+			}
+			locIDs, vals, err := parseSample(raw)
+			if err != nil {
+				return nil, err
+			}
+			rawSams = append(rawSams, [2][]uint64{locIDs, vals})
+		case profLocation:
+			raw, err := p.bytes()
+			if err != nil {
+				return nil, err
+			}
+			id, loc, err := parseLocation(raw)
+			if err != nil {
+				return nil, err
+			}
+			locs[id] = loc
+		case profFunction:
+			raw, err := p.bytes()
+			if err != nil {
+				return nil, err
+			}
+			id, fn, err := parseFunction(raw)
+			if err != nil {
+				return nil, err
+			}
+			funcs[id] = fn
+		case profTimeNanos, profDurationNanos, profPeriod:
+			v, err := p.varint()
+			if err != nil {
+				return nil, err
+			}
+			switch num {
+			case profTimeNanos:
+				out.TimeNanos = int64(v)
+			case profDurationNanos:
+				out.DurationNanos = int64(v)
+			case profPeriod:
+				out.Period = int64(v)
+			}
+		default:
+			if err := p.skip(wire); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	str := func(i int64) string {
+		if i >= 0 && int(i) < len(strtab) {
+			return strtab[i]
+		}
+		return ""
+	}
+	// Resolve the deferred string-table indexes now that the table is
+	// complete (the Profile message carries no field-ordering guarantee).
+	for i := range out.SampleType {
+		out.SampleType[i] = ValueType{str(pendingIdx(out.SampleType[i].Type)), str(pendingIdx(out.SampleType[i].Unit))}
+	}
+	out.PeriodType = ValueType{str(pendingIdx(out.PeriodType.Type)), str(pendingIdx(out.PeriodType.Unit))}
+
+	for _, rs := range rawSams {
+		s := Sample{Values: make([]int64, len(rs[1]))}
+		for i, v := range rs[1] {
+			s.Values[i] = int64(v)
+		}
+		for _, lid := range rs[0] {
+			loc, ok := locs[lid]
+			if !ok || len(loc.lines) == 0 {
+				// Unsymbolized location: keep the stack shape with an
+				// address-derived placeholder rather than dropping frames.
+				s.Stack = append(s.Stack, Frame{Func: "0x" + strconv.FormatUint(loc.address, 16)})
+				continue
+			}
+			// line[0] is the deepest inlined call, matching leaf-first order.
+			for _, ln := range loc.lines {
+				fn := funcs[ln.funcID]
+				s.Stack = append(s.Stack, Frame{Func: str(fn.name), File: str(fn.file), Line: ln.line})
+			}
+		}
+		out.Samples = append(out.Samples, s)
+	}
+	if len(out.SampleType) == 0 && len(out.Samples) == 0 {
+		return nil, errors.New("prof: not a pprof profile (no sample types or samples)")
+	}
+	return out, nil
+}
+
+// valueTypeIdx defers string resolution: during parsing the string table
+// may not be complete yet, so indexes are smuggled through the string
+// fields and resolved at the end.
+type valueTypeIdx struct{ typ, unit int64 }
+
+func (v valueTypeIdx) vt() ValueType {
+	return ValueType{Type: encodeIdx(v.typ), Unit: encodeIdx(v.unit)}
+}
+
+func encodeIdx(i int64) string { return "\x00" + strconv.FormatInt(i, 10) }
+func pendingIdx(s string) int64 {
+	if len(s) < 2 || s[0] != 0 {
+		return 0
+	}
+	n, _ := strconv.ParseInt(s[1:], 10, 64)
+	return n
+}
+
+func parseValueType(raw []byte) ([2]int64, error) {
+	var out [2]int64
+	p := pbuf{b: raw}
+	for !p.done() {
+		num, wire, err := p.field()
+		if err != nil {
+			return out, err
+		}
+		if num == vtType || num == vtUnit {
+			v, err := p.varint()
+			if err != nil {
+				return out, err
+			}
+			out[num-1] = int64(v)
+			continue
+		}
+		if err := p.skip(wire); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+func parseSample(raw []byte) (locIDs, values []uint64, err error) {
+	p := pbuf{b: raw}
+	for !p.done() {
+		num, wire, err := p.field()
+		if err != nil {
+			return nil, nil, err
+		}
+		switch num {
+		case sampleLocationID:
+			if locIDs, err = uint64s(&p, wire, locIDs); err != nil {
+				return nil, nil, err
+			}
+		case sampleValue:
+			if values, err = uint64s(&p, wire, values); err != nil {
+				return nil, nil, err
+			}
+		default:
+			if err := p.skip(wire); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return locIDs, values, nil
+}
+
+func parseLocation(raw []byte) (uint64, rawLoc, error) {
+	var id uint64
+	var loc rawLoc
+	p := pbuf{b: raw}
+	for !p.done() {
+		num, wire, err := p.field()
+		if err != nil {
+			return 0, loc, err
+		}
+		switch num {
+		case locID:
+			if id, err = p.varint(); err != nil {
+				return 0, loc, err
+			}
+		case locAddress:
+			if loc.address, err = p.varint(); err != nil {
+				return 0, loc, err
+			}
+		case locLine:
+			sub, err := p.bytes()
+			if err != nil {
+				return 0, loc, err
+			}
+			var ln rawLine
+			in := pbuf{b: sub}
+			for !in.done() {
+				n, w, err := in.field()
+				if err != nil {
+					return 0, loc, err
+				}
+				switch n {
+				case lineFunctionID:
+					if ln.funcID, err = in.varint(); err != nil {
+						return 0, loc, err
+					}
+				case lineLine:
+					v, err := in.varint()
+					if err != nil {
+						return 0, loc, err
+					}
+					ln.line = int64(v)
+				default:
+					if err := in.skip(w); err != nil {
+						return 0, loc, err
+					}
+				}
+			}
+			loc.lines = append(loc.lines, ln)
+		default:
+			if err := p.skip(wire); err != nil {
+				return 0, loc, err
+			}
+		}
+	}
+	return id, loc, nil
+}
+
+func parseFunction(raw []byte) (uint64, rawFunc, error) {
+	var id uint64
+	var fn rawFunc
+	p := pbuf{b: raw}
+	for !p.done() {
+		num, wire, err := p.field()
+		if err != nil {
+			return 0, fn, err
+		}
+		switch num {
+		case funcID:
+			if id, err = p.varint(); err != nil {
+				return 0, fn, err
+			}
+		case funcName, funcFilename, funcStartLine:
+			v, err := p.varint()
+			if err != nil {
+				return 0, fn, err
+			}
+			switch num {
+			case funcName:
+				fn.name = int64(v)
+			case funcFilename:
+				fn.file = int64(v)
+			case funcStartLine:
+				fn.startLine = int64(v)
+			}
+		default:
+			if err := p.skip(wire); err != nil {
+				return 0, fn, err
+			}
+		}
+	}
+	return id, fn, nil
+}
+
+// ---- encoding ----
+
+func appendVarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+func appendTag(b []byte, field, wire int) []byte {
+	return appendVarint(b, uint64(field)<<3|uint64(wire))
+}
+
+func appendMsg(b []byte, field int, payload []byte) []byte {
+	b = appendTag(b, field, 2)
+	b = appendVarint(b, uint64(len(payload)))
+	return append(b, payload...)
+}
+
+func appendIntField(b []byte, field int, v int64) []byte {
+	if v == 0 {
+		return b
+	}
+	b = appendTag(b, field, 0)
+	return appendVarint(b, uint64(v))
+}
+
+func appendPacked(b []byte, field int, vals []uint64) []byte {
+	var p []byte
+	for _, v := range vals {
+		p = appendVarint(p, v)
+	}
+	return appendMsg(b, field, p)
+}
+
+// Encode serializes the profile as gzipped profile.proto, rebuilding the
+// string/function/location tables from the resolved frames. Each distinct
+// (function, file, line) becomes its own single-line location — inline
+// chains are flattened, which keeps merge semantics simple and loses no
+// attribution.
+func (p *Profile) Encode() []byte {
+	strIdx := map[string]int64{"": 0}
+	strtab := []string{""}
+	str := func(s string) int64 {
+		if i, ok := strIdx[s]; ok {
+			return i
+		}
+		i := int64(len(strtab))
+		strIdx[s] = i
+		strtab = append(strtab, s)
+		return i
+	}
+	encVT := func(vt ValueType) []byte {
+		var b []byte
+		b = appendIntField(b, vtType, str(vt.Type))
+		b = appendIntField(b, vtUnit, str(vt.Unit))
+		return b
+	}
+
+	type funcKey struct {
+		name, file string
+	}
+	funcIDs := map[funcKey]uint64{}
+	type locKey struct {
+		fid  uint64
+		line int64
+	}
+	locIDs := map[locKey]uint64{}
+	var funcMsgs, locMsgs [][]byte
+
+	locOf := func(f Frame) uint64 {
+		fk := funcKey{f.Func, f.File}
+		fid, ok := funcIDs[fk]
+		if !ok {
+			fid = uint64(len(funcIDs) + 1)
+			funcIDs[fk] = fid
+			var fb []byte
+			fb = appendIntField(fb, funcID, int64(fid))
+			fb = appendIntField(fb, funcName, str(f.Func))
+			fb = appendIntField(fb, funcFilename, str(f.File))
+			funcMsgs = append(funcMsgs, fb)
+		}
+		lk := locKey{fid, f.Line}
+		lid, ok := locIDs[lk]
+		if !ok {
+			lid = uint64(len(locIDs) + 1)
+			locIDs[lk] = lid
+			var ln []byte
+			ln = appendIntField(ln, lineFunctionID, int64(fid))
+			ln = appendIntField(ln, lineLine, f.Line)
+			var lb []byte
+			lb = appendIntField(lb, locID, int64(lid))
+			lb = appendMsg(lb, locLine, ln)
+			locMsgs = append(locMsgs, lb)
+		}
+		return lid
+	}
+
+	var body []byte
+	for _, vt := range p.SampleType {
+		body = appendMsg(body, profSampleType, encVT(vt))
+	}
+	for _, s := range p.Samples {
+		ids := make([]uint64, len(s.Stack))
+		for i, f := range s.Stack {
+			ids[i] = locOf(f)
+		}
+		vals := make([]uint64, len(s.Values))
+		for i, v := range s.Values {
+			vals[i] = uint64(v)
+		}
+		var sb []byte
+		sb = appendPacked(sb, sampleLocationID, ids)
+		sb = appendPacked(sb, sampleValue, vals)
+		body = appendMsg(body, profSample, sb)
+	}
+	for _, m := range locMsgs {
+		body = appendMsg(body, profLocation, m)
+	}
+	for _, m := range funcMsgs {
+		body = appendMsg(body, profFunction, m)
+	}
+	for _, s := range strtab {
+		body = appendMsg(body, profStringTable, []byte(s))
+	}
+	body = appendIntField(body, profTimeNanos, p.TimeNanos)
+	body = appendIntField(body, profDurationNanos, p.DurationNanos)
+	if p.PeriodType != (ValueType{}) {
+		body = appendMsg(body, profPeriodType, encVT(p.PeriodType))
+	}
+	body = appendIntField(body, profPeriod, p.Period)
+
+	var out bytes.Buffer
+	zw := gzip.NewWriter(&out)
+	zw.Write(body)
+	zw.Close()
+	return out.Bytes()
+}
+
+// ---- merge ----
+
+// stackKey builds a canonical key for a sample's stack.
+func stackKey(stack []Frame) string {
+	var b bytes.Buffer
+	for _, f := range stack {
+		b.WriteString(f.Func)
+		b.WriteByte(0)
+		b.WriteString(f.File)
+		b.WriteByte(0)
+		b.WriteString(strconv.FormatInt(f.Line, 10))
+		b.WriteByte(0x1e)
+	}
+	return b.String()
+}
+
+// Merge folds profiles with identical sample types into one: samples with
+// the same stack sum their value vectors, durations add, and the earliest
+// start time wins. This is the ?merged=cpu window view — N two-second
+// slices merged read like one long profile of the same workload.
+func Merge(ps []*Profile) (*Profile, error) {
+	if len(ps) == 0 {
+		return nil, errors.New("prof: nothing to merge")
+	}
+	out := &Profile{
+		SampleType: ps[0].SampleType,
+		PeriodType: ps[0].PeriodType,
+		Period:     ps[0].Period,
+		TimeNanos:  ps[0].TimeNanos,
+	}
+	byStack := map[string]int{}
+	for _, p := range ps {
+		if len(p.SampleType) != len(out.SampleType) {
+			return nil, fmt.Errorf("prof: merge: sample types differ (%d vs %d values)", len(p.SampleType), len(out.SampleType))
+		}
+		for i, vt := range p.SampleType {
+			if vt != out.SampleType[i] {
+				return nil, fmt.Errorf("prof: merge: sample type %d differs (%v vs %v)", i, vt, out.SampleType[i])
+			}
+		}
+		out.DurationNanos += p.DurationNanos
+		if p.TimeNanos > 0 && (out.TimeNanos == 0 || p.TimeNanos < out.TimeNanos) {
+			out.TimeNanos = p.TimeNanos
+		}
+		for _, s := range p.Samples {
+			k := stackKey(s.Stack)
+			if i, ok := byStack[k]; ok {
+				for j := range s.Values {
+					if j < len(out.Samples[i].Values) {
+						out.Samples[i].Values[j] += s.Values[j]
+					}
+				}
+				continue
+			}
+			byStack[k] = len(out.Samples)
+			out.Samples = append(out.Samples, Sample{
+				Stack:  s.Stack,
+				Values: append([]int64(nil), s.Values...),
+			})
+		}
+	}
+	return out, nil
+}
+
+// ---- attribution ----
+
+// FuncStat is one function's share of a profile.
+type FuncStat struct {
+	Flat int64 // samples whose leaf frame is this function
+	Cum  int64 // samples with this function anywhere on the stack
+}
+
+// DefaultValueIndex picks the value dimension diffs rank by: cpu
+// nanoseconds for CPU profiles, alloc_space for heap profiles, otherwise
+// the last value (the pprof convention for the "weight" dimension).
+func (p *Profile) DefaultValueIndex() int {
+	for i, vt := range p.SampleType {
+		if vt.Type == "cpu" {
+			return i
+		}
+	}
+	for i, vt := range p.SampleType {
+		if vt.Type == "alloc_space" {
+			return i
+		}
+	}
+	if len(p.SampleType) == 0 {
+		return 0
+	}
+	return len(p.SampleType) - 1
+}
+
+// FuncTotals aggregates per-function flat/cum totals over value dimension
+// vi, plus the profile-wide total. Cum counts each sample once per function
+// (recursion does not double-count).
+func (p *Profile) FuncTotals(vi int) (map[string]FuncStat, int64) {
+	totals := map[string]FuncStat{}
+	var grand int64
+	seen := map[string]bool{}
+	for _, s := range p.Samples {
+		if vi >= len(s.Values) {
+			continue
+		}
+		v := s.Values[vi]
+		grand += v
+		if len(s.Stack) > 0 {
+			st := totals[s.Stack[0].Func]
+			st.Flat += v
+			totals[s.Stack[0].Func] = st
+		}
+		for k := range seen {
+			delete(seen, k)
+		}
+		for _, f := range s.Stack {
+			if seen[f.Func] {
+				continue
+			}
+			seen[f.Func] = true
+			st := totals[f.Func]
+			st.Cum += v
+			totals[f.Func] = st
+		}
+	}
+	return totals, grand
+}
+
+// TopFuncs returns function names ordered by flat value, descending.
+func (p *Profile) TopFuncs(vi int) []string {
+	totals, _ := p.FuncTotals(vi)
+	names := make([]string, 0, len(totals))
+	for n := range totals {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if totals[names[i]].Flat != totals[names[j]].Flat {
+			return totals[names[i]].Flat > totals[names[j]].Flat
+		}
+		return names[i] < names[j]
+	})
+	return names
+}

@@ -1,0 +1,172 @@
+package prof
+
+import (
+	"bytes"
+	"os"
+	"runtime/pprof"
+	"testing"
+	"time"
+)
+
+// synthetic builds a small profile by hand for codec tests.
+func synthetic(vals map[string][]int64) *Profile {
+	p := &Profile{
+		SampleType: []ValueType{{Type: "samples", Unit: "count"}, {Type: "cpu", Unit: "nanoseconds"}},
+		PeriodType: ValueType{Type: "cpu", Unit: "nanoseconds"},
+		Period:     10_000_000,
+		TimeNanos:  1_000,
+	}
+	for leaf, v := range vals {
+		p.Samples = append(p.Samples, Sample{
+			Stack: []Frame{
+				{Func: leaf, File: leaf + ".go", Line: 10},
+				{Func: "main.main", File: "main.go", Line: 1},
+			},
+			Values: v,
+		})
+	}
+	return p
+}
+
+func TestEncodeParseRoundTrip(t *testing.T) {
+	in := synthetic(map[string][]int64{
+		"pkg.hot":  {5, 500},
+		"pkg.cold": {1, 100},
+	})
+	out, err := Parse(in.Encode())
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(out.SampleType) != 2 || out.SampleType[1].Type != "cpu" || out.SampleType[1].Unit != "nanoseconds" {
+		t.Fatalf("sample types mangled: %+v", out.SampleType)
+	}
+	if out.Period != in.Period || out.PeriodType.Type != "cpu" {
+		t.Fatalf("period mangled: %d %+v", out.Period, out.PeriodType)
+	}
+	if len(out.Samples) != 2 {
+		t.Fatalf("want 2 samples, got %d", len(out.Samples))
+	}
+	totals, sum := out.FuncTotals(out.DefaultValueIndex())
+	if sum != 600 {
+		t.Fatalf("total cpu = %d, want 600", sum)
+	}
+	if totals["pkg.hot"].Flat != 500 {
+		t.Fatalf("pkg.hot flat = %d, want 500", totals["pkg.hot"].Flat)
+	}
+	if totals["main.main"].Cum != 600 || totals["main.main"].Flat != 0 {
+		t.Fatalf("main.main = %+v, want cum 600 flat 0", totals["main.main"])
+	}
+}
+
+func TestMergeSumsByStack(t *testing.T) {
+	a := synthetic(map[string][]int64{"pkg.hot": {2, 200}})
+	a.DurationNanos = 100
+	b := synthetic(map[string][]int64{"pkg.hot": {3, 300}, "pkg.other": {1, 50}})
+	b.DurationNanos = 200
+	m, err := Merge([]*Profile{a, b})
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if m.DurationNanos != 300 {
+		t.Fatalf("duration = %d, want 300", m.DurationNanos)
+	}
+	totals, sum := m.FuncTotals(m.DefaultValueIndex())
+	if totals["pkg.hot"].Flat != 500 || totals["pkg.other"].Flat != 50 {
+		t.Fatalf("merge totals wrong: %+v (sum %d)", totals, sum)
+	}
+	// Identical stacks must collapse to one sample, not two.
+	hot := 0
+	for _, s := range m.Samples {
+		if s.Stack[0].Func == "pkg.hot" {
+			hot++
+		}
+	}
+	if hot != 1 {
+		t.Fatalf("pkg.hot appears in %d merged samples, want 1", hot)
+	}
+	// Round-trip the merged profile too.
+	if _, err := Parse(m.Encode()); err != nil {
+		t.Fatalf("reparse merged: %v", err)
+	}
+}
+
+func TestMergeRejectsMismatchedTypes(t *testing.T) {
+	a := synthetic(map[string][]int64{"f": {1, 1}})
+	b := synthetic(map[string][]int64{"f": {1, 1}})
+	b.SampleType[1].Type = "alloc_space"
+	if _, err := Merge([]*Profile{a, b}); err == nil {
+		t.Fatal("want sample-type mismatch error")
+	}
+}
+
+func TestParseRealCPUProfile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		t.Skipf("cpu profiler busy: %v", err)
+	}
+	deadline := time.Now().Add(150 * time.Millisecond)
+	x := 0
+	for time.Now().Before(deadline) {
+		for i := 0; i < 1000; i++ {
+			x += i * i
+		}
+	}
+	pprof.StopCPUProfile()
+	_ = x
+	p, err := Parse(buf.Bytes())
+	if err != nil {
+		t.Fatalf("Parse real profile: %v", err)
+	}
+	if len(p.SampleType) == 0 {
+		t.Fatal("no sample types in real profile")
+	}
+	// Re-encode and re-parse: totals must survive.
+	_, before := p.FuncTotals(p.DefaultValueIndex())
+	p2, err := Parse(p.Encode())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	_, after := p2.FuncTotals(p2.DefaultValueIndex())
+	if before != after {
+		t.Fatalf("value total changed across round-trip: %d -> %d", before, after)
+	}
+}
+
+func TestParseRealHeapProfile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := pprof.Lookup("allocs").WriteTo(&buf, 0); err != nil {
+		t.Fatalf("heap profile: %v", err)
+	}
+	p, err := Parse(buf.Bytes())
+	if err != nil {
+		t.Fatalf("Parse heap profile: %v", err)
+	}
+	vi := p.DefaultValueIndex()
+	if got := p.SampleType[vi].Type; got != "alloc_space" {
+		t.Fatalf("default value index picked %q, want alloc_space", got)
+	}
+}
+
+func TestParseGarbage(t *testing.T) {
+	for _, data := range [][]byte{nil, {0x1f}, []byte("not a profile"), {0x1f, 0x8b, 0x00}} {
+		if _, err := Parse(data); err == nil {
+			t.Fatalf("Parse(%q) accepted garbage", data)
+		}
+	}
+}
+
+func TestTopFuncsOrder(t *testing.T) {
+	p := synthetic(map[string][]int64{
+		"pkg.big":    {1, 900},
+		"pkg.medium": {1, 90},
+		"pkg.small":  {1, 9},
+	})
+	top := p.TopFuncs(p.DefaultValueIndex())
+	if len(top) < 3 || top[0] != "pkg.big" {
+		t.Fatalf("TopFuncs order wrong: %v", top)
+	}
+}
+
+func TestMain(m *testing.M) {
+	os.Exit(m.Run())
+}

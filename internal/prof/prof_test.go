@@ -1,0 +1,341 @@
+package prof
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"oij/internal/faultfs"
+	"oij/internal/trace"
+)
+
+// newTestCapturer builds a capturer on a Mem filesystem with the periodic
+// loop effectively parked (long period) so tests drive captures directly.
+func newTestCapturer(t *testing.T, mem *faultfs.Mem, mut func(*Config)) *Capturer {
+	t.Helper()
+	cfg := Config{
+		Dir:            "ring",
+		Period:         time.Hour,
+		CPUSlice:       20 * time.Millisecond,
+		FS:             mem,
+		IncidentMinGap: time.Nanosecond,
+		MutexFraction:  -1, // leave runtime sampling rates alone in tests
+		BlockRateNS:    -1,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("want error for missing Dir")
+	}
+	_, err := New(Config{Dir: "x", Period: time.Second, CPUSlice: 2 * time.Second, FS: faultfs.NewMem()})
+	if err == nil || !strings.Contains(err.Error(), "shorter than Period") {
+		t.Fatalf("want slice>=period error, got %v", err)
+	}
+}
+
+func TestStoreAndManifest(t *testing.T) {
+	mem := faultfs.NewMem()
+	c := newTestCapturer(t, mem, nil)
+	c.store("heap", "periodic", []byte("fake-profile"), 0)
+	entries := c.Entries()
+	if len(entries) != 1 {
+		t.Fatalf("want 1 entry, got %d", len(entries))
+	}
+	e := entries[0]
+	if e.Kind != "heap" || e.Bytes != int64(len("fake-profile")) || e.File != "000000-heap-periodic.pprof" {
+		t.Fatalf("bad entry: %+v", e)
+	}
+	st := c.Stats()
+	if st.Captures != 1 || st.Entries != 1 || st.LastReason != "periodic" {
+		t.Fatalf("bad stats: %+v", st)
+	}
+	// Manifest must be parseable on its own.
+	r, err := mem.Open("ring/MANIFEST.json")
+	if err != nil {
+		t.Fatalf("open manifest: %v", err)
+	}
+	defer r.Close()
+	var doc manifestDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		t.Fatalf("manifest decode: %v", err)
+	}
+	if doc.NextSeq != 1 || len(doc.Entries) != 1 {
+		t.Fatalf("bad manifest: %+v", doc)
+	}
+}
+
+// TestRetentionEvictionOrder fills past both caps and checks strictly
+// oldest-first eviction with on-disk file removal.
+func TestRetentionEvictionOrder(t *testing.T) {
+	mem := faultfs.NewMem()
+	c := newTestCapturer(t, mem, func(cfg *Config) { cfg.Retain = 3 })
+	for i := 0; i < 6; i++ {
+		c.store("heap", "periodic", []byte(strings.Repeat("x", 10+i)), 0)
+	}
+	entries := c.Entries()
+	if len(entries) != 3 {
+		t.Fatalf("want 3 retained, got %d", len(entries))
+	}
+	for i, e := range entries {
+		if want := uint64(3 + i); e.Seq != want {
+			t.Fatalf("entry %d seq = %d, want %d (oldest-first eviction broken)", i, e.Seq, want)
+		}
+	}
+	if c.Stats().Evictions != 3 {
+		t.Fatalf("evictions = %d, want 3", c.Stats().Evictions)
+	}
+	// Evicted files must be gone, retained ones present.
+	if _, err := mem.Open("ring/000000-heap-periodic.pprof"); err == nil {
+		t.Fatal("evicted file still on disk")
+	}
+	if _, err := mem.Open("ring/000005-heap-periodic.pprof"); err != nil {
+		t.Fatalf("retained file missing: %v", err)
+	}
+}
+
+func TestRetentionByBytes(t *testing.T) {
+	mem := faultfs.NewMem()
+	c := newTestCapturer(t, mem, func(cfg *Config) { cfg.Retain = 100; cfg.MaxBytes = 64 })
+	for i := 0; i < 4; i++ {
+		c.store("heap", "periodic", []byte(strings.Repeat("y", 30)), 0)
+	}
+	st := c.Stats()
+	if st.Bytes > 64 {
+		t.Fatalf("ring bytes %d exceed cap 64", st.Bytes)
+	}
+	if st.Entries != 2 {
+		t.Fatalf("want 2 entries under 64-byte cap, got %d", st.Entries)
+	}
+}
+
+// TestManifestRecoveryAfterTornWrite corrupts the manifest mid-document
+// and checks a fresh capturer rebuilds the index by directory scan.
+func TestManifestRecoveryAfterTornWrite(t *testing.T) {
+	mem := faultfs.NewMem()
+	c := newTestCapturer(t, mem, nil)
+	c.store("cpu", "periodic", []byte("cpu-profile-data"), int64(time.Second))
+	c.store("heap", "slo-unhealthy", []byte("heap-profile-data"), 0)
+	c.Close()
+
+	// Tear the manifest: keep only the first half of the JSON document.
+	mem.Put("ring/MANIFEST.json", []byte(`{"next_seq": 2, "entries": [{"seq"`))
+
+	c2 := newTestCapturer(t, mem, nil)
+	entries := c2.Entries()
+	if len(entries) != 2 {
+		t.Fatalf("recovered %d entries, want 2: %+v", len(entries), entries)
+	}
+	if entries[0].Seq != 0 || entries[0].Kind != "cpu" || entries[1].Seq != 1 || entries[1].Kind != "heap" {
+		t.Fatalf("recovered entries wrong: %+v", entries)
+	}
+	if entries[1].Reason != "slo-unhealthy" {
+		t.Fatalf("reason lost in recovery: %+v", entries[1])
+	}
+	if entries[0].Bytes != int64(len("cpu-profile-data")) {
+		t.Fatalf("recovered size wrong: %+v", entries[0])
+	}
+	if c2.Stats().Recovered != 2 {
+		t.Fatalf("Recovered = %d, want 2", c2.Stats().Recovered)
+	}
+	// New captures must continue the sequence, not collide.
+	c2.store("heap", "periodic", []byte("later"), 0)
+	if got := c2.Entries()[2].Seq; got != 2 {
+		t.Fatalf("post-recovery seq = %d, want 2", got)
+	}
+}
+
+func TestManifestMissingIsFreshRing(t *testing.T) {
+	c := newTestCapturer(t, faultfs.NewMem(), nil)
+	if len(c.Entries()) != 0 || c.Stats().Recovered != 0 {
+		t.Fatalf("fresh ring not empty: %+v", c.Stats())
+	}
+}
+
+// TestCaptureNowRecordsFlight checks the incident path: a real capture
+// lands in the ring, stamps the flight sequence observed at capture time,
+// and records a prof_capture flight event.
+func TestCaptureNowRecordsFlight(t *testing.T) {
+	fl := trace.NewFlight(64, "")
+	mem := faultfs.NewMem()
+	c := newTestCapturer(t, mem, func(cfg *Config) { cfg.Flight = fl })
+
+	// Simulate the incident the capture should be attributable to.
+	fl.Record(trace.CompSLO, trace.EvSLOUnhealthy, 1, 7)
+	incidentSeq := fl.Seq()
+
+	c.CaptureNow("slo-unhealthy")
+	waitFor(t, func() bool { return len(c.Entries()) >= 2 }) // cpu + heap
+
+	for _, e := range c.Entries() {
+		if e.FlightSeq < incidentSeq {
+			t.Fatalf("capture %+v predates incident flight seq %d", e, incidentSeq)
+		}
+		if e.Reason != "slo-unhealthy" {
+			t.Fatalf("capture reason = %q", e.Reason)
+		}
+	}
+	if c.Stats().Incidents != 1 {
+		t.Fatalf("incidents = %d, want 1", c.Stats().Incidents)
+	}
+	var profEvents int
+	for _, ev := range fl.Snapshot() {
+		if ev.Component == "prof" && ev.Kind == "prof_capture" {
+			profEvents++
+		}
+	}
+	if profEvents < 2 {
+		t.Fatalf("want >=2 prof_capture flight events, got %d", profEvents)
+	}
+}
+
+func TestCaptureNowRateLimited(t *testing.T) {
+	mem := faultfs.NewMem()
+	c := newTestCapturer(t, mem, func(cfg *Config) { cfg.IncidentMinGap = time.Hour })
+	c.CaptureNow("stall-watchdog")
+	c.CaptureNow("stall-watchdog")
+	c.CaptureNow("stall-watchdog")
+	waitFor(t, func() bool { return c.Stats().Captures >= 2 })
+	if got := c.Stats().Incidents; got != 1 {
+		t.Fatalf("incidents = %d, want 1 (rate limit broken)", got)
+	}
+}
+
+func TestPeriodicLoopCaptures(t *testing.T) {
+	mem := faultfs.NewMem()
+	c := newTestCapturer(t, mem, func(cfg *Config) {
+		cfg.Period = 60 * time.Millisecond
+		cfg.CPUSlice = 10 * time.Millisecond
+	})
+	// One full round = cpu + heap + mutex + block.
+	waitFor(t, func() bool { return c.Stats().Captures >= 4 })
+	kinds := map[string]bool{}
+	for _, e := range c.Entries() {
+		kinds[e.Kind] = true
+	}
+	for _, k := range []string{"cpu", "heap", "mutex", "block"} {
+		if !kinds[k] {
+			t.Fatalf("periodic round missing %s profile; have %v", k, kinds)
+		}
+	}
+}
+
+func TestProfilezEndpoint(t *testing.T) {
+	mem := faultfs.NewMem()
+	c := newTestCapturer(t, mem, nil)
+
+	// Synchronous capture via POST ?capture.
+	rec := httptest.NewRecorder()
+	c.ServeHTTP(rec, httptest.NewRequest("POST", "/profilez?capture=manual", nil))
+	if rec.Code != 200 {
+		t.Fatalf("capture: %d %s", rec.Code, rec.Body)
+	}
+
+	// Manifest view.
+	rec = httptest.NewRecorder()
+	c.ServeHTTP(rec, httptest.NewRequest("GET", "/profilez", nil))
+	var doc profilezDoc
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("manifest json: %v", err)
+	}
+	if len(doc.Entries) < 2 || doc.Stats.Captures < 2 {
+		t.Fatalf("manifest too small: %+v", doc.Stats)
+	}
+
+	// Fetch one profile by id.
+	var cpu *Entry
+	for i := range doc.Entries {
+		if doc.Entries[i].Kind == "cpu" {
+			cpu = &doc.Entries[i]
+		}
+	}
+	if cpu == nil {
+		t.Fatal("no cpu entry after manual capture")
+	}
+	rec = httptest.NewRecorder()
+	c.ServeHTTP(rec, httptest.NewRequest("GET", "/profilez?id="+itoa(cpu.Seq), nil))
+	if rec.Code != 200 || int64(rec.Body.Len()) != cpu.Bytes {
+		t.Fatalf("fetch by id: code %d, %d bytes (want %d)", rec.Code, rec.Body.Len(), cpu.Bytes)
+	}
+	if _, err := Parse(rec.Body.Bytes()); err != nil {
+		t.Fatalf("fetched cpu profile unparsable: %v", err)
+	}
+
+	// Merged window across two captures.
+	rec = httptest.NewRecorder()
+	c.ServeHTTP(rec, httptest.NewRequest("POST", "/profilez?capture=manual2", nil))
+	rec = httptest.NewRecorder()
+	c.ServeHTTP(rec, httptest.NewRequest("GET", "/profilez?merged=cpu&since=0", nil))
+	if rec.Code != 200 {
+		t.Fatalf("merged: %d %s", rec.Code, rec.Body)
+	}
+	if _, err := Parse(rec.Body.Bytes()); err != nil {
+		t.Fatalf("merged profile unparsable: %v", err)
+	}
+
+	// Error paths.
+	for _, url := range []string{"/profilez?id=xyz", "/profilez?id=9999", "/profilez?merged=cpu&since=zzz", "/profilez?merged=nosuch"} {
+		rec = httptest.NewRecorder()
+		c.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		if rec.Code == 200 {
+			t.Fatalf("%s: want error status, got 200", url)
+		}
+	}
+	rec = httptest.NewRecorder()
+	c.ServeHTTP(rec, httptest.NewRequest("GET", "/profilez?capture=x", nil))
+	if rec.Code != 405 {
+		t.Fatalf("GET capture: want 405, got %d", rec.Code)
+	}
+}
+
+func TestNilCapturerIsNoOp(t *testing.T) {
+	var c *Capturer
+	c.CaptureNow("anything")
+	c.Close()
+	if st := c.Stats(); st.Captures != 0 {
+		t.Fatalf("nil stats: %+v", st)
+	}
+	if c.Entries() != nil {
+		t.Fatal("nil entries")
+	}
+}
+
+func TestSanitizeReason(t *testing.T) {
+	for in, want := range map[string]string{
+		"slo-unhealthy":          "slo-unhealthy",
+		"Mem Pressure!":          "mem-pressure-",
+		"":                       "unknown",
+		"a/b\\c":                 "a-b-c",
+		strings.Repeat("x", 100): strings.Repeat("x", 40),
+	} {
+		if got := sanitizeReason(in); got != want {
+			t.Fatalf("sanitizeReason(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func itoa(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not reached in 5s")
+}

@@ -79,6 +79,7 @@ type Engine struct {
 	sink  engine.Sink
 	lrec  engine.LatencyRecorder
 	srec  engine.StageRecorder
+	arec  engine.AllocRecorder
 	stats *engine.Stats
 	js    []*joiner
 
@@ -137,6 +138,7 @@ func New(cfg engine.Config, opt Options, sink engine.Sink) *Engine {
 	e.pubActive.Store(int32(cfg.Joiners))
 	e.lrec, _ = sink.(engine.LatencyRecorder)
 	e.srec, _ = sink.(engine.StageRecorder)
+	e.arec, _ = sink.(engine.AllocRecorder)
 	for i := range e.lastWrite {
 		e.lastWrite[i] = make([]tuple.Time, cfg.Joiners)
 		e.masks[i].Store(1 << uint(i%cfg.Joiners))
@@ -358,6 +360,10 @@ func (j *joiner) onTuple(t tuple.Tuple) {
 	j.e.stats.Processed[j.id].Add(1)
 	if t.Side == tuple.Probe {
 		j.ix.Put(t)
+		if j.e.arec != nil {
+			// Every Put allocates one time-travel index node.
+			j.e.arec.CountAlloc(trace.StageIngest, 1, engine.TupleAllocBytes)
+		}
 		if j.e.opt.Incremental && j.e.cfg.Mode == engine.OnArrival {
 			// A late probe landing inside this joiner's cached window
 			// would be missed by the edge-delta scans, so fold it into
@@ -378,7 +384,9 @@ func (j *joiner) onTuple(t tuple.Tuple) {
 					// A FIFO two-stacks window cannot absorb an
 					// interior insert; park it in the late
 					// buffer, folded at query time.
+					before := cap(e.late)
 					e.late = append(e.late, tsval{t.TS, t.Val})
+					engine.CountSliceGrowth(j.e.arec, trace.StageIngest, before, cap(e.late), engine.TSValAllocBytes)
 				default:
 					e.mask = 0 // too many stragglers: rebuild
 				}
@@ -560,13 +568,16 @@ func (j *joiner) join(base tuple.Tuple) {
 // joinFull recomputes the aggregate from scratch over the window.
 func (j *joiner) joinFull(k tuple.Key, mask uint64, lo, hi tuple.Time, sp *trace.Span) agg.State {
 	st := agg.NewState(j.e.cfg.Agg)
+	engine.CountStateAlloc(j.e.arec, trace.StageAggregate)
 	if j.e.cfg.Instrument || sp != nil {
 		t0 := time.Now()
+		scratchCap := cap(j.scratch)
 		j.scratch = j.scratch[:0]
 		visited := j.scanTeam(mask, k, lo, hi, func(ts tuple.Time, val float64) bool {
 			j.scratch = append(j.scratch, tsval{ts, val})
 			return true
 		})
+		engine.CountSliceGrowth(j.e.arec, trace.StageProbe, scratchCap, cap(j.scratch), engine.TSValAllocBytes)
 		t1 := time.Now()
 		for _, p := range j.scratch {
 			st.AddAt(p.ts, p.val)
@@ -705,11 +716,13 @@ func (j *joiner) pushSorted(s *agg.Sliding, mask uint64, k tuple.Key, lo, hi tup
 		})
 		return
 	}
+	pairsCap := cap(j.pairs)
 	j.pairs = j.pairs[:0]
 	j.scanTeam(mask, k, lo, hi, func(ts tuple.Time, val float64) bool {
 		j.pairs = append(j.pairs, tsval{ts, val})
 		return true
 	})
+	engine.CountSliceGrowth(j.e.arec, trace.StageProbe, pairsCap, cap(j.pairs), engine.TSValAllocBytes)
 	for i := 1; i < len(j.pairs); i++ {
 		p := j.pairs[i]
 		q := i - 1

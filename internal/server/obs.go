@@ -10,12 +10,14 @@ package server
 import (
 	"fmt"
 	"time"
+	"unsafe"
 
 	"oij/internal/control"
 	"oij/internal/engine"
 	"oij/internal/metrics"
 	"oij/internal/obs"
 	"oij/internal/obs/timeline"
+	"oij/internal/prof"
 	"oij/internal/repl"
 	"oij/internal/trace"
 	"oij/internal/tuple"
@@ -57,6 +59,19 @@ type serverObs struct {
 	hotProbes *obs.HotKeys
 	hotBases  *obs.HotKeys
 
+	// Exact hot-path allocation accounting: one counter pair per pipeline
+	// stage (objects, bytes), fed by the engines through the AllocRecorder
+	// seam and by the serving layer's own allocation sites. This is the
+	// always-on allocations-per-tuple baseline the batched hot-path work
+	// optimizes against; the sampled heap profiles corroborate it.
+	allocObjs  [trace.NumStages]*obs.Counter
+	allocBytes [trace.NumStages]*obs.Counter
+
+	// rt samples runtime/metrics once per epoch (goroutines, GC pause
+	// p99, heap in-use, GC goal) so process health rides the same
+	// timeline as join health.
+	rt *runtimeSampler
+
 	// Telemetry timeline: the collector flattens the registry into a
 	// series vector once per epoch and the multi-resolution ring retains
 	// it (≈5m at 1s, 1h at 10s, 24h at 1m) in fixed memory. vals is the
@@ -64,6 +79,32 @@ type serverObs struct {
 	collector *obs.Collector
 	timeline  *timeline.Timeline
 	vals      []float64
+}
+
+// Accounting sizes for the serving layer's own hot-path allocation sites.
+// Spans and timers are exact struct sizes; the wire writer is its bufio
+// buffer (the struct around it is noise by comparison).
+var (
+	spanAllocBytes  = int64(unsafe.Sizeof(trace.Span{}))
+	timerAllocBytes = int64(unsafe.Sizeof(time.Timer{}))
+)
+
+const wireWriterAllocBytes = 4096
+
+// countAlloc books one hot-path allocation report against a stage's
+// counters. Nil-safe on a half-built serverObs (nothing registers before
+// newServerObs returns in production; tests may call earlier).
+func (o *serverObs) countAlloc(st trace.Stage, objs, bytes int64) {
+	if o == nil || o.allocObjs[st] == nil {
+		return
+	}
+	o.allocObjs[st].Add(objs)
+	o.allocBytes[st].Add(bytes)
+}
+
+// CountAlloc implements engine.AllocRecorder for the engines' hot paths.
+func (k serverSink) CountAlloc(st trace.Stage, objs, bytes int64) {
+	k.s.o.countAlloc(st, objs, bytes)
 }
 
 // introspect returns the engine's live transport view, or nil when the
@@ -105,6 +146,51 @@ func newServerObs(s *Server, joiners int) *serverObs {
 	}
 	o.epochs = reg.NewCounter("oij_utilization_epochs_total", "Closed utilization sampling epochs.")
 	o.trace.LimitHistory(utilHistoryEpochs)
+
+	// Per-stage allocation accounting. The Prometheus encoder renders
+	// vector labels only for per-joiner shards, so each stage gets its own
+	// counter name rather than a label.
+	for st := trace.Stage(0); st < trace.NumStages; st++ {
+		name := st.String()
+		o.allocObjs[st] = reg.NewCounter("oij_stage_alloc_objects_"+name+"_total",
+			"Hot-path allocations attributed to the "+name+" stage (exact counts from instrumented sites).")
+		o.allocBytes[st] = reg.NewCounter("oij_stage_alloc_bytes_"+name+"_total",
+			"Bytes allocated on the hot path in the "+name+" stage (slice growth exact, boxed states nominal).")
+	}
+
+	// Runtime health: sampled once per epoch by the sampler loop, read
+	// here at scrape/collect time.
+	o.rt = newRuntimeSampler()
+	reg.NewGaugeFunc("oij_go_goroutines", "Live goroutine count (sampled per epoch).", func() float64 {
+		return float64(o.rt.goroutines.Load())
+	})
+	reg.NewGaugeFunc("oij_go_heap_inuse_bytes", "Heap bytes occupied by live objects (sampled per epoch).", func() float64 {
+		return float64(o.rt.heapInUse.Load())
+	})
+	reg.NewGaugeFunc("oij_go_gc_goal_bytes", "Heap size the next GC cycle targets (sampled per epoch).", func() float64 {
+		return float64(o.rt.gcGoal.Load())
+	})
+	reg.NewGaugeFunc("oij_go_gc_pause_p99_us", "99th percentile GC stop-the-world pause over the last epoch (µs).", func() float64 {
+		return o.rt.pauseP99US()
+	})
+
+	if s.prof != nil {
+		reg.NewGaugeFunc("oij_prof_captures_total", "Profiles captured into the ring since startup.", func() float64 {
+			return float64(s.prof.Stats().Captures)
+		})
+		reg.NewGaugeFunc("oij_prof_incident_captures_total", "Out-of-cycle incident captures since startup.", func() float64 {
+			return float64(s.prof.Stats().Incidents)
+		})
+		reg.NewGaugeFunc("oij_prof_errors_total", "Profile capture or ring write failures since startup.", func() float64 {
+			return float64(s.prof.Stats().Errors)
+		})
+		reg.NewGaugeFunc("oij_prof_ring_entries", "Profiles currently retained in the on-disk ring.", func() float64 {
+			return float64(s.prof.Stats().Entries)
+		})
+		reg.NewGaugeFunc("oij_prof_ring_bytes", "Bytes currently retained in the on-disk profile ring.", func() float64 {
+			return float64(s.prof.Stats().Bytes)
+		})
+	}
 
 	o.shedProbes = reg.NewCounter("oij_admission_shed_probes_total", "Probe tuples dropped at admission because the ingest funnel was full.")
 	o.rejected = reg.NewCounter("oij_admission_rejected_total", "Requests NACKed at admission under the reject policy.")
@@ -364,6 +450,10 @@ func (s *Server) samplerLoop() {
 			_, _, lag := s.watermarkLag()
 			s.flight.Record(trace.CompEpoch, trace.EvEpoch, epoch, uint64(lag))
 			s.watchStalls()
+			// Runtime health is sampled on the same clock so the GC and
+			// goroutine series line up with join-side series point for
+			// point on /timeline.
+			s.o.rt.sample()
 			// The same tick feeds the telemetry timeline and re-scores
 			// the SLO verdict, so /timeline, /healthz, and the flight
 			// recorder all advance on one clock.
@@ -397,7 +487,7 @@ func (s *Server) watchStalls() {
 		if !s.stallActive.Swap(true) {
 			s.flight.Record(trace.CompStall, trace.EvStallDetected,
 				uint64(len(wedged)), uint64(maxBlock))
-			s.flight.AutoDump("stall-watchdog")
+			s.incident("stall-watchdog")
 		}
 	} else if s.stallActive.Swap(false) {
 		s.flight.Record(trace.CompStall, trace.EvStallCleared, 0, 0)
@@ -490,6 +580,22 @@ type ControlStatus struct {
 	Recent        []control.Decision `json:"recent_decisions,omitempty"`
 }
 
+// RuntimeStatus is the per-epoch runtime/metrics sample on /statusz.
+type RuntimeStatus struct {
+	Goroutines   int64   `json:"goroutines"`
+	HeapInUse    int64   `json:"heap_inuse_bytes"`
+	GCGoalBytes  int64   `json:"gc_goal_bytes"`
+	GCPauseP99Us float64 `json:"gc_pause_p99_us"`
+}
+
+// StageAllocStatus is one pipeline stage's exact hot-path allocation
+// account (objects and bytes since startup).
+type StageAllocStatus struct {
+	Stage   string `json:"stage"`
+	Objects int64  `json:"objects"`
+	Bytes   int64  `json:"bytes"`
+}
+
 // TimelineStatus summarises the telemetry timeline on /statusz.
 type TimelineStatus struct {
 	Series      int      `json:"series"`
@@ -501,38 +607,41 @@ type TimelineStatus struct {
 // Status is the /statusz document: the paper's post-run metrics (§III-B,
 // Eq. 1, Eq. 2, Fig. 14) read live off a serving daemon.
 type Status struct {
-	Build            BuildStatus    `json:"build"`
-	Algorithm        string         `json:"algorithm"`
-	Mode             string         `json:"mode"`
-	Joiners          int            `json:"joiners"`
-	ActiveJoiners    int            `json:"active_joiners"`
-	UptimeSeconds    float64        `json:"uptime_seconds"`
-	Served           int64          `json:"served"`
-	Probes           int64          `json:"probes"`
-	Requests         int64          `json:"requests"`
-	Results          int64          `json:"results"`
-	PendingRequests  int            `json:"pending_requests"`
-	IngestQueueDepth int            `json:"ingest_queue_depth"`
-	WALErrors        int64          `json:"wal_errors"`
-	WALSync          string         `json:"wal_sync,omitempty"`
-	WALRecovered     int64          `json:"wal_recovered_frames"`
-	WALSkipped       int64          `json:"wal_skipped_frames"`
-	WALTruncated     int64          `json:"wal_truncated_bytes"`
-	MaxEventTS       int64          `json:"max_event_ts_us"`
-	Watermark        int64          `json:"watermark_us"`
-	WatermarkLag     int64          `json:"watermark_lag_us"`
-	Effectiveness    float64        `json:"effectiveness"`
-	Unbalancedness   float64        `json:"unbalancedness"`
-	Reschedules      *int64         `json:"reschedules,omitempty"`
-	Replication      *ReplStatus    `json:"replication,omitempty"`
-	Overload         OverloadStatus `json:"overload"`
-	Control          *ControlStatus `json:"control,omitempty"`
-	Trace            TraceStatus    `json:"trace"`
-	SLO              HealthStatus   `json:"slo"`
-	Timeline         TimelineStatus `json:"timeline"`
-	HotKeys          *HotKeysStatus `json:"hot_keys,omitempty"`
-	Latency          LatencyStatus  `json:"latency"`
-	PerJoiner        []JoinerStatus `json:"per_joiner"`
+	Build            BuildStatus        `json:"build"`
+	Algorithm        string             `json:"algorithm"`
+	Mode             string             `json:"mode"`
+	Joiners          int                `json:"joiners"`
+	ActiveJoiners    int                `json:"active_joiners"`
+	UptimeSeconds    float64            `json:"uptime_seconds"`
+	Served           int64              `json:"served"`
+	Probes           int64              `json:"probes"`
+	Requests         int64              `json:"requests"`
+	Results          int64              `json:"results"`
+	PendingRequests  int                `json:"pending_requests"`
+	IngestQueueDepth int                `json:"ingest_queue_depth"`
+	WALErrors        int64              `json:"wal_errors"`
+	WALSync          string             `json:"wal_sync,omitempty"`
+	WALRecovered     int64              `json:"wal_recovered_frames"`
+	WALSkipped       int64              `json:"wal_skipped_frames"`
+	WALTruncated     int64              `json:"wal_truncated_bytes"`
+	MaxEventTS       int64              `json:"max_event_ts_us"`
+	Watermark        int64              `json:"watermark_us"`
+	WatermarkLag     int64              `json:"watermark_lag_us"`
+	Effectiveness    float64            `json:"effectiveness"`
+	Unbalancedness   float64            `json:"unbalancedness"`
+	Reschedules      *int64             `json:"reschedules,omitempty"`
+	Replication      *ReplStatus        `json:"replication,omitempty"`
+	Overload         OverloadStatus     `json:"overload"`
+	Control          *ControlStatus     `json:"control,omitempty"`
+	Trace            TraceStatus        `json:"trace"`
+	Runtime          RuntimeStatus      `json:"runtime"`
+	Profiling        *prof.Stats        `json:"profiling,omitempty"`
+	StageAllocs      []StageAllocStatus `json:"stage_allocs"`
+	SLO              HealthStatus       `json:"slo"`
+	Timeline         TimelineStatus     `json:"timeline"`
+	HotKeys          *HotKeysStatus     `json:"hot_keys,omitempty"`
+	Latency          LatencyStatus      `json:"latency"`
+	PerJoiner        []JoinerStatus     `json:"per_joiner"`
 }
 
 // Statusz snapshots the server without stopping it: counters and gauges
@@ -633,6 +742,24 @@ func (s *Server) Statusz() Status {
 			Recent:        recent,
 		}
 	}
+	out.Runtime = RuntimeStatus{
+		Goroutines:   s.o.rt.goroutines.Load(),
+		HeapInUse:    s.o.rt.heapInUse.Load(),
+		GCGoalBytes:  s.o.rt.gcGoal.Load(),
+		GCPauseP99Us: s.o.rt.pauseP99US(),
+	}
+	if s.prof != nil {
+		ps := s.prof.Stats()
+		out.Profiling = &ps
+	}
+	out.StageAllocs = make([]StageAllocStatus, trace.NumStages)
+	for st := trace.Stage(0); st < trace.NumStages; st++ {
+		out.StageAllocs[st] = StageAllocStatus{
+			Stage:   st.String(),
+			Objects: s.o.allocObjs[st].Load(),
+			Bytes:   s.o.allocBytes[st].Load(),
+		}
+	}
 	out.SLO = s.slo.Status()
 	out.Timeline = TimelineStatus{
 		Series:      len(s.o.timeline.Names()),
@@ -688,4 +815,5 @@ func (k serverSink) Record(joiner int, d time.Duration) {
 var (
 	_ engine.LatencyRecorder = serverSink{}
 	_ engine.StageRecorder   = serverSink{}
+	_ engine.AllocRecorder   = serverSink{}
 )

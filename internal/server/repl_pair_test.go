@@ -43,6 +43,19 @@ func startReplPair(t *testing.T, lease time.Duration) *replPair {
 	t.Helper()
 	pr := &replPair{m1: faultfs.NewMem(), m2: faultfs.NewMem()}
 
+	// When CI archives failover artifacts, run both nodes with the
+	// continuous profiler writing rings straight into the artifact
+	// directory: every fencing and promotion incident the suite provokes
+	// then ships its out-of-cycle profile captures alongside the flight
+	// timelines.
+	profDir := func(role string) string {
+		dir := os.Getenv("OIJ_FAILOVER_ARTIFACT_DIR")
+		if dir == "" {
+			return ""
+		}
+		return filepath.Join(dir, "prof-"+role+"-"+sanitizeTestName(t.Name()))
+	}
+
 	pr.pcfg = baseCfg()
 	pr.pcfg.Engine.Window = crashWindow()
 	pr.pcfg.Engine.Joiners = 1
@@ -51,6 +64,12 @@ func startReplPair(t *testing.T, lease time.Duration) *replPair {
 	pr.pcfg.WALSync = "always"
 	pr.pcfg.ReplListenAddr = "127.0.0.1:0"
 	pr.pcfg.ReplLease = lease
+	pr.pcfg.ProfileDir = profDir("primary")
+	pr.pcfg.ProfilePeriod = 2 * time.Second
+	pr.pcfg.ProfileCPUSlice = 200 * time.Millisecond
+	if pr.pcfg.ProfileDir == "" {
+		pr.pcfg.ProfilePeriod, pr.pcfg.ProfileCPUSlice = 0, 0
+	}
 
 	p, err := New(pr.pcfg)
 	if err != nil {
@@ -72,6 +91,11 @@ func startReplPair(t *testing.T, lease time.Duration) *replPair {
 	pr.scfg.WALSync = "always"
 	pr.scfg.StandbyOf = raddr
 	pr.scfg.ReplLease = lease
+	pr.scfg.ProfileDir = profDir("standby")
+	if pr.scfg.ProfileDir != "" {
+		pr.scfg.ProfilePeriod = 2 * time.Second
+		pr.scfg.ProfileCPUSlice = 200 * time.Millisecond
+	}
 
 	s, err := New(pr.scfg)
 	if err != nil {
@@ -170,6 +194,21 @@ func archiveFailoverFlight(t *testing.T, s *Server, name string) {
 	if err := os.WriteFile(filepath.Join(dir, name+".json"), b, 0o644); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// sanitizeTestName flattens a test name (which may contain subtest
+// slashes) into a filesystem-safe artifact-directory component.
+func sanitizeTestName(name string) string {
+	out := make([]rune, 0, len(name))
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			out = append(out, r)
+		default:
+			out = append(out, '-')
+		}
+	}
+	return string(out)
 }
 
 func flightHas(s *Server, kind string) bool {

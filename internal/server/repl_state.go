@@ -182,7 +182,7 @@ func (r *replState) fence(sawEpoch uint64) {
 	own := r.epoch.Load()
 	r.setErr(fmt.Sprintf("fenced: lost the lease at epoch %d (observed epoch %d); restart as a standby of the promoted node", own, sawEpoch))
 	r.s.flight.Record(trace.CompRepl, trace.EvReplFenced, sawEpoch, own)
-	r.s.flight.AutoDump("repl-fenced")
+	r.s.incident("repl-fenced")
 }
 
 // triggerPromote arms promotion: the standby link is severed and the link
@@ -220,7 +220,7 @@ func (s *Server) applyPromote() {
 	}
 	r.epoch.Store(newEpoch)
 	s.flight.Record(trace.CompRepl, trace.EvReplPromote, newEpoch, r.appliedSlot())
-	s.flight.AutoDump("repl-promote")
+	s.incident("repl-promote")
 	if r.listenAddr != "" {
 		if err := r.startSource(); err != nil {
 			r.setErr("promote: replication listener: " + err.Error())
@@ -284,7 +284,7 @@ func (r *replState) checkLag(commit uint64) {
 	if lag > r.maxLagBytes {
 		if !r.lagging.Swap(true) {
 			r.s.flight.Record(trace.CompRepl, trace.EvReplLagExceeded, uint64(lag), uint64(r.maxLagBytes))
-			r.s.flight.AutoDump("repl-lag")
+			r.s.incident("repl-lag")
 		}
 	} else {
 		r.lagging.Store(false)

@@ -1,0 +1,135 @@
+// Runtime health sampling: goroutine count, heap occupancy, the GC's next
+// heap goal, and the epoch-local p99 GC pause, read from runtime/metrics
+// once per sampler epoch. Lives in its own file because runtime/metrics
+// would collide with the oij/internal/metrics import in the rest of the
+// package.
+package server
+
+import (
+	"math"
+	runtimemetrics "runtime/metrics"
+	"sync/atomic"
+)
+
+// runtime/metrics names sampled per epoch.
+const (
+	rmGoroutines = "/sched/goroutines:goroutines"
+	rmGCPauses   = "/sched/pauses/total/gc:seconds"
+	rmHeapInUse  = "/memory/classes/heap/objects:bytes"
+	rmGCGoal     = "/gc/heap/goal:bytes"
+)
+
+// runtimeSampler snapshots process health. sample() is called only from
+// the sampler goroutine; the atomic fields are read from scrape handlers
+// and /statusz on other goroutines.
+type runtimeSampler struct {
+	samples []runtimemetrics.Sample
+
+	goroutines atomic.Int64
+	heapInUse  atomic.Int64
+	gcGoal     atomic.Int64
+	// pauseP99NS is the 99th-percentile GC pause over the last epoch,
+	// derived from bucket-count deltas of the cumulative pause histogram.
+	pauseP99NS atomic.Int64
+
+	prevPauseCounts []uint64
+}
+
+func newRuntimeSampler() *runtimeSampler {
+	rt := &runtimeSampler{
+		samples: []runtimemetrics.Sample{
+			{Name: rmGoroutines},
+			{Name: rmGCPauses},
+			{Name: rmHeapInUse},
+			{Name: rmGCGoal},
+		},
+	}
+	rt.sample() // seed so gauges are live before the first epoch closes
+	return rt
+}
+
+// sample refreshes every health series. Called once per sampler epoch.
+func (rt *runtimeSampler) sample() {
+	if rt == nil {
+		return
+	}
+	runtimemetrics.Read(rt.samples)
+	for i := range rt.samples {
+		s := &rt.samples[i]
+		switch s.Name {
+		case rmGoroutines:
+			if s.Value.Kind() == runtimemetrics.KindUint64 {
+				rt.goroutines.Store(int64(s.Value.Uint64()))
+			}
+		case rmHeapInUse:
+			if s.Value.Kind() == runtimemetrics.KindUint64 {
+				rt.heapInUse.Store(int64(s.Value.Uint64()))
+			}
+		case rmGCGoal:
+			if s.Value.Kind() == runtimemetrics.KindUint64 {
+				rt.gcGoal.Store(int64(s.Value.Uint64()))
+			}
+		case rmGCPauses:
+			if s.Value.Kind() == runtimemetrics.KindFloat64Histogram {
+				rt.updatePauseP99(s.Value.Float64Histogram())
+			}
+		}
+	}
+}
+
+// updatePauseP99 turns the cumulative pause histogram into an epoch-local
+// p99: the bucket-count deltas since the previous sample form this epoch's
+// distribution, and the p99 is the upper bound of the bucket where the
+// 99th-percentile count lands. No pauses this epoch reports zero.
+func (rt *runtimeSampler) updatePauseP99(h *runtimemetrics.Float64Histogram) {
+	if h == nil || len(h.Counts) == 0 {
+		return
+	}
+	if len(rt.prevPauseCounts) != len(h.Counts) {
+		rt.prevPauseCounts = make([]uint64, len(h.Counts))
+		copy(rt.prevPauseCounts, h.Counts)
+		return
+	}
+	var total uint64
+	for i, c := range h.Counts {
+		if c >= rt.prevPauseCounts[i] {
+			total += c - rt.prevPauseCounts[i]
+		}
+	}
+	if total == 0 {
+		rt.pauseP99NS.Store(0)
+		copy(rt.prevPauseCounts, h.Counts)
+		return
+	}
+	target := uint64(math.Ceil(float64(total) * 0.99))
+	var cum uint64
+	p99 := 0.0
+	for i, c := range h.Counts {
+		delta := uint64(0)
+		if c >= rt.prevPauseCounts[i] {
+			delta = c - rt.prevPauseCounts[i]
+		}
+		cum += delta
+		if cum >= target {
+			// Buckets[i+1] is this bucket's upper bound (seconds); the
+			// last bucket's bound may be +Inf — fall back to its lower
+			// bound so the gauge stays finite.
+			ub := h.Buckets[i+1]
+			if math.IsInf(ub, 1) {
+				ub = h.Buckets[i]
+			}
+			p99 = ub
+			break
+		}
+	}
+	rt.pauseP99NS.Store(int64(p99 * 1e9))
+	copy(rt.prevPauseCounts, h.Counts)
+}
+
+// pauseP99US reports the epoch p99 GC pause in microseconds.
+func (rt *runtimeSampler) pauseP99US() float64 {
+	if rt == nil {
+		return 0
+	}
+	return float64(rt.pauseP99NS.Load()) / 1e3
+}

@@ -33,6 +33,7 @@ import (
 	"oij/internal/faultfs"
 	"oij/internal/harness"
 	"oij/internal/obs"
+	"oij/internal/prof"
 	"oij/internal/trace"
 	"oij/internal/tuple"
 	"oij/internal/wire"
@@ -115,6 +116,23 @@ type Config struct {
 	// dump (JSON, rate-limited to one per second) whenever an eviction,
 	// stall detection, or memory-pressure escalation fires.
 	FlightDumpPath string
+	// ProfileDir enables the continuous profiler: a background capturer
+	// takes short periodic CPU slices plus heap/mutex/block snapshots into
+	// a bounded on-disk profile ring there (indexed manifest, temp+rename,
+	// count- and size-capped retention), served at /profilez and captured
+	// out-of-cycle on incidents (SLO breach, stall, memory pressure,
+	// evictions) next to the flight dump. Empty disables profiling.
+	ProfileDir string
+	// ProfilePeriod is the capture duty cycle (default 60s) and
+	// ProfileCPUSlice the CPU slice length per cycle (default 2s; must be
+	// shorter than the period — the ratio bounds profiling overhead).
+	ProfilePeriod   time.Duration
+	ProfileCPUSlice time.Duration
+	// ProfileRetain caps how many profiles the ring keeps (default 32).
+	ProfileRetain int
+	// ProfileFS overrides the profile ring's filesystem (fault-injection
+	// tests); nil uses the real one.
+	ProfileFS faultfs.FS
 	// HotKeysK is the per-joiner slot count of the SpaceSaving hot-key
 	// sketches on the ingest path (default 16; negative disables hot-key
 	// analytics). Any key above a 1/K share of its joiner's stream is
@@ -341,6 +359,10 @@ type Server struct {
 	lastWALNS   atomic.Int64
 	stallActive atomic.Bool
 
+	// prof is the continuous profiler (nil when ProfileDir is unset; every
+	// method is nil-safe so incident paths call it unconditionally).
+	prof *prof.Capturer
+
 	o           *serverObs
 	slo         *sloEvaluator
 	admin       *obs.Admin
@@ -434,6 +456,22 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.repl = newReplState(s, cfg)
 	}
+	if cfg.ProfileDir != "" {
+		// Built before newServerObs so the profiling gauges it registers
+		// are visible to the collector snapshot.
+		pc, err := prof.New(prof.Config{
+			Dir:      cfg.ProfileDir,
+			Period:   cfg.ProfilePeriod,
+			CPUSlice: cfg.ProfileCPUSlice,
+			Retain:   cfg.ProfileRetain,
+			FS:       cfg.ProfileFS,
+			Flight:   s.flight,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.prof = pc
+	}
 	s.o = newServerObs(s, cfg.Engine.Joiners)
 	if cfg.WALPath != "" {
 		mode, err := parseWALSync(cfg.WALSync)
@@ -451,6 +489,7 @@ func New(cfg Config) (*Server, error) {
 		// Recover is never called.
 		s.walTruncated.Add(s.wal.sanitized)
 		s.wal.fr = s.flight
+		s.wal.alloc = func(objs, bytes int64) { s.o.countAlloc(trace.StageWALAppend, objs, bytes) }
 		if s.wal.sanitized > 0 {
 			s.flight.Record(trace.CompWAL, trace.EvWALSalvage, uint64(s.wal.sanitized), 0)
 		}
@@ -581,6 +620,7 @@ func (s *Server) Serve(ln net.Listener) error {
 			obs.Endpoint{Path: "/timeline", Handler: s.serveTimeline},
 			obs.Endpoint{Path: "/healthz", Handler: s.serveHealthz},
 			obs.Endpoint{Path: "/controlz", Handler: s.serveControlz},
+			obs.Endpoint{Path: "/profilez", Handler: s.serveProfilez},
 		)
 		if err != nil {
 			ln.Close()
@@ -648,6 +688,25 @@ func (s *Server) serveTimeline(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(doc)
+}
+
+// serveProfilez exposes the continuous profiler's ring (manifest, profile
+// fetch, merged windows). 404 when profiling is disabled.
+func (s *Server) serveProfilez(w http.ResponseWriter, r *http.Request) {
+	if s.prof == nil {
+		httpJSONError(w, "profiling disabled (start with a profile dir)", http.StatusNotFound)
+		return
+	}
+	s.prof.ServeHTTP(w, r)
+}
+
+// incident routes one incident signal to both forensic sinks: the flight
+// recorder's auto-dump (the control-plane timeline) and the profiler's
+// out-of-cycle capture (where the cycles went during the bad minute). Both
+// are rate-limited, asynchronous, and nil-safe.
+func (s *Server) incident(reason string) {
+	s.flight.AutoDump(reason)
+	s.prof.CaptureNow(reason)
 }
 
 // httpJSONError writes an error as a JSON document so /timeline consumers
@@ -875,7 +934,7 @@ func (s *Server) setMemLevel(level int32, buffered int64) {
 	s.memLevel.Store(level)
 	s.flight.Record(trace.CompMemory, trace.EvMemLevel, uint64(level), uint64(buffered))
 	if level > 0 {
-		s.flight.AutoDump("mem-pressure")
+		s.incident("mem-pressure")
 	}
 }
 
@@ -924,6 +983,8 @@ func (s *Server) Shutdown() {
 	if s.wal != nil {
 		s.wal.close()
 	}
+	// Last: a capture in flight may still be stamping flight sequences.
+	s.prof.Close()
 }
 
 // WALErrors reports append failures since startup (0 without a WAL).
@@ -1007,6 +1068,7 @@ func (se *session) deliver(r wire.Result, sp *trace.Span) {
 	default:
 	}
 	timer := time.NewTimer(grace)
+	se.s.o.countAlloc(trace.StageEmit, 1, timerAllocBytes)
 	defer timer.Stop()
 	select {
 	case se.out <- m:
@@ -1028,7 +1090,7 @@ func (se *session) evictSlow() {
 		s := se.s
 		s.flight.Record(trace.CompSession, trace.EvSlowEviction,
 			uint64(s.o.slowEvicted.Load()), 0)
-		s.flight.AutoDump("slow-consumer-eviction")
+		s.incident("slow-consumer-eviction")
 	}
 	se.close()
 	se.conn.Close()
@@ -1124,6 +1186,7 @@ func (se *session) admitBase(t wire.Tuple, localSeq uint64) {
 		// stage from here. The ingest stage is this goroutine's own work
 		// — admission plus the funnel enqueue.
 		req.sp = trace.NewSpan(localSeq, uint64(t.Key), int64(t.TS))
+		se.s.o.countAlloc(trace.StageIngest, 1, spanAllocBytes)
 		t0 = time.Now()
 	}
 	if se.s.admission.Load() != control.AdmissionReject {
@@ -1222,6 +1285,7 @@ func (se *session) writeLoop(done chan struct{}) {
 		se.conn.Close()
 	}
 	w := wire.NewWriter(se.conn)
+	se.s.o.countAlloc(trace.StageTCPWrite, 1, wireWriterAllocBytes)
 	// write encodes one frame, stamping a sampled result's last two stages
 	// around it: emit (join end → this pickup) before, tcp_write after,
 	// then the span is complete and retires to the /tracez ring.

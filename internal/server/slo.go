@@ -175,7 +175,7 @@ func (e *sloEvaluator) evaluate(now time.Time, epoch uint64) {
 
 	if was && !st.Healthy {
 		e.s.flight.Record(trace.CompSLO, trace.EvSLOUnhealthy, mask, epoch)
-		e.s.flight.AutoDump("slo-unhealthy")
+		e.s.incident("slo-unhealthy")
 	} else if !was && st.Healthy {
 		e.s.flight.Record(trace.CompSLO, trace.EvSLORecovered,
 			uint64(now.Sub(e.unhealthySince)), epoch)

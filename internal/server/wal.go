@@ -137,6 +137,9 @@ type walWriter struct {
 	// fr, when set by the owning server, receives rotation events (nil is
 	// a valid no-op recorder).
 	fr *trace.Flight
+	// alloc, when set by the owning server, books pending-buffer growth
+	// against the wal_append stage's allocation counters.
+	alloc func(objs, bytes int64)
 
 	// Replication state (see wal_repl.go). Slot accounting is always on —
 	// two atomics per flush — so the admin surfaces can report log
@@ -235,7 +238,11 @@ func (w *walWriter) append(t wire.Tuple) error {
 	t.Base = false
 	var frame [wire.WALFrameBytes]byte
 	wire.EncodeWALFrame(frame[:], t)
+	before := cap(w.buf)
 	w.buf = append(w.buf, frame[:]...)
+	if w.alloc != nil && cap(w.buf) != before {
+		w.alloc(1, int64(cap(w.buf)-before))
+	}
 	if t.TS > w.maxTS {
 		w.maxTS = t.TS
 	}

@@ -47,6 +47,7 @@ type Engine struct {
 	sink  engine.Sink
 	lrec  engine.LatencyRecorder
 	srec  engine.StageRecorder
+	arec  engine.AllocRecorder
 	stats *engine.Stats
 	js    []*joiner
 
@@ -64,6 +65,7 @@ func New(cfg engine.Config, sink engine.Sink) *Engine {
 	e := &Engine{cfg: cfg, tr: engine.NewTransport(cfg), sink: sink, stats: engine.NewStats(cfg.Joiners)}
 	e.lrec, _ = sink.(engine.LatencyRecorder)
 	e.srec, _ = sink.(engine.StageRecorder)
+	e.arec, _ = sink.(engine.AllocRecorder)
 	e.partials = make([]*queue.SPSC[partial], cfg.Joiners)
 	for i := range e.partials {
 		e.partials[i] = queue.NewSPSC[partial](cfg.QueueCap)
@@ -161,6 +163,9 @@ func (e *Engine) mergeLoop() {
 				if !ok {
 					slot = &mergeSlot{st: agg.NewState(e.cfg.Agg), baseTS: p.baseTS, key: p.key, arrival: p.arrival}
 					slots[p.baseSeq] = slot
+					// The merge slot plus its collection-side state are
+					// per-result allocations on the emit path.
+					engine.CountStateAlloc(e.arec, trace.StageEmit)
 				}
 				slot.st.Merge(p.st)
 				slot.got++
@@ -227,7 +232,11 @@ func (j *joiner) onTuple(t tuple.Tuple) {
 			return
 		}
 		j.e.stats.Processed[j.id].Add(1)
-		j.buffers[t.Key] = append(j.buffers[t.Key], t)
+		buf := j.buffers[t.Key]
+		before := cap(buf)
+		buf = append(buf, t)
+		j.buffers[t.Key] = buf
+		engine.CountSliceGrowth(j.e.arec, trace.StageIngest, before, cap(buf), engine.TupleAllocBytes)
 		return
 	}
 	j.e.stats.Processed[j.id].Add(1)
@@ -296,6 +305,7 @@ func (j *joiner) join(base tuple.Tuple) {
 	lo, hi := j.e.cfg.Window.Bounds(base.TS)
 	buf := j.buffers[base.Key]
 	st := agg.NewState(j.e.cfg.Agg)
+	engine.CountStateAlloc(j.e.arec, trace.StageAggregate)
 
 	var sp *trace.Span
 	if j.e.srec != nil {
@@ -308,12 +318,14 @@ func (j *joiner) join(base tuple.Tuple) {
 
 	if j.e.cfg.Instrument || sp != nil {
 		t0 := time.Now()
+		scratchCap := cap(j.scratch)
 		j.scratch = j.scratch[:0]
 		for _, t := range buf {
 			if t.TS >= lo && t.TS <= hi {
 				j.scratch = append(j.scratch, engine.TSVal{TS: t.TS, Val: t.Val})
 			}
 		}
+		engine.CountSliceGrowth(j.e.arec, trace.StageProbe, scratchCap, cap(j.scratch), engine.TSValAllocBytes)
 		t1 := time.Now()
 		for _, p := range j.scratch {
 			st.AddAt(p.TS, p.Val)

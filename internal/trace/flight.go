@@ -29,12 +29,13 @@ const (
 	CompSLO
 	CompControl
 	CompRepl
+	CompProf
 	numComponents
 )
 
 var componentNames = [numComponents]string{
 	"watermark", "epoch", "admission", "memory",
-	"session", "stall", "wal", "breaker", "slo", "control", "repl",
+	"session", "stall", "wal", "breaker", "slo", "control", "repl", "prof",
 }
 
 // String returns the component's export name.
@@ -70,6 +71,7 @@ const (
 	EvReplLagExceeded                       // a=lag bytes, b=configured max
 	EvReplPromote                           // a=new epoch, b=applied slot at promotion
 	EvReplFenced                            // a=fencing epoch, b=own (superseded) epoch
+	EvProfCapture                           // a=profile ring seq, b=profile bytes
 )
 
 var eventKindNames = map[EventKind]string{
@@ -98,6 +100,7 @@ var eventKindNames = map[EventKind]string{
 	EvReplLagExceeded:  "repl_lag_exceeded",
 	EvReplPromote:      "repl_promote",
 	EvReplFenced:       "repl_fenced",
+	EvProfCapture:      "prof_capture",
 }
 
 // String returns the kind's export name.
